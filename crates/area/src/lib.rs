@@ -1,0 +1,17 @@
+//! `flextm-area`: an analytical area model reproducing the paper's
+//! Table 2 ("Area Estimation") — the hardware cost of FlexTM's add-ons
+//! on three real 65 nm processors (Intel Merom, IBM Power6, Sun
+//! Niagara-2).
+//!
+//! The paper used CACTI 6 plus published die photos; we reproduce the
+//! arithmetic with a CACTI-lite model: SRAM cell area at a technology
+//! node, a peripheral-overhead factor for small arrays, and buffer
+//! sizing rules for the overflow-table controller. Calibration
+//! constants are documented inline; `EXPERIMENTS.md` records
+//! model-vs-paper for every cell of the table.
+
+mod model;
+mod table2;
+
+pub use model::{sram_area_mm2, CactiLite, TechNode};
+pub use table2::{addons, paper_processors, render_table2, FlexTmAddons, ProcessorSpec};

@@ -1,0 +1,67 @@
+//! Extension ablation (Result 1b): FlexTM's CSTs make lazy commit an
+//! entirely local, parallel operation. This bench quantifies that by
+//! comparing stock FlexTM against a variant whose commits are
+//! serialized through a global token, the way TCC/Bulk-style lazy
+//! systems arbitrate.
+
+use flextm::{FlexTm, FlexTmConfig, Mode};
+use flextm_bench::{txns_per_thread, WorkloadKind};
+use flextm_sim::{Machine, MachineConfig};
+use flextm_workloads::harness::{run_measured, RunConfig};
+
+fn run(workload_kind: WorkloadKind, serialized: bool, threads: usize) -> f64 {
+    let machine = Machine::new(MachineConfig::paper_default().with_cores(threads.max(16)));
+    let mut workload = workload_kind.build(threads);
+    workload.setup(&machine);
+    let tm = FlexTm::new(
+        &machine,
+        FlexTmConfig {
+            mode: Mode::Lazy,
+            cm: flextm::CmKind::Polka,
+            threads,
+            serialized_commits: serialized,
+        },
+    );
+    let txns = (txns_per_thread() as f64 * workload_kind.txn_scale()).max(8.0) as u64;
+    run_measured(
+        &machine,
+        &tm,
+        workload.as_ref(),
+        RunConfig {
+            threads,
+            txns_per_thread: txns,
+            warmup_per_thread: (txns / 4).max(8),
+            seed: 0xF1E7,
+        },
+    )
+    .throughput()
+}
+
+fn main() {
+    println!("== Ablation (Result 1b): local parallel commits (CSTs) vs global commit token ==");
+    println!(
+        "{:<14} {:>8} {:>16} {:>16} {:>10}",
+        "Workload", "threads", "CSTs tx/Mcyc", "token tx/Mcyc", "speedup"
+    );
+    for wl in [
+        WorkloadKind::HashTable,
+        WorkloadKind::VacationLow,
+        WorkloadKind::RbTree,
+    ] {
+        for &threads in &[4usize, 8, 16] {
+            if threads > flextm_bench::max_threads() {
+                continue;
+            }
+            let local = run(wl, false, threads);
+            let token = run(wl, true, threads);
+            println!(
+                "{:<14} {threads:>8} {local:>16.2} {token:>16.2} {:>9.2}x",
+                wl.label(),
+                local / token.max(1e-9)
+            );
+        }
+    }
+    println!();
+    println!("Expected shape: the token costs little at low thread counts and");
+    println!("increasingly throttles scalable workloads as threads grow.");
+}

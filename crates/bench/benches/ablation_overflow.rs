@@ -1,0 +1,89 @@
+//! Regenerates the §7.3 overflow ablation: FlexTM with the real
+//! 32-entry victim buffer + overflow table, versus an idealized
+//! unbounded victim buffer in which nothing ever overflows.
+//!
+//! Paper result: redo-logging through the OT costs on average ~7% and
+//! at most ~13% (RandomGraph) versus the ideal, mainly because
+//! restarting transactions queue behind the committed transaction's
+//! copy-back; workloads that do not overflow (HashTable) see no
+//! slowdown.
+
+use flextm::{FlexTm, FlexTmConfig};
+use flextm_bench::{txns_per_thread, WorkloadKind};
+use flextm_sim::{Machine, MachineConfig};
+use flextm_workloads::harness::{run_measured, RunConfig};
+
+fn run_one(workload_kind: WorkloadKind, ideal: bool, threads: usize, seed: u64) -> (f64, u64) {
+    let mut config = MachineConfig::paper_default().with_cores(threads.max(16));
+    config.victim_entries = 32;
+    // The idealized comparison point: TMI lines never overflow, but the
+    // cache capacity for everything else is unchanged (otherwise the
+    // "unbounded victim buffer" doubles as a bigger L1 and confounds
+    // the measurement).
+    config.unbounded_tmi_victim = ideal;
+    // A half-size L1 makes set-conflict overflows reachable for our
+    // (smaller than the paper's) transaction mix, preserving the
+    // experiment's point.
+    config.l1_bytes = 8 * 1024;
+    let machine = Machine::new(config);
+    let mut workload = workload_kind.build(threads);
+    workload.setup(&machine);
+    let tm = FlexTm::new(&machine, FlexTmConfig::lazy(threads));
+    let txns = (txns_per_thread() as f64 * workload_kind.txn_scale()).max(8.0) as u64;
+    let r = run_measured(
+        &machine,
+        &tm,
+        workload.as_ref(),
+        RunConfig {
+            threads,
+            txns_per_thread: txns,
+            warmup_per_thread: (txns / 8).max(2),
+            seed,
+        },
+    );
+    (r.throughput(), r.report.total(|c| c.overflows))
+}
+
+/// Contended runs are sensitive to replacement-order perturbations;
+/// average a few seeds so the OT cost is not drowned in schedule noise.
+fn run_with_victim(workload_kind: WorkloadKind, ideal: bool, threads: usize) -> (f64, u64) {
+    let seeds = [0xF1E7u64, 0xBEEF, 0xCAFE];
+    let mut tput = 0.0;
+    let mut overflows = 0;
+    for &seed in &seeds {
+        let (t, o) = run_one(workload_kind, ideal, threads, seed);
+        tput += t;
+        overflows += o;
+    }
+    (tput / seeds.len() as f64, overflows / seeds.len() as u64)
+}
+
+fn main() {
+    println!("== §7.3 ablation: OT (32-entry victim buffer) vs unbounded victim buffer ==");
+    println!(
+        "{:<14} {:>8} {:>14} {:>14} {:>12} {:>10}",
+        "Workload", "threads", "OT tx/Mcyc", "ideal tx/Mcyc", "slowdown", "overflows"
+    );
+    let threads = 8.min(flextm_bench::max_threads());
+    for wl in [
+        WorkloadKind::HashTable,
+        WorkloadKind::RbTree,
+        WorkloadKind::RandomGraph,
+        WorkloadKind::VacationHigh,
+    ] {
+        let (real, overflows) = run_with_victim(wl, false, threads);
+        let (ideal, _) = run_with_victim(wl, true, threads);
+        let slowdown = if real > 0.0 { (ideal - real) / ideal * 100.0 } else { 0.0 };
+        println!(
+            "{:<14} {threads:>8} {:>14.3} {:>14.3} {:>11.1}% {:>10}",
+            wl.label(),
+            real,
+            ideal,
+            slowdown,
+            overflows
+        );
+    }
+    println!();
+    println!("Paper reference: average ~7%, maximum ~13% (RandomGraph); no slowdown");
+    println!("for workloads that never overflow.");
+}

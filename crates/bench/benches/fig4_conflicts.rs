@@ -1,0 +1,68 @@
+//! Regenerates the Fig. 4 side table: the number of transactions an
+//! average transaction conflicts with (median and maximum set-bit
+//! count of `W-R | W-W` plus eagerly-resolved enemies), at 8 and 16
+//! threads — the evidence for Result 1b (CSTs beat global arbitration
+//! because conflict sets are small).
+
+use flextm::{FlexTm, FlexTmConfig, ThreadTxStats};
+use flextm_bench::{max_threads, txns_per_thread, WorkloadKind};
+use flextm_sim::{Machine, MachineConfig};
+use flextm_workloads::alloc::NodeAlloc;
+use flextm_workloads::harness::ThreadCtx;
+use flextm_workloads::rng::WlRng;
+
+fn conflict_stats(workload_kind: WorkloadKind, threads: usize) -> ThreadTxStats {
+    let machine = Machine::new(MachineConfig::paper_default().with_cores(threads.max(16)));
+    let mut workload = workload_kind.build(threads);
+    workload.setup(&machine);
+    let tm = FlexTm::new(&machine, FlexTmConfig::lazy(threads));
+    let txns = (txns_per_thread() as f64 * workload_kind.txn_scale()).max(8.0) as u64;
+    let wl = workload.as_ref();
+    let stats_per_thread = machine.run(threads, |proc| {
+        let tid = proc.core();
+        let mut th = tm.flex_thread(tid, proc);
+        let mut ctx = ThreadCtx {
+            tid,
+            rng: WlRng::new(0xF1E7, tid),
+            alloc: NodeAlloc::for_thread(tid),
+        };
+        for _ in 0..txns {
+            wl.run_once(&mut th, &mut ctx);
+        }
+        th.stats().clone()
+    });
+    let mut merged = ThreadTxStats::default();
+    for s in &stats_per_thread {
+        merged.merge(s);
+    }
+    merged
+}
+
+fn main() {
+    println!("== Fig 4 side table: conflicting transactions per committed txn ==");
+    println!("{:<14} {:>9} {:>9} {:>9} {:>9}", "Workload", "8T Md", "8T Mx", "16T Md", "16T Mx");
+    let workloads = [
+        WorkloadKind::HashTable,
+        WorkloadKind::RbTree,
+        WorkloadKind::LfuCache,
+        WorkloadKind::RandomGraph,
+        WorkloadKind::VacationLow,
+        WorkloadKind::VacationHigh,
+        WorkloadKind::Delaunay,
+    ];
+    for wl in workloads {
+        let t8 = conflict_stats(wl, 8.min(max_threads()));
+        let t16 = conflict_stats(wl, 16.min(max_threads()));
+        println!(
+            "{:<14} {:>9} {:>9} {:>9} {:>9}",
+            wl.label(),
+            t8.median_conflicts(),
+            t8.max_conflicts(),
+            t16.median_conflicts(),
+            t16.max_conflicts()
+        );
+    }
+    println!();
+    println!("Paper reference (Md/Mx): Hash 0/2 0/3 | RBTree 1/2 1/3 | LFUCache 3/5 6/10");
+    println!("| Graph 2/4 5/9 | Vac-Low 1/2 1/4 | Vac-High 1/3 1/4 | Delaunay 0/2 0/2");
+}

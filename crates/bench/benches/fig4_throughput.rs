@@ -1,0 +1,47 @@
+//! Regenerates Fig. 4(a–g): throughput (transactions per million
+//! cycles) normalized to 1-thread CGL, across the thread axis.
+//!
+//! Workload-Set 1 (a–e) compares CGL / FlexTM(E) / RTM-F / RSTM;
+//! Workload-Set 2 (f–g, Vacation) compares CGL / FlexTM(E) / TL2 —
+//! exactly the paper's system matrix (all with Polka, eager detection
+//! for FlexTM as in §7.3).
+
+use flextm_bench::{print_series, run_point, thread_axis, RuntimeKind, WorkloadKind};
+
+fn sweep(plot: &str, workload: WorkloadKind, runtimes: &[RuntimeKind]) {
+    // Normalization baseline: 1-thread CGL.
+    let base = run_point(workload, RuntimeKind::Cgl, 1).throughput();
+    println!("-- Fig 4 {plot}: {} (normalized to 1T CGL) --", workload.label());
+    for &rt in runtimes {
+        let points: Vec<(usize, f64)> = thread_axis()
+            .into_iter()
+            .map(|t| {
+                let r = run_point(workload, rt, t);
+                (t, if base > 0.0 { r.throughput() / base } else { 0.0 })
+            })
+            .collect();
+        print_series(plot, rt, &points);
+    }
+    println!();
+}
+
+fn main() {
+    let ws1 = [
+        RuntimeKind::Cgl,
+        RuntimeKind::FlexTmEager,
+        RuntimeKind::RtmF,
+        RuntimeKind::Rstm,
+    ];
+    let ws2 = [RuntimeKind::Cgl, RuntimeKind::FlexTmEager, RuntimeKind::Tl2];
+
+    sweep("(a)", WorkloadKind::HashTable, &ws1);
+    sweep("(b)", WorkloadKind::RbTree, &ws1);
+    sweep("(c)", WorkloadKind::LfuCache, &ws1);
+    sweep("(d)", WorkloadKind::RandomGraph, &ws1);
+    sweep("(e)", WorkloadKind::Delaunay, &ws1);
+    sweep("(f)", WorkloadKind::VacationLow, &ws2);
+    sweep("(g)", WorkloadKind::VacationHigh, &ws2);
+
+    println!("Paper shape reference: FlexTM ≈ 2x RTM-F ≈ 5x RSTM; HashTable/RBTree/");
+    println!("Vacation-Low scale, LFUCache/RandomGraph do not; Delaunay: FlexTM tracks CGL.");
+}

@@ -1,0 +1,234 @@
+//! OS-level support for unbounded-in-time transactions (paper §5):
+//! descheduling, the global conflict management table (CMT), and
+//! virtualized conflict handling against suspended transactions.
+//!
+//! The invariant the CMT maintains (quoted from the paper): *if
+//! transaction T is active and executed on processor P, the transaction
+//! descriptor is in the active transaction list for P, whether the
+//! thread is suspended or running*. Our table is keyed by thread id —
+//! the virtualized identity — and the summary-signature hit delivers
+//! thread ids directly, so the per-processor indirection collapses.
+
+use crate::runtime::FlexTmThread;
+use crate::tsw::{tsw_tag, TSW_ABORTED, TSW_ACTIVE};
+use flextm_sig::{LineAddr, Signature};
+use flextm_sim::{Addr, SavedTx};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// What the software conflict handler needs to know about one
+/// suspended transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct SuspendedInfo {
+    /// Address of the suspended transaction's TSW.
+    pub tsw: Addr,
+}
+
+struct Entry {
+    tsw: Addr,
+    rsig: Signature,
+    wsig: Signature,
+    /// Virtual CSTs accumulated while suspended: `(R-W, W-R, W-W)`
+    /// bit-masks over processor ids, merged into the hardware CSTs at
+    /// reschedule time.
+    virtual_csts: (u64, u64, u64),
+    saved: SavedTx,
+}
+
+/// The conflict management table: suspended transactions, keyed by
+/// thread id. Interior mutability because running threads update
+/// virtual CSTs concurrently; updates are commutative bit-ORs, so the
+/// lock order cannot perturb results.
+#[derive(Default)]
+pub struct Cmt {
+    entries: Mutex<HashMap<usize, Entry>>,
+}
+
+impl std::fmt::Debug for Cmt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("Cmt").field("suspended", &n).finish()
+    }
+}
+
+impl Cmt {
+    /// Empty table.
+    pub fn new() -> Self {
+        Cmt::default()
+    }
+
+    /// Registers a descheduled transaction.
+    pub(crate) fn register(
+        &self,
+        tid: usize,
+        tsw: Addr,
+        saved: SavedTx,
+        sig_config: &flextm_sig::SignatureConfig,
+    ) {
+        let rsig = saved.read_signature(sig_config);
+        let wsig = saved.write_signature(sig_config);
+        self.entries.lock().expect("CMT lock poisoned").insert(
+            tid,
+            Entry {
+                tsw,
+                rsig,
+                wsig,
+                virtual_csts: (0, 0, 0),
+                saved,
+            },
+        );
+    }
+
+    /// Unregisters `tid`, returning the saved state with the virtual
+    /// CST bits merged in (what the OS restores into hardware).
+    pub(crate) fn unregister(&self, tid: usize) -> Option<SavedTx> {
+        let entry = self.entries.lock().expect("CMT lock poisoned").remove(&tid)?;
+        let mut saved = entry.saved;
+        saved.csts.0 |= entry.virtual_csts.0;
+        saved.csts.1 |= entry.virtual_csts.1;
+        saved.csts.2 |= entry.virtual_csts.2;
+        Some(saved)
+    }
+
+    /// The software half of conflict detection against a suspended
+    /// transaction: tests `tid`'s saved signatures for `line` and, on a
+    /// real conflict, updates its virtual CSTs. Returns the suspended
+    /// TSW info when the *running* side must take action too.
+    pub fn note_conflict(
+        &self,
+        tid: usize,
+        line: LineAddr,
+        requester_is_write: bool,
+        requester_core: usize,
+    ) -> Option<SuspendedInfo> {
+        let mut entries = self.entries.lock().expect("CMT lock poisoned");
+        let entry = entries.get_mut(&tid)?;
+        let wrote = entry.wsig.contains(line);
+        let read = entry.rsig.contains(line);
+        let bit = 1u64 << requester_core;
+        let mut real = false;
+        if requester_is_write && read {
+            // Suspended read vs. running write: their R-W gains us.
+            entry.virtual_csts.0 |= bit;
+            real = true;
+        }
+        if requester_is_write && wrote {
+            // Write-write: their W-W gains us.
+            entry.virtual_csts.2 |= bit;
+            real = true;
+        }
+        if !requester_is_write && wrote {
+            // Running read vs. suspended write: their W-R gains us (they
+            // abort us when they commit).
+            entry.virtual_csts.1 |= bit;
+            real = true;
+        }
+        real.then_some(SuspendedInfo { tsw: entry.tsw })
+    }
+
+    /// Looks up a suspended transaction's TSW (commit-time aborts of
+    /// virtualized enemies).
+    pub fn lookup(&self, tid: usize) -> Option<SuspendedInfo> {
+        self.entries
+            .lock()
+            .expect("CMT lock poisoned")
+            .get(&tid)
+            .map(|e| SuspendedInfo { tsw: e.tsw })
+    }
+
+    /// Number of suspended transactions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("CMT lock poisoned").len()
+    }
+
+    /// True when nothing is suspended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Token returned by [`FlexTmThread::deschedule`]; hand it back to
+/// [`FlexTmThread::reschedule`] to resume.
+#[derive(Debug)]
+pub struct SuspendToken {
+    tid: usize,
+}
+
+/// Result of rescheduling a suspended transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeOutcome {
+    /// The transaction is live again and may continue.
+    Resumed,
+    /// It was aborted while suspended (virtualized AOU, §5); the
+    /// hardware has been cleaned and the transaction must restart.
+    AbortedWhileSuspended,
+}
+
+impl FlexTmThread<'_> {
+    /// Deschedules the in-flight transaction: TMI lines drain to the
+    /// OT, signatures/CSTs are saved to the CMT, summary signatures are
+    /// installed at the directory, and the hardware is flash-cleared.
+    pub fn deschedule(&mut self) -> SuspendToken {
+        let tid = self.thread_id();
+        let proc = self.proc_handle().clone();
+        let saved = proc.save_tx_state();
+        proc.install_summary(tid, &saved);
+        proc.set_descheduled(true);
+        let tsw = self.descriptor_tsw();
+        // CMT mutation ordered at this core's simulated time.
+        proc.with_sync(|| {
+            self.runtime_cmt()
+                .register(tid, tsw, saved, self.sig_config())
+        });
+        SuspendToken { tid }
+    }
+
+    /// Reschedules onto the *same* processor: restores hardware state
+    /// (with virtual CST bits merged), removes the summary entry, and
+    /// re-arms AOU on the TSW. If the transaction was aborted while
+    /// suspended, the hardware is cleaned instead and the caller must
+    /// retry the transaction.
+    pub fn reschedule(&mut self, token: SuspendToken) -> ResumeOutcome {
+        assert_eq!(token.tid, self.thread_id(), "token belongs to another thread");
+        let proc = self.proc_handle().clone();
+        let saved = proc
+            .with_sync(|| self.runtime_cmt().unregister(token.tid))
+            .expect("suspended state registered at deschedule");
+        proc.remove_summary(token.tid);
+        proc.set_descheduled(false);
+        let tsw = self.descriptor_tsw();
+        let value = proc.aload(tsw);
+        if tsw_tag(value) != TSW_ACTIVE {
+            // Virtualized AOU: wake up in the handler, observe the
+            // abort, clean up.
+            proc.abort_tx();
+            // Drop the saved state: the OT content is speculative and
+            // dead.
+            drop(saved);
+            if tsw_tag(value) == TSW_ACTIVE {
+                let _ = proc.cas(tsw, value, (value & !3) | TSW_ABORTED);
+            }
+            return ResumeOutcome::AbortedWhileSuspended;
+        }
+        proc.restore_tx_state(saved);
+        ResumeOutcome::Resumed
+    }
+
+    /// Thread migration: FlexTM deliberately aborts and restarts rather
+    /// than moving lazily-versioned state between caches (§5). This
+    /// models the migration decision for a suspended transaction.
+    pub fn migrate_aborts(&mut self, token: SuspendToken) {
+        let proc = self.proc_handle().clone();
+        if let Some(saved) = proc.with_sync(|| self.runtime_cmt().unregister(token.tid)) {
+            drop(saved);
+        }
+        proc.remove_summary(token.tid);
+        proc.set_descheduled(false);
+        let tsw = self.descriptor_tsw();
+        let old = proc.load(tsw);
+        if tsw_tag(old) == TSW_ACTIVE {
+            let _ = proc.cas(tsw, old, (old & !3) | TSW_ABORTED);
+        }
+        proc.abort_tx();
+    }
+}

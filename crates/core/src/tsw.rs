@@ -1,0 +1,148 @@
+//! Transaction status words and descriptor layout (paper Table 1).
+//!
+//! Every thread owns a cache-line-sized descriptor in simulated memory.
+//! Word 0 is the **TSW** — the single word all commit/abort races are
+//! resolved through: a transaction commits by CAS-Commit'ing its own
+//! TSW from `ACTIVE` to `COMMITTED`, and aborts an enemy by CAS'ing the
+//! enemy's TSW from `ACTIVE` to `ABORTED`. Because both operations
+//! target the same word, plain cache coherence serializes them (§3.6).
+//!
+//! Word 1 publishes the thread's contention-management priority
+//! (Karma/Polka read it on conflicts).
+
+use flextm_sim::{Addr, Machine, WORDS_PER_LINE};
+
+/// TSW tag: no transaction in flight.
+pub const TSW_IDLE: u64 = 0;
+/// TSW tag: transaction running.
+pub const TSW_ACTIVE: u64 = 1;
+/// TSW tag: transaction committed.
+pub const TSW_COMMITTED: u64 = 2;
+/// TSW tag: transaction aborted by itself or an enemy.
+pub const TSW_ABORTED: u64 = 3;
+
+/// The paper allocates a fresh descriptor per transaction, so a stale
+/// "abort the transaction I conflicted with" CAS can never hit a later
+/// transaction. We reuse one descriptor per thread instead, and encode
+/// a per-transaction sequence number in the TSW's upper bits: the tag
+/// lives in the low two bits, and an enemy abort CAS carries the exact
+/// observed word, so it can only kill the transaction instance it
+/// actually conflicted with.
+#[inline]
+pub fn tsw_tag(word: u64) -> u64 {
+    word & 3
+}
+
+/// Builds a TSW word for transaction instance `seq` with `tag`.
+#[inline]
+pub fn tsw_word(seq: u64, tag: u64) -> u64 {
+    (seq << 2) | (tag & 3)
+}
+
+/// Arena id reserved for runtime metadata (thread arenas use their own
+/// ids; keeping descriptors out of workload arenas preserves address
+/// determinism).
+pub const DESCRIPTOR_ARENA: usize = 63;
+
+/// Addresses of one thread's descriptor fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// The transaction status word.
+    pub tsw: Addr,
+    /// The published contention-management priority.
+    pub priority: Addr,
+}
+
+impl Descriptor {
+    fn at(base: Addr) -> Self {
+        Descriptor {
+            tsw: base,
+            priority: base.offset(1),
+        }
+    }
+}
+
+/// Per-runtime table of thread descriptors, allocated once in simulated
+/// memory before any run.
+#[derive(Debug, Clone)]
+pub struct DescriptorTable {
+    descs: Vec<Descriptor>,
+}
+
+impl DescriptorTable {
+    /// Allocates `threads` descriptors (one line each, so enemy CAS
+    /// traffic on one TSW never false-shares another) and initializes
+    /// every TSW to [`TSW_IDLE`].
+    pub fn allocate(machine: &Machine, threads: usize) -> Self {
+        machine.with_state(|st| {
+            let mut arena = flextm_sim::Heap::arena(DESCRIPTOR_ARENA);
+            let descs = (0..threads)
+                .map(|_| {
+                    let base = arena.alloc(WORDS_PER_LINE as u64);
+                    st.mem.write(base, TSW_IDLE);
+                    st.mem.write(base.offset(1), 0);
+                    Descriptor::at(base)
+                })
+                .collect();
+            DescriptorTable { descs }
+        })
+    }
+
+    /// The descriptor of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` was not allocated.
+    pub fn descriptor(&self, tid: usize) -> Descriptor {
+        self.descs[tid]
+    }
+
+    /// Number of allocated descriptors.
+    pub fn len(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// True if no descriptors were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextm_sim::MachineConfig;
+
+    #[test]
+    fn descriptors_are_line_separated_and_idle() {
+        let m = Machine::new(MachineConfig::small_test());
+        let t = DescriptorTable::allocate(&m, 4);
+        assert_eq!(t.len(), 4);
+        for i in 0..4 {
+            let d = t.descriptor(i);
+            assert_eq!(d.priority.raw(), d.tsw.raw() + 8);
+            for j in 0..4 {
+                if i != j {
+                    assert_ne!(t.descriptor(j).tsw.line(), d.tsw.line());
+                }
+            }
+        }
+        m.with_state(|st| {
+            assert_eq!(st.mem.read(t.descriptor(0).tsw), TSW_IDLE);
+        });
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let addrs = |m: &Machine| {
+            DescriptorTable::allocate(m, 2)
+                .descs
+                .iter()
+                .map(|d| d.tsw.raw())
+                .collect::<Vec<_>>()
+        };
+        let m1 = Machine::new(MachineConfig::small_test());
+        let m2 = Machine::new(MachineConfig::small_test());
+        assert_eq!(addrs(&m1), addrs(&m2));
+    }
+}

@@ -1,0 +1,120 @@
+//! Escape actions and subsumption nesting (paper §3.5).
+
+use flextm::{FlexTm, FlexTmConfig};
+use flextm_sim::api::{nested, AttemptOutcome, TmRuntime, TmThread, TxRetry};
+use flextm_sim::{Addr, Machine, MachineConfig};
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::small_test().with_cores(2))
+}
+
+#[test]
+fn escape_write_survives_abort() {
+    let m = machine();
+    let tm = FlexTm::new(&m, FlexTmConfig::lazy(1));
+    let data = Addr::new(0x10_000);
+    let log = Addr::new(0x20_000);
+    m.run(1, |proc| {
+        let mut th = tm.thread(0, proc);
+        // A self-aborting attempt: the transactional write must vanish,
+        // the escape write (e.g. a profiling counter) must persist.
+        let out = th.txn_once(&mut |tx| {
+            tx.write(data, 99)?;
+            tx.escape_write(log, 1)?;
+            Err(TxRetry)
+        });
+        assert_eq!(out, AttemptOutcome::Aborted);
+    });
+    m.with_state(|st| {
+        assert_eq!(st.mem.read(data), 0, "transactional write leaked");
+        assert_eq!(st.mem.read(log), 1, "escape write was rolled back");
+    });
+}
+
+#[test]
+fn escape_read_bypasses_read_set() {
+    // An escape read must not add to the read set: a later plain store
+    // to that line by another core must NOT abort this transaction.
+    let m = machine();
+    let tm = FlexTm::new(&m, FlexTmConfig::lazy(2));
+    let watched = Addr::new(0x30_000);
+    let out = Addr::new(0x40_000);
+    m.run(2, |proc| {
+        let core = proc.core();
+        if core == 0 {
+            let mut th = tm.thread(0, proc);
+            let o = th.txn(&mut |tx| {
+                let v = tx.escape_read(watched)?;
+                tx.work(1500)?;
+                tx.write(out, v + 100)?;
+                Ok(())
+            });
+            assert_eq!(
+                o.attempts, 1,
+                "escape read must not create a conflict footprint"
+            );
+        } else {
+            proc.work(400);
+            proc.store(watched, 5);
+        }
+    });
+    m.with_state(|st| {
+        // The escape read saw the pre-store value (0) and the txn was
+        // not disturbed by the plain store.
+        assert_eq!(st.mem.read(out), 100);
+    });
+}
+
+#[test]
+fn escape_write_to_own_speculative_line_keeps_both_views() {
+    let m = machine();
+    let tm = FlexTm::new(&m, FlexTmConfig::lazy(1));
+    let x = Addr::new(0x50_000);
+    m.run(1, |proc| {
+        let mut th = tm.thread(0, proc);
+        // Abort path: the speculative value dies, the escape value
+        // (same line, other word) persists.
+        let _ = th.txn_once(&mut |tx| {
+            tx.write(x, 7)?;
+            tx.escape_write(x.offset(1), 42)?;
+            Err(TxRetry)
+        });
+    });
+    m.with_state(|st| {
+        assert_eq!(st.mem.read(x), 0);
+        assert_eq!(st.mem.read(x.offset(1)), 42);
+    });
+}
+
+#[test]
+fn subsumption_nesting_is_flat() {
+    let m = machine();
+    let tm = FlexTm::new(&m, FlexTmConfig::lazy(1));
+    let a = Addr::new(0x60_000);
+    let b = Addr::new(0x70_000);
+    m.run(1, |proc| {
+        let mut th = tm.thread(0, proc);
+        // Inner "transaction" commits with the outer one.
+        th.txn(&mut |tx| {
+            tx.write(a, 1)?;
+            nested(tx, &mut |inner| {
+                inner.write(b, 2)?;
+                Ok(())
+            })?;
+            Ok(())
+        });
+        // Inner abort aborts the whole flat transaction.
+        let out = th.txn_once(&mut |tx| {
+            tx.write(a, 10)?;
+            nested(tx, &mut |inner| {
+                inner.write(b, 20)?;
+                Err(TxRetry)
+            })
+        });
+        assert_eq!(out, AttemptOutcome::Aborted);
+    });
+    m.with_state(|st| {
+        assert_eq!(st.mem.read(a), 1, "outer+inner committed together");
+        assert_eq!(st.mem.read(b), 2, "inner abort must not partially commit");
+    });
+}

@@ -1,0 +1,85 @@
+//! Bloom-filter access-set signatures, as used by FlexTM (and before it
+//! Bulk and LogTM-SE) to summarize a transaction's read and write sets.
+//!
+//! A [`Signature`] conservatively represents a set of cache-line
+//! addresses: [`Signature::contains`] may report **false positives** but
+//! never false negatives. This is exactly the guarantee the FlexTM L1
+//! controller relies on when it tests a forwarded coherence request
+//! against the local `Rsig`/`Wsig` and responds `Threatened` /
+//! `Exposed-Read` (paper §3.1, §3.3).
+//!
+//! Signatures here are *first-class, software-visible objects* (paper
+//! §1): they can be read out as raw words, saved, restored, and unioned
+//! into the directory's summary signatures on a context switch (§5).
+//!
+//! # Example
+//!
+//! ```
+//! use flextm_sig::{LineAddr, Signature, SignatureConfig};
+//!
+//! let mut wsig = Signature::new(SignatureConfig::paper_default());
+//! wsig.insert(LineAddr::from_byte_addr(0x1040));
+//! assert!(wsig.contains(LineAddr::from_byte_addr(0x1040)));
+//! // Same cache line (64-byte granularity) also hits:
+//! assert!(wsig.contains(LineAddr::from_byte_addr(0x1078)));
+//! wsig.clear();
+//! assert!(wsig.is_empty());
+//! ```
+
+mod hasher;
+mod signature;
+mod summary;
+
+pub use hasher::{HashScheme, LineHasher};
+pub use signature::{Signature, SignatureConfig};
+pub use summary::SummarySignature;
+
+/// A cache-line address: a byte address shifted right by the line-offset
+/// bits. All FlexTM conflict tracking happens at cache-line granularity,
+/// so signatures, the overflow table and the coherence protocol all key
+/// on `LineAddr` rather than raw byte addresses.
+///
+/// # Example
+///
+/// ```
+/// use flextm_sig::LineAddr;
+/// let a = LineAddr::from_byte_addr(0x1040);
+/// let b = LineAddr::from_byte_addr(0x107f);
+/// assert_eq!(a, b); // same 64-byte line
+/// assert_eq!(a.byte_addr(), 0x1040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+/// Log2 of the cache-line size used throughout the reproduction
+/// (64-byte blocks, Table 3(a)).
+pub const LINE_SHIFT: u32 = 6;
+
+/// Cache-line size in bytes (Table 3(a)).
+pub const LINE_BYTES: u64 = 1 << LINE_SHIFT;
+
+impl LineAddr {
+    /// Builds the line address containing byte address `addr`.
+    #[inline]
+    pub fn from_byte_addr(addr: u64) -> Self {
+        LineAddr(addr >> LINE_SHIFT)
+    }
+
+    /// The first byte address of this line.
+    #[inline]
+    pub fn byte_addr(self) -> u64 {
+        self.0 << LINE_SHIFT
+    }
+
+    /// The raw line index.
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line:{:#x}", self.byte_addr())
+    }
+}

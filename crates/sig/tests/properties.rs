@@ -1,0 +1,133 @@
+//! Property-based tests for the signature invariants FlexTM depends on.
+//!
+//! The single safety-critical property is **no false negatives**: a
+//! signature that misses a line that was actually accessed would let a
+//! conflicting transaction commit and break serializability.
+
+use flextm_sig::{HashScheme, LineAddr, Signature, SignatureConfig, SummarySignature};
+use proptest::prelude::*;
+
+fn any_config() -> impl Strategy<Value = SignatureConfig> {
+    (
+        prop_oneof![Just(64usize), Just(256), Just(1024), Just(2048)],
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        prop_oneof![Just(HashScheme::BitSelect), Just(HashScheme::H3)],
+        any::<u64>(),
+    )
+        .prop_map(|(total_bits, banks, scheme, seed)| SignatureConfig {
+            total_bits,
+            banks,
+            scheme,
+            seed,
+        })
+}
+
+proptest! {
+    /// No false negatives, for every configuration and address set.
+    #[test]
+    fn no_false_negatives(cfg in any_config(), lines in prop::collection::vec(any::<u64>(), 0..300)) {
+        let mut s = Signature::new(cfg);
+        for &l in &lines {
+            s.insert(LineAddr(l));
+        }
+        for &l in &lines {
+            prop_assert!(s.contains(LineAddr(l)));
+        }
+    }
+
+    /// Union contains everything either operand contained.
+    #[test]
+    fn union_is_monotone(
+        cfg in any_config(),
+        a_lines in prop::collection::vec(any::<u64>(), 0..100),
+        b_lines in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut a = Signature::new(cfg.clone());
+        let mut b = Signature::new(cfg);
+        for &l in &a_lines { a.insert(LineAddr(l)); }
+        for &l in &b_lines { b.insert(LineAddr(l)); }
+        let mut u = a.clone();
+        u.union_with(&b);
+        for &l in a_lines.iter().chain(&b_lines) {
+            prop_assert!(u.contains(LineAddr(l)));
+        }
+    }
+
+    /// A signature round-tripped through its raw words is identical —
+    /// the property the OS context-switch path relies on.
+    #[test]
+    fn words_roundtrip_preserves_membership(
+        cfg in any_config(),
+        lines in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut a = Signature::new(cfg.clone());
+        for &l in &lines { a.insert(LineAddr(l)); }
+        let words = a.words().to_vec();
+        let mut b = Signature::new(cfg);
+        b.load_words(&words);
+        prop_assert_eq!(&a, &b);
+        for &l in &lines {
+            prop_assert!(b.contains(LineAddr(l)));
+        }
+    }
+
+    /// contains(x) after inserting a superset is still monotone: adding
+    /// more elements never un-members an element (no deletion artifacts).
+    #[test]
+    fn insertion_is_monotone(
+        cfg in any_config(),
+        first in any::<u64>(),
+        rest in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut s = Signature::new(cfg);
+        s.insert(LineAddr(first));
+        for &l in &rest {
+            s.insert(LineAddr(l));
+            prop_assert!(s.contains(LineAddr(first)));
+        }
+    }
+
+    /// Summary signatures never produce a false negative for any
+    /// installed contributor, and removal only ever shrinks membership.
+    #[test]
+    fn summary_covers_contributors(
+        sets in prop::collection::vec(prop::collection::vec(any::<u64>(), 1..50), 1..6),
+    ) {
+        let cfg = SignatureConfig::paper_default();
+        let mut ss = SummarySignature::new(cfg.clone());
+        for (id, set) in sets.iter().enumerate() {
+            let mut s = Signature::new(cfg.clone());
+            for &l in set { s.insert(LineAddr(l)); }
+            ss.install(id, s);
+        }
+        for set in &sets {
+            for &l in set {
+                prop_assert!(ss.contains(LineAddr(l)));
+            }
+        }
+        // Removing contributor 0 must keep all other contributors covered.
+        ss.remove(0);
+        for set in sets.iter().skip(1) {
+            for &l in set {
+                prop_assert!(ss.contains(LineAddr(l)));
+            }
+        }
+    }
+
+    /// If two signatures share an inserted line, `intersects` reports it.
+    #[test]
+    fn intersects_has_no_false_negatives(
+        cfg in any_config(),
+        shared in any::<u64>(),
+        a_extra in prop::collection::vec(any::<u64>(), 0..50),
+        b_extra in prop::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let mut a = Signature::new(cfg.clone());
+        let mut b = Signature::new(cfg);
+        a.insert(LineAddr(shared));
+        b.insert(LineAddr(shared));
+        for &l in &a_extra { a.insert(LineAddr(l)); }
+        for &l in &b_extra { b.insert(LineAddr(l)); }
+        prop_assert!(a.intersects(&b));
+    }
+}

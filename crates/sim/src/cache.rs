@@ -1,0 +1,506 @@
+//! The private L1 data cache with the TMESI state machine (paper Fig. 1).
+//!
+//! Each line carries the conventional MESI state plus the `T` bit that
+//! encodes the two PDI states (`TMI` = speculatively written, `TI` =
+//! speculatively read while threatened) and the `A` (alert-on-update)
+//! bit. Flash commit/abort is the paper's signature trick: commit
+//! clears every `T` bit simultaneously, turning `TMI → M` and `TI → I`;
+//! abort conditionally clears `M` bits first so `TMI → I`.
+//!
+//! Data handling: committed values live in [`crate::mem::Memory`]; a
+//! cache line entry carries a private data buffer only when it must
+//! diverge from memory — `TMI` (speculative new values) and `TI` (a
+//! snapshot of the pre-transaction value, which must stay readable even
+//! after a remote writer commits).
+
+use crate::mem::WORDS_PER_LINE;
+use flextm_sig::LineAddr;
+
+/// TMESI stable states (paper Fig. 1, state-encoding table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L1State {
+    /// Modified: sole owner, dirty.
+    M,
+    /// Exclusive: sole owner, clean.
+    E,
+    /// Shared.
+    S,
+    /// Transactional-MI: holds speculative (TStored) data invisible to
+    /// the rest of the machine; looks like `E` to the directory.
+    Tmi,
+    /// Transactional-I: holds a stale-but-consistent snapshot for local
+    /// TLoads of a line that a remote transaction has TStored; looks
+    /// like a conventional sharer to the directory.
+    Ti,
+}
+
+impl L1State {
+    /// True for the two PDI (speculative) states.
+    pub fn is_speculative(self) -> bool {
+        matches!(self, L1State::Tmi | L1State::Ti)
+    }
+
+    /// True if a local plain load can be satisfied without a request.
+    pub fn readable(self) -> bool {
+        matches!(self, L1State::M | L1State::E | L1State::S)
+    }
+
+    /// True if a local plain store can proceed without a request.
+    pub fn writable(self) -> bool {
+        matches!(self, L1State::M | L1State::E)
+    }
+}
+
+/// One L1 line: tag, state, alert bit, and (for speculative states) a
+/// private data buffer.
+#[derive(Debug, Clone)]
+pub struct LineEntry {
+    /// Which line this entry caches.
+    pub line: LineAddr,
+    /// TMESI state.
+    pub state: L1State,
+    /// Alert-on-update mark (AOU, paper §3.4).
+    pub a_bit: bool,
+    /// Private data: `Some` iff state is `Tmi` (speculative new values)
+    /// or `Ti` (pre-transaction snapshot).
+    pub data: Option<Box<[u64; WORDS_PER_LINE]>>,
+    /// LRU timestamp (higher = more recently used).
+    pub lru: u64,
+}
+
+impl LineEntry {
+    fn new(line: LineAddr, state: L1State, lru: u64) -> Self {
+        LineEntry {
+            line,
+            state,
+            a_bit: false,
+            data: None,
+            lru,
+        }
+    }
+}
+
+/// A set-associative L1 with a small fully-associative victim buffer.
+///
+/// The victim buffer (Table 3(a): 32 entries) holds lines evicted from
+/// the main array, *including TMI lines*; only when a TMI line falls out
+/// of the victim buffer too does it overflow to the OT. Setting the
+/// victim capacity to `usize::MAX` reproduces the §7.3 "unbounded victim
+/// buffer" ablation in which nothing ever overflows.
+#[derive(Debug)]
+pub struct L1Cache {
+    sets: Vec<Vec<LineEntry>>,
+    ways: usize,
+    victim: Vec<LineEntry>,
+    victim_cap: usize,
+    /// §7.3 ablation: TMI lines never leave the victim buffer (an
+    /// idealized unbounded speculative buffer), while non-speculative
+    /// lines still obey `victim_cap` so cache capacity is unchanged.
+    unbounded_tmi: bool,
+    tick: u64,
+}
+
+/// What fell out of the cache when room was made for a fill.
+#[derive(Debug, Clone)]
+pub enum Evicted {
+    /// Nothing was displaced.
+    None,
+    /// A clean or shared line left silently (E, S, TI — the directory
+    /// deliberately keeps stale sharer info; paper §4.1). The flag
+    /// reports whether the line was ALoaded, so the machine can deliver
+    /// the conservative capacity-eviction alert.
+    Silent(LineAddr, L1State, bool),
+    /// An M line left; its data is already in simulated memory, but the
+    /// machine charges a write-back. The flag reports the A bit.
+    WritebackM(LineAddr, bool),
+    /// A TMI line with its speculative data overflowed; the machine
+    /// must spill it to the overflow table.
+    OverflowTmi(LineAddr, Box<[u64; WORDS_PER_LINE]>),
+}
+
+impl L1Cache {
+    /// Creates an empty cache with `sets` sets of `ways` lines and a
+    /// `victim_cap`-entry victim buffer.
+    pub fn new(sets: usize, ways: usize, victim_cap: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        L1Cache {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            victim: Vec::new(),
+            victim_cap,
+            unbounded_tmi: false,
+            tick: 0,
+        }
+    }
+
+    /// Enables the idealized unbounded-TMI victim buffer (§7.3
+    /// ablation): speculative lines never overflow, everything else
+    /// keeps its normal capacity.
+    pub fn set_unbounded_tmi(&mut self, enabled: bool) {
+        self.unbounded_tmi = enabled;
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.index() as usize) & (self.sets.len() - 1)
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `line`, promoting a victim-buffer hit back into the main
+    /// array (which may displace another line). Returns a reference to
+    /// the entry if present, along with anything evicted by the swap.
+    pub fn probe(&mut self, line: LineAddr) -> Option<&mut LineEntry> {
+        let tick = self.bump();
+        let si = self.set_index(line);
+        if let Some(pos) = self.sets[si].iter().position(|e| e.line == line) {
+            self.sets[si][pos].lru = tick;
+            return Some(&mut self.sets[si][pos]);
+        }
+        if let Some(pos) = self.victim.iter().position(|e| e.line == line) {
+            // Victim hit: serve in place (cheaper than modeling the
+            // swap; the hit latency difference is charged by the
+            // machine).
+            self.victim[pos].lru = tick;
+            return Some(&mut self.victim[pos]);
+        }
+        None
+    }
+
+    /// Read-only lookup without LRU update (used by responders and
+    /// assertions).
+    pub fn peek(&self, line: LineAddr) -> Option<&LineEntry> {
+        let si = self.set_index(line);
+        self.sets[si]
+            .iter()
+            .find(|e| e.line == line)
+            .or_else(|| self.victim.iter().find(|e| e.line == line))
+    }
+
+    /// Mutable lookup without LRU update.
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut LineEntry> {
+        let si = self.set_index(line);
+        if let Some(pos) = self.sets[si].iter().position(|e| e.line == line) {
+            return Some(&mut self.sets[si][pos]);
+        }
+        self.victim.iter_mut().find(|e| e.line == line)
+    }
+
+    /// Installs `line` in `state`, returning whatever had to be evicted
+    /// to make room (possibly cascading through the victim buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already present (callers must transition
+    /// existing entries in place).
+    pub fn fill(&mut self, line: LineAddr, state: L1State) -> Vec<Evicted> {
+        assert!(
+            self.peek(line).is_none(),
+            "fill of already-present line {line}"
+        );
+        let tick = self.bump();
+        let si = self.set_index(line);
+        let mut evicted = Vec::new();
+        if self.sets[si].len() >= self.ways {
+            // Evict LRU from the set into the victim buffer. ALoaded
+            // lines are pinned (the simplified one-line AOU of §3.4
+            // keeps the marked line resident); fall back to evicting a
+            // marked line — with the conservative alert — only when the
+            // whole set is marked.
+            let lru_pos = Self::pick_victim(&self.sets[si]);
+            let victim_line = self.sets[si].swap_remove(lru_pos);
+            if self.victim_cap == 0 && !(self.unbounded_tmi && victim_line.state == L1State::Tmi)
+            {
+                evicted.push(Self::classify_eviction(victim_line));
+            } else {
+                let non_tmi_resident = self
+                    .victim
+                    .iter()
+                    .filter(|e| e.state != L1State::Tmi)
+                    .count();
+                let over_cap = if self.unbounded_tmi {
+                    // Only non-speculative residents count against the
+                    // capacity; TMI lines park for free (idealized).
+                    non_tmi_resident >= self.victim_cap.max(1)
+                        && victim_line.state != L1State::Tmi
+                } else {
+                    self.victim.len() >= self.victim_cap
+                };
+                if over_cap {
+                    let candidates: Vec<usize> = if self.unbounded_tmi {
+                        (0..self.victim.len())
+                            .filter(|&i| self.victim[i].state != L1State::Tmi)
+                            .collect()
+                    } else {
+                        (0..self.victim.len()).collect()
+                    };
+                    let vb_pos = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&i| !self.victim[i].a_bit)
+                        .min_by_key(|&i| self.victim[i].lru)
+                        .or_else(|| {
+                            candidates.iter().copied().min_by_key(|&i| self.victim[i].lru)
+                        })
+                        .expect("victim buffer over capacity implies a candidate");
+                    let out = self.victim.swap_remove(vb_pos);
+                    evicted.push(Self::classify_eviction(out));
+                }
+                self.victim.push(victim_line);
+            }
+        }
+        self.sets[si].push(LineEntry::new(line, state, tick));
+        evicted
+    }
+
+    /// LRU victim among unmarked lines; a marked (ALoaded) line only
+    /// when nothing else is available.
+    fn pick_victim(entries: &[LineEntry]) -> usize {
+        entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.a_bit)
+            .min_by_key(|(_, e)| e.lru)
+            .or_else(|| entries.iter().enumerate().min_by_key(|(_, e)| e.lru))
+            .map(|(i, _)| i)
+            .expect("victim selection on empty entry list")
+    }
+
+    fn classify_eviction(e: LineEntry) -> Evicted {
+        match e.state {
+            L1State::M => Evicted::WritebackM(e.line, e.a_bit),
+            L1State::Tmi => Evicted::OverflowTmi(
+                e.line,
+                e.data.expect("TMI line must carry speculative data"),
+            ),
+            s => Evicted::Silent(e.line, s, e.a_bit),
+        }
+    }
+
+    /// Removes `line` entirely (invalidation). Returns the removed
+    /// entry, if any.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineEntry> {
+        let si = self.set_index(line);
+        if let Some(pos) = self.sets[si].iter().position(|e| e.line == line) {
+            return Some(self.sets[si].swap_remove(pos));
+        }
+        if let Some(pos) = self.victim.iter().position(|e| e.line == line) {
+            return Some(self.victim.swap_remove(pos));
+        }
+        None
+    }
+
+    /// Flash commit (CAS-Commit success): every `TMI` line reverts to
+    /// `M` and every `TI` line to `I`. Returns the speculative data of
+    /// all TMI lines so the machine can propagate it to memory, plus
+    /// whether any A-bit line was touched.
+    pub fn flash_commit(&mut self) -> Vec<(LineAddr, Box<[u64; WORDS_PER_LINE]>)> {
+        let mut committed = Vec::new();
+        for entry in self.iter_all_mut() {
+            if entry.state == L1State::Tmi {
+                let data = entry.data.take().expect("TMI line must carry data");
+                committed.push((entry.line, data));
+                entry.state = L1State::M;
+            }
+            // TI entries are dropped below.
+        }
+        self.drop_state(L1State::Ti);
+        committed.sort_by_key(|(l, _)| l.index());
+        committed
+    }
+
+    /// Flash abort (CAS-Commit failure or explicit abort): `TMI` and
+    /// `TI` lines are dropped. Returns the number of lines discarded.
+    pub fn flash_abort(&mut self) -> usize {
+        let tmi = self.drop_state(L1State::Tmi);
+        let ti = self.drop_state(L1State::Ti);
+        tmi + ti
+    }
+
+    fn drop_state(&mut self, state: L1State) -> usize {
+        let mut n = 0;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|e| e.state != state);
+            n += before - set.len();
+        }
+        let before = self.victim.len();
+        self.victim.retain(|e| e.state != state);
+        n + before - self.victim.len()
+    }
+
+    /// Drains every TMI line (cache and victim buffer) with its data —
+    /// the context-switch path that merges speculative state into the
+    /// overflow table (paper §5).
+    pub fn drain_tmi(&mut self) -> Vec<(LineAddr, Box<[u64; WORDS_PER_LINE]>)> {
+        let mut out = Vec::new();
+        let mut take = |set: &mut Vec<LineEntry>| {
+            let mut i = 0;
+            while i < set.len() {
+                if set[i].state == L1State::Tmi {
+                    let e = set.swap_remove(i);
+                    out.push((e.line, e.data.expect("TMI line must carry data")));
+                } else {
+                    i += 1;
+                }
+            }
+        };
+        for set in &mut self.sets {
+            take(set);
+        }
+        take(&mut self.victim);
+        out.sort_by_key(|(l, _)| l.index());
+        out
+    }
+
+    /// Iterates over every resident entry (main array + victim buffer).
+    pub fn iter_all(&self) -> impl Iterator<Item = &LineEntry> {
+        self.sets.iter().flatten().chain(self.victim.iter())
+    }
+
+    fn iter_all_mut(&mut self) -> impl Iterator<Item = &mut LineEntry> {
+        self.sets.iter_mut().flatten().chain(self.victim.iter_mut())
+    }
+
+    /// Number of resident lines in a given state.
+    pub fn count_state(&self, state: L1State) -> usize {
+        self.iter_all().filter(|e| e.state == state).count()
+    }
+
+    /// Total resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum::<usize>() + self.victim.len()
+    }
+
+    /// True if no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr(i)
+    }
+
+    fn cache() -> L1Cache {
+        L1Cache::new(4, 2, 2)
+    }
+
+    #[test]
+    fn fill_then_probe_hits() {
+        let mut c = cache();
+        assert!(c.fill(line(1), L1State::S).is_empty());
+        assert_eq!(c.probe(line(1)).unwrap().state, L1State::S);
+        assert!(c.probe(line(2)).is_none());
+    }
+
+    #[test]
+    fn eviction_goes_through_victim_buffer() {
+        let mut c = L1Cache::new(1, 1, 1);
+        c.fill(line(0), L1State::S);
+        let ev = c.fill(line(1), L1State::S); // 0 -> victim buffer
+        assert!(ev.is_empty());
+        assert!(c.probe(line(0)).is_some(), "line 0 should be in the VB");
+        let ev = c.fill(line(2), L1State::S); // 1 -> VB, 0 falls out
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(ev[0], Evicted::Silent(l, L1State::S, false) if l == line(0)));
+    }
+
+    #[test]
+    fn m_eviction_is_writeback() {
+        let mut c = L1Cache::new(1, 1, 0);
+        c.fill(line(0), L1State::M);
+        let ev = c.fill(line(1), L1State::S);
+        assert!(matches!(ev[0], Evicted::WritebackM(l, false) if l == line(0)));
+    }
+
+    #[test]
+    fn tmi_eviction_is_overflow_with_data() {
+        let mut c = L1Cache::new(1, 1, 0);
+        c.fill(line(0), L1State::Tmi);
+        c.peek_mut(line(0)).unwrap().data = Some(Box::new([7; WORDS_PER_LINE]));
+        let ev = c.fill(line(1), L1State::S);
+        match &ev[0] {
+            Evicted::OverflowTmi(l, data) => {
+                assert_eq!(*l, line(0));
+                assert_eq!(data[0], 7);
+            }
+            other => panic!("expected overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flash_commit_promotes_tmi_and_drops_ti() {
+        let mut c = cache();
+        c.fill(line(1), L1State::Tmi);
+        c.peek_mut(line(1)).unwrap().data = Some(Box::new([3; WORDS_PER_LINE]));
+        c.fill(line(2), L1State::Ti);
+        c.fill(line(3), L1State::S);
+        let committed = c.flash_commit();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].0, line(1));
+        assert_eq!(c.peek(line(1)).unwrap().state, L1State::M);
+        assert!(c.peek(line(2)).is_none(), "TI must drop on commit");
+        assert_eq!(c.peek(line(3)).unwrap().state, L1State::S);
+    }
+
+    #[test]
+    fn flash_abort_drops_both_speculative_states() {
+        let mut c = cache();
+        c.fill(line(1), L1State::Tmi);
+        c.peek_mut(line(1)).unwrap().data = Some(Box::new([0; WORDS_PER_LINE]));
+        c.fill(line(2), L1State::Ti);
+        c.fill(line(3), L1State::M);
+        assert_eq!(c.flash_abort(), 2);
+        assert!(c.peek(line(1)).is_none());
+        assert!(c.peek(line(2)).is_none());
+        assert_eq!(c.peek(line(3)).unwrap().state, L1State::M);
+    }
+
+    #[test]
+    fn drain_tmi_takes_cache_and_victim_copies() {
+        let mut c = L1Cache::new(1, 1, 2);
+        c.fill(line(0), L1State::Tmi);
+        c.peek_mut(line(0)).unwrap().data = Some(Box::new([1; WORDS_PER_LINE]));
+        c.fill(line(1), L1State::Tmi); // pushes 0 into VB
+        c.peek_mut(line(1)).unwrap().data = Some(Box::new([2; WORDS_PER_LINE]));
+        let drained = c.drain_tmi();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(c.count_state(L1State::Tmi), 0);
+    }
+
+    #[test]
+    fn invalidate_removes_from_victim_too() {
+        let mut c = L1Cache::new(1, 1, 2);
+        c.fill(line(0), L1State::S);
+        c.fill(line(1), L1State::S);
+        assert!(c.invalidate(line(0)).is_some());
+        assert!(c.peek(line(0)).is_none());
+    }
+
+    #[test]
+    fn unbounded_victim_buffer_never_overflows() {
+        let mut c = L1Cache::new(1, 1, usize::MAX);
+        let mut evictions = 0;
+        for i in 0..100 {
+            evictions += c.fill(line(i), L1State::Tmi).len();
+            c.peek_mut(line(i)).unwrap().data = Some(Box::new([0; WORDS_PER_LINE]));
+        }
+        assert_eq!(evictions, 0);
+        assert_eq!(c.count_state(L1State::Tmi), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-present")]
+    fn double_fill_panics() {
+        let mut c = cache();
+        c.fill(line(1), L1State::S);
+        c.fill(line(1), L1State::E);
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-processor hardware state: L1 + signatures + CSTs + AOU + OT
+//! controller registers (the dark-lined boxes of paper Fig. 2).
+
+use crate::cache::L1Cache;
+use crate::config::MachineConfig;
+use crate::cst::CstSet;
+use crate::mem::Addr;
+use crate::ot::OverflowTable;
+use crate::stats::CoreStats;
+use flextm_sig::{LineAddr, Signature};
+
+/// Why an alert was delivered to a core (the trap payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertCause {
+    /// An ALoaded line (the transaction status word) was invalidated by
+    /// a remote write — the AOU mechanism of §3.4.
+    AouInvalidated(LineAddr),
+    /// A non-transactional access conflicted with this core's
+    /// transaction, which the hardware aborted to preserve strong
+    /// isolation (§3.5).
+    StrongIsolation(LineAddr),
+    /// FlexWatcher: a local read hit the activated watch signature (§8).
+    WatchRead(Addr),
+    /// FlexWatcher: a local write hit the activated watch signature.
+    WatchWrite(Addr),
+}
+
+/// All FlexTM-specific state attached to one processor.
+#[derive(Debug)]
+pub struct CoreState {
+    /// Private L1 data cache (with victim buffer).
+    pub l1: L1Cache,
+    /// Read signature of the current transaction.
+    pub rsig: Signature,
+    /// Write signature of the current transaction.
+    pub wsig: Signature,
+    /// The three conflict summary tables.
+    pub csts: CstSet,
+    /// The single ALoaded line (FlexTM needs AOU only for the TSW, so
+    /// we use the simplified one-line mechanism of Spear et al. that
+    /// the paper adopts in §3.4).
+    pub aloaded: Option<LineAddr>,
+    /// A pending alert, delivered at the next instruction boundary.
+    pub alert_pending: Option<AlertCause>,
+    /// Overflow table, allocated by the software handler on first
+    /// overflow.
+    pub ot: Option<OverflowTable>,
+    /// FlexWatcher: local loads are tested against `rsig` when set.
+    pub watch_reads: bool,
+    /// FlexWatcher: local stores are tested against `wsig` when set.
+    pub watch_writes: bool,
+    /// Performance counters.
+    pub stats: CoreStats,
+}
+
+impl CoreState {
+    /// Fresh core state per `config`.
+    pub fn new(config: &MachineConfig) -> Self {
+        let mut l1 = L1Cache::new(config.l1_sets(), config.l1_ways, config.victim_entries);
+        l1.set_unbounded_tmi(config.unbounded_tmi_victim);
+        CoreState {
+            l1,
+            rsig: Signature::new(config.signature.clone()),
+            wsig: Signature::new(config.signature.clone()),
+            csts: CstSet::new(),
+            aloaded: None,
+            alert_pending: None,
+            ot: None,
+            watch_reads: false,
+            watch_writes: false,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Posts an alert unless one is already pending (the hardware has a
+    /// single alert line; the first cause wins, which is fine because
+    /// every cause ends in a software abort/retry).
+    pub fn post_alert(&mut self, cause: AlertCause) {
+        if self.alert_pending.is_none() {
+            self.alert_pending = Some(cause);
+        }
+        self.stats.alerts += 1;
+    }
+
+    /// Hardware abort: revert all TMI and TI lines, clear signatures and
+    /// CSTs, and discard a speculative OT. Used by the explicit abort
+    /// instruction, failed CAS-Commit, and strong-isolation kills.
+    /// Returns the number of speculative lines dropped.
+    pub fn hardware_abort(&mut self) -> usize {
+        let dropped = self.l1.flash_abort();
+        self.rsig.clear();
+        self.wsig.clear();
+        self.csts.clear_all();
+        let ot_dropped = match self.ot.take() {
+            Some(ot) if !ot.is_committed() => ot.len(),
+            Some(ot) => {
+                // A committed OT is no longer speculative; it has
+                // already been drained into memory.
+                drop(ot);
+                0
+            }
+            None => 0,
+        };
+        dropped + ot_dropped
+    }
+
+    /// True if this core's signatures say it may have *written* `line`
+    /// transactionally (L1 TMI, evicted-to-OT, or signature false
+    /// positive — all treated identically, as in the paper).
+    pub fn writes_line(&self, line: LineAddr) -> bool {
+        self.wsig.contains(line)
+    }
+
+    /// True if this core's signatures say it may have *read* `line`
+    /// transactionally.
+    pub fn reads_line(&self, line: LineAddr) -> bool {
+        self.rsig.contains(line)
+    }
+
+    /// True if a transaction appears to be in flight (any transactional
+    /// footprint at all).
+    pub fn has_tx_footprint(&self) -> bool {
+        !self.rsig.is_empty() || !self.wsig.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::L1State;
+
+    fn core() -> CoreState {
+        CoreState::new(&MachineConfig::small_test())
+    }
+
+    #[test]
+    fn first_alert_wins() {
+        let mut c = core();
+        c.post_alert(AlertCause::AouInvalidated(LineAddr(1)));
+        c.post_alert(AlertCause::StrongIsolation(LineAddr(2)));
+        assert_eq!(
+            c.alert_pending,
+            Some(AlertCause::AouInvalidated(LineAddr(1)))
+        );
+        assert_eq!(c.stats.alerts, 2);
+    }
+
+    #[test]
+    fn hardware_abort_clears_everything() {
+        let mut c = core();
+        c.rsig.insert(LineAddr(1));
+        c.wsig.insert(LineAddr(2));
+        c.csts.set(crate::cst::CstKind::WW, 3);
+        c.l1.fill(LineAddr(2), L1State::Tmi);
+        c.l1.peek_mut(LineAddr(2)).unwrap().data =
+            Some(Box::new([0; crate::mem::WORDS_PER_LINE]));
+        let dropped = c.hardware_abort();
+        assert_eq!(dropped, 1);
+        assert!(c.rsig.is_empty());
+        assert!(c.wsig.is_empty());
+        assert!(c.csts.is_clear());
+        assert!(!c.has_tx_footprint());
+    }
+
+    #[test]
+    fn footprint_tracks_signatures() {
+        let mut c = core();
+        assert!(!c.has_tx_footprint());
+        c.rsig.insert(LineAddr(9));
+        assert!(c.has_tx_footprint());
+        assert!(c.reads_line(LineAddr(9)));
+        assert!(!c.writes_line(LineAddr(9)));
+    }
+}

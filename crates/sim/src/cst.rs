@@ -1,0 +1,194 @@
+//! Conflict summary tables (paper §3.2) — FlexTM's central contribution.
+//!
+//! Each processor keeps three bit-vector registers, one bit per *other*
+//! processor:
+//!
+//! * `R-W` — a local read has conflicted with a remote write,
+//! * `W-R` — a local write has conflicted with a remote read,
+//! * `W-W` — a local write has conflicted with a remote write.
+//!
+//! Conflicts are tracked processor-by-processor rather than
+//! line-by-line, which is what lets a lazy transaction commit with
+//! purely local work: abort everyone in `W-R | W-W`, then CAS-Commit.
+
+/// Which of the three conflict summary tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CstKind {
+    /// Local read vs. remote write.
+    RW,
+    /// Local write vs. remote read.
+    WR,
+    /// Local write vs. remote write.
+    WW,
+}
+
+/// The three CST registers of one processor. Bits index processors
+/// (full-map bit vector, as wide as the machine; we use `u64` which
+/// bounds the simulator at 64 cores — the paper's machines have ≤16).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CstSet {
+    rw: u64,
+    wr: u64,
+    ww: u64,
+}
+
+impl CstSet {
+    /// All-clear CSTs.
+    pub fn new() -> Self {
+        CstSet::default()
+    }
+
+    fn reg(&self, kind: CstKind) -> u64 {
+        match kind {
+            CstKind::RW => self.rw,
+            CstKind::WR => self.wr,
+            CstKind::WW => self.ww,
+        }
+    }
+
+    fn reg_mut(&mut self, kind: CstKind) -> &mut u64 {
+        match kind {
+            CstKind::RW => &mut self.rw,
+            CstKind::WR => &mut self.wr,
+            CstKind::WW => &mut self.ww,
+        }
+    }
+
+    /// Sets the bit for `proc` in table `kind` (hardware action on a
+    /// conflicting coherence request/response).
+    pub fn set(&mut self, kind: CstKind, proc: usize) {
+        assert!(proc < 64, "CST supports at most 64 processors");
+        *self.reg_mut(kind) |= 1 << proc;
+    }
+
+    /// Clears the bit for `proc` in table `kind` (software "clean
+    /// myself out of X's W-R" optimization, paper §3.6).
+    pub fn clear_bit(&mut self, kind: CstKind, proc: usize) {
+        *self.reg_mut(kind) &= !(1 << proc);
+    }
+
+    /// Reads table `kind` as a bit mask.
+    pub fn read(&self, kind: CstKind) -> u64 {
+        self.reg(kind)
+    }
+
+    /// The atomic copy-and-clear instruction (like SPARC `clruw`) used
+    /// by the lazy `Commit()` routine (Fig. 3, line 1).
+    pub fn copy_and_clear(&mut self, kind: CstKind) -> u64 {
+        std::mem::take(self.reg_mut(kind))
+    }
+
+    /// True if the processor has a write conflict outstanding — the
+    /// condition under which hardware fails a CAS-Commit (paper §3.6).
+    pub fn has_write_conflicts(&self) -> bool {
+        self.wr | self.ww != 0
+    }
+
+    /// `W-R | W-W`: the set of transactions a lazy committer must abort.
+    pub fn write_conflict_mask(&self) -> u64 {
+        self.wr | self.ww
+    }
+
+    /// Number of distinct processors this one has conflicted with, in
+    /// any table — the metric of the Fig. 4 "conflicting transactions"
+    /// side table.
+    pub fn conflicting_procs(&self) -> u32 {
+        (self.rw | self.wr | self.ww).count_ones()
+    }
+
+    /// Clears all three tables (abort / commit / context-switch save).
+    pub fn clear_all(&mut self) {
+        *self = CstSet::default();
+    }
+
+    /// True if all three tables are zero.
+    pub fn is_clear(&self) -> bool {
+        self.rw == 0 && self.wr == 0 && self.ww == 0
+    }
+
+    /// Raw (rw, wr, ww) snapshot — software-visible for virtualization.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (self.rw, self.wr, self.ww)
+    }
+
+    /// Restores a snapshot taken with [`CstSet::snapshot`].
+    pub fn restore(&mut self, snap: (u64, u64, u64)) {
+        self.rw = snap.0;
+        self.wr = snap.1;
+        self.ww = snap.2;
+    }
+}
+
+/// Iterator over the processor ids set in a CST mask.
+pub fn procs_in_mask(mask: u64) -> impl Iterator<Item = usize> {
+    (0..64usize).filter(move |i| mask >> i & 1 == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_read() {
+        let mut c = CstSet::new();
+        c.set(CstKind::WW, 3);
+        c.set(CstKind::WW, 5);
+        c.set(CstKind::RW, 1);
+        assert_eq!(c.read(CstKind::WW), 0b101000);
+        assert_eq!(c.read(CstKind::RW), 0b10);
+        assert_eq!(c.read(CstKind::WR), 0);
+    }
+
+    #[test]
+    fn copy_and_clear_is_atomic_take() {
+        let mut c = CstSet::new();
+        c.set(CstKind::WR, 2);
+        assert_eq!(c.copy_and_clear(CstKind::WR), 0b100);
+        assert_eq!(c.read(CstKind::WR), 0);
+    }
+
+    #[test]
+    fn write_conflicts_ignore_rw() {
+        let mut c = CstSet::new();
+        c.set(CstKind::RW, 7);
+        assert!(!c.has_write_conflicts());
+        c.set(CstKind::WW, 7);
+        assert!(c.has_write_conflicts());
+        assert_eq!(c.write_conflict_mask(), 1 << 7);
+    }
+
+    #[test]
+    fn conflicting_procs_unions_tables() {
+        let mut c = CstSet::new();
+        c.set(CstKind::RW, 0);
+        c.set(CstKind::WR, 0);
+        c.set(CstKind::WW, 1);
+        assert_eq!(c.conflicting_procs(), 2);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut c = CstSet::new();
+        c.set(CstKind::RW, 4);
+        c.set(CstKind::WW, 9);
+        let snap = c.snapshot();
+        let mut d = CstSet::new();
+        d.restore(snap);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn mask_iteration() {
+        let procs: Vec<usize> = procs_in_mask(0b1010).collect();
+        assert_eq!(procs, vec![1, 3]);
+    }
+
+    #[test]
+    fn clear_bit_only_touches_one() {
+        let mut c = CstSet::new();
+        c.set(CstKind::WR, 1);
+        c.set(CstKind::WR, 2);
+        c.clear_bit(CstKind::WR, 1);
+        assert_eq!(c.read(CstKind::WR), 0b100);
+    }
+}

@@ -1,0 +1,250 @@
+//! The shared L2 cache and its embedded directory (paper §3.3, Fig. 2).
+//!
+//! The base protocol is an SGI-Origin-style directory MESI held at the
+//! L2 tags, with FlexTM's one directory extension: **multiple owners**.
+//! A line may simultaneously be speculatively owned (TMI) by several
+//! processors; the directory tracks them like sharers and pings all of
+//! them on other requests.
+//!
+//! Directory information is imprecise by design: E/S/TI lines are
+//! evicted silently from L1s, so the sharer list only over-approximates
+//! (that over-approximation is what guarantees signatures keep seeing
+//! the coherence requests they need for conflict detection). When an L2
+//! eviction discards directory state, a later miss recreates the sharer
+//! list by querying all L1 signatures — the analogue of LogTM's sticky
+//! bits (§4.1).
+
+use flextm_sig::{LineAddr, SignatureConfig, SummarySignature};
+use std::collections::HashMap;
+
+/// Directory state for one line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Bitmap of processors that may hold the line in S, E or TI.
+    pub sharers: u64,
+    /// Bitmap of processors that may hold the line in M or TMI.
+    /// Conventional MESI has at most one; TMI allows several.
+    pub owners: u64,
+}
+
+impl DirEntry {
+    /// True if no processor is recorded as caching the line.
+    pub fn is_idle(&self) -> bool {
+        self.sharers == 0 && self.owners == 0
+    }
+}
+
+/// The shared L2: a set-associative tag array (for hit/miss timing and
+/// directory-info lifetime) plus the directory map and the
+/// context-switch summary state (§5).
+#[derive(Debug)]
+pub struct L2 {
+    sets: Vec<Vec<(LineAddr, u64)>>, // (line, lru)
+    ways: usize,
+    tick: u64,
+    dir: HashMap<LineAddr, DirEntry>,
+    /// Summary of descheduled transactions' read sets, keyed by
+    /// software thread id.
+    pub read_summary: SummarySignature,
+    /// Summary of descheduled transactions' write sets.
+    pub write_summary: SummarySignature,
+    /// "Cores Summary" register: processors on which transactions are
+    /// currently descheduled.
+    pub cores_summary: u64,
+}
+
+/// Result of an L2 reference: hit, or miss with an indication of
+/// whether directory info was lost and had to be recreated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Ref {
+    /// Tag hit; directory entry intact.
+    Hit,
+    /// Tag miss; memory must be consulted and, if the line had live
+    /// directory state evicted earlier, the machine must rebuild the
+    /// sharer list from L1 signatures.
+    Miss,
+}
+
+impl L2 {
+    /// Creates the L2 with `sets` sets of `ways`.
+    pub fn new(sets: usize, ways: usize, sig_config: SignatureConfig) -> Self {
+        assert!(sets.is_power_of_two(), "L2 set count must be a power of two");
+        L2 {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            tick: 0,
+            dir: HashMap::new(),
+            read_summary: SummarySignature::new(sig_config.clone()),
+            write_summary: SummarySignature::new(sig_config),
+            cores_summary: 0,
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.index() as usize) & (self.sets.len() - 1)
+    }
+
+    /// References `line` in the tag array, allocating on miss and
+    /// evicting LRU (which discards that victim's directory entry).
+    pub fn reference(&mut self, line: LineAddr) -> L2Ref {
+        self.tick += 1;
+        let tick = self.tick;
+        let si = self.set_index(line);
+        if let Some(e) = self.sets[si].iter_mut().find(|(l, _)| *l == line) {
+            e.1 = tick;
+            return L2Ref::Hit;
+        }
+        if self.sets[si].len() >= self.ways {
+            let pos = self.sets[si]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("set non-empty");
+            let (victim, _) = self.sets[si].swap_remove(pos);
+            // Processor sharer information is lost on L2 eviction
+            // (paper §4.1); it will be recreated from signatures.
+            self.dir.remove(&victim);
+        }
+        self.sets[si].push((line, tick));
+        L2Ref::Miss
+    }
+
+    /// The directory entry for `line`, creating an idle one on demand.
+    pub fn dir_mut(&mut self, line: LineAddr) -> &mut DirEntry {
+        self.dir.entry(line).or_default()
+    }
+
+    /// Read-only directory view (idle default if absent).
+    pub fn dir(&self, line: LineAddr) -> DirEntry {
+        self.dir.get(&line).copied().unwrap_or_default()
+    }
+
+    /// True if the directory currently has (possibly stale) info for
+    /// `line` — i.e. no signature-based recreation is needed.
+    pub fn has_dir_info(&self, line: LineAddr) -> bool {
+        self.dir.contains_key(&line)
+    }
+
+    /// Installs a recreated directory entry (after querying L1
+    /// signatures on an L2 miss).
+    pub fn install_dir(&mut self, line: LineAddr, entry: DirEntry) {
+        self.dir.insert(line, entry);
+    }
+
+    /// Removes processor `proc` from `line`'s sharers unless the §5
+    /// retention rule applies: if `proc` is in the Cores Summary and the
+    /// line hits the read or write summary signature, the directory
+    /// refrains, so the L1 keeps receiving coherence traffic for lines
+    /// accessed by its descheduled transactions.
+    pub fn drop_sharer(&mut self, line: LineAddr, proc: usize) {
+        let retained = self.cores_summary >> proc & 1 == 1
+            && (self.read_summary.contains(line) || self.write_summary.contains(line));
+        if retained {
+            return;
+        }
+        if let Some(e) = self.dir.get_mut(&line) {
+            e.sharers &= !(1 << proc);
+        }
+    }
+
+    /// Removes `proc` from `line`'s owners (same retention rule).
+    pub fn drop_owner(&mut self, line: LineAddr, proc: usize) {
+        let retained = self.cores_summary >> proc & 1 == 1
+            && (self.read_summary.contains(line) || self.write_summary.contains(line));
+        if retained {
+            return;
+        }
+        if let Some(e) = self.dir.get_mut(&line) {
+            e.owners &= !(1 << proc);
+        }
+    }
+
+    /// Tests an L1 miss against the summary signatures; returns the
+    /// descheduled thread ids whose saved read or write signature hits
+    /// (the requesting processor traps to software when non-empty).
+    pub fn summary_check(&self, line: LineAddr, is_write: bool) -> Vec<usize> {
+        let mut hits = self.write_summary.hit_contributors(line);
+        if is_write {
+            // A write conflicts with suspended readers too.
+            for t in self.read_summary.hit_contributors(line) {
+                if !hits.contains(&t) {
+                    hits.push(t);
+                }
+            }
+        }
+        hits.sort_unstable();
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextm_sig::Signature;
+
+    fn l2() -> L2 {
+        L2::new(4, 2, SignatureConfig::paper_default())
+    }
+
+    #[test]
+    fn reference_hit_after_miss() {
+        let mut c = l2();
+        assert_eq!(c.reference(LineAddr(1)), L2Ref::Miss);
+        assert_eq!(c.reference(LineAddr(1)), L2Ref::Hit);
+    }
+
+    #[test]
+    fn eviction_discards_directory_entry() {
+        let mut c = L2::new(1, 1, SignatureConfig::paper_default());
+        c.reference(LineAddr(1));
+        c.dir_mut(LineAddr(1)).sharers = 0b11;
+        c.reference(LineAddr(2)); // evicts line 1
+        assert!(!c.has_dir_info(LineAddr(1)));
+        assert_eq!(c.dir(LineAddr(1)), DirEntry::default());
+    }
+
+    #[test]
+    fn drop_sharer_respects_cores_summary() {
+        let mut c = l2();
+        c.reference(LineAddr(7));
+        c.dir_mut(LineAddr(7)).sharers = 0b10;
+        // Thread 9 descheduled on proc 1 with line 7 in its read set.
+        let mut rsig = Signature::new(SignatureConfig::paper_default());
+        rsig.insert(LineAddr(7));
+        c.read_summary.install(9, rsig);
+        c.cores_summary = 0b10;
+        c.drop_sharer(LineAddr(7), 1);
+        assert_eq!(c.dir(LineAddr(7)).sharers, 0b10, "sticky sharer dropped");
+        // Without the summary hit the sharer is dropped normally.
+        c.drop_sharer(LineAddr(8), 1); // no dir info: no-op
+        c.cores_summary = 0;
+        c.drop_sharer(LineAddr(7), 1);
+        assert_eq!(c.dir(LineAddr(7)).sharers, 0);
+    }
+
+    #[test]
+    fn summary_check_reports_writers_to_readers_and_both_to_writers() {
+        let mut c = l2();
+        let cfg = SignatureConfig::paper_default();
+        let mut rsig = Signature::new(cfg.clone());
+        rsig.insert(LineAddr(5));
+        let mut wsig = Signature::new(cfg);
+        wsig.insert(LineAddr(6));
+        c.read_summary.install(1, rsig);
+        c.write_summary.install(2, wsig);
+
+        // Read miss: conflicts only with suspended writers.
+        assert_eq!(c.summary_check(LineAddr(5), false), Vec::<usize>::new());
+        assert_eq!(c.summary_check(LineAddr(6), false), vec![2]);
+        // Write miss: conflicts with readers and writers.
+        assert_eq!(c.summary_check(LineAddr(5), true), vec![1]);
+        assert_eq!(c.summary_check(LineAddr(6), true), vec![2]);
+    }
+
+    #[test]
+    fn dir_entry_idle() {
+        assert!(DirEntry::default().is_idle());
+        assert!(!DirEntry { sharers: 1, owners: 0 }.is_idle());
+    }
+}

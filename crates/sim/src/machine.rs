@@ -1,0 +1,352 @@
+//! The machine: shared simulator state plus the deterministic
+//! conservative-lockstep scheduler that worker threads synchronize
+//! through.
+//!
+//! Every simulated thread runs on its own OS thread, but each simulated
+//! operation (load, store, CAS-Commit, `work`, …) is a blocking call
+//! into the machine. The machine services exactly one operation at a
+//! time, always the one issued by the live core with the smallest local
+//! clock (ties broken by core id), and only once *every* live core has
+//! an operation posted. The result is a total order of operations that
+//! depends only on the program and its seeds — fully deterministic and
+//! repeatable, which the test suite relies on.
+
+use crate::config::MachineConfig;
+use crate::core_state::CoreState;
+use crate::l2::L2;
+use crate::mem::Memory;
+use crate::stats::{EventLog, MachineReport};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// All mutable simulator state, guarded by the machine's lock.
+#[derive(Debug)]
+pub struct SimState {
+    /// Machine configuration (immutable after construction).
+    pub config: MachineConfig,
+    /// Committed memory contents.
+    pub mem: Memory,
+    /// Per-processor hardware state.
+    pub cores: Vec<CoreState>,
+    /// Shared L2 + directory + summary signatures.
+    pub l2: L2,
+    /// Optional protocol event log.
+    pub log: EventLog,
+    /// Per-core local clocks, in cycles.
+    pub clocks: Vec<u64>,
+    pending: Vec<bool>,
+    live: Vec<bool>,
+}
+
+impl SimState {
+    fn new(config: MachineConfig) -> Self {
+        let cores = (0..config.cores).map(|_| CoreState::new(&config)).collect();
+        let l2 = L2::new(config.l2_sets(), config.l2_ways, config.signature.clone());
+        let log = EventLog::new(config.record_events);
+        let clocks = vec![0; config.cores];
+        let pending = vec![false; config.cores];
+        let live = vec![false; config.cores];
+        SimState {
+            config,
+            mem: Memory::new(),
+            cores,
+            l2,
+            log,
+            clocks,
+            pending,
+            live,
+        }
+    }
+
+    /// The core whose posted operation should execute now: the minimum
+    /// (clock, id) among posted cores, but only when every live core
+    /// has posted (conservative lockstep).
+    fn runnable(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for i in 0..self.live.len() {
+            if self.live[i] {
+                if !self.pending[i] {
+                    return None; // someone is still computing natively
+                }
+                match best {
+                    None => best = Some(i),
+                    Some(b) if self.clocks[i] < self.clocks[b] => best = Some(i),
+                    _ => {}
+                }
+            }
+        }
+        best
+    }
+
+    /// Builds a standalone state for unit tests that drive the protocol
+    /// directly, without the thread scheduler.
+    #[doc(hidden)]
+    pub fn for_tests(config: MachineConfig) -> Self {
+        Self::new(config)
+    }
+
+    /// Advances `core`'s clock by `cycles`.
+    pub fn advance(&mut self, core: usize, cycles: u64) {
+        self.clocks[core] += cycles;
+    }
+
+    /// The current local time of `core`.
+    pub fn now(&self, core: usize) -> u64 {
+        self.clocks[core]
+    }
+}
+
+pub(crate) struct Shared {
+    state: Mutex<SimState>,
+    cvs: Vec<Condvar>,
+}
+
+/// The simulated chip multiprocessor.
+///
+/// # Example
+///
+/// ```
+/// use flextm_sim::{Addr, Machine, MachineConfig};
+///
+/// let machine = Machine::new(MachineConfig::small_test());
+/// let results = machine.run(2, |proc| {
+///     let a = Addr::new(0x1000 + proc.core() as u64 * 0x1000);
+///     proc.store(a, 7);
+///     proc.load(a)
+/// });
+/// assert_eq!(results, vec![7, 7]);
+/// ```
+pub struct Machine {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine").finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds a machine per `config`.
+    pub fn new(config: MachineConfig) -> Self {
+        let cvs = (0..config.cores).map(|_| Condvar::new()).collect();
+        Machine {
+            shared: Arc::new(Shared {
+                state: Mutex::new(SimState::new(config)),
+                cvs,
+            }),
+        }
+    }
+
+    /// Direct access to simulator state. Only valid while no `run` is
+    /// in progress — used to build data structures in memory before a
+    /// run and to inspect state afterwards. Accesses made here cost no
+    /// simulated time and leave caches untouched.
+    pub fn with_state<R>(&self, f: impl FnOnce(&mut SimState) -> R) -> R {
+        let mut st = self.shared.state.lock().expect("simulator lock poisoned");
+        assert!(
+            st.live.iter().all(|&l| !l),
+            "with_state called while a run is in progress"
+        );
+        f(&mut st)
+    }
+
+    /// Runs `threads` simulated threads to completion; thread `i`
+    /// executes `body(ProcHandle(core i))`. Returns each thread's
+    /// result, in core order. Core clocks continue from any previous
+    /// run (take a [`Machine::report`] before and after to measure a
+    /// region).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` exceeds the configured core count or a body
+    /// panics (the panic is propagated).
+    pub fn run<R: Send>(
+        &self,
+        threads: usize,
+        body: impl Fn(crate::proc::ProcHandle) -> R + Sync,
+    ) -> Vec<R> {
+        {
+            let mut st = self.shared.state.lock().expect("simulator lock poisoned");
+            assert!(
+                threads <= st.config.cores,
+                "asked for {threads} threads on a {}-core machine",
+                st.config.cores
+            );
+            assert!(
+                st.live.iter().all(|&l| !l),
+                "Machine::run is not reentrant"
+            );
+            for i in 0..threads {
+                st.live[i] = true;
+                st.pending[i] = false;
+            }
+        }
+        let shared = &self.shared;
+        let body = &body;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let proc = crate::proc::ProcHandle::new(Arc::clone(shared), i);
+                        let result = body(proc);
+                        // Deregister and wake whoever can now run.
+                        let mut st = shared.state.lock().expect("simulator lock poisoned");
+                        st.live[i] = false;
+                        st.pending[i] = false;
+                        if let Some(next) = st.runnable() {
+                            shared.cvs[next].notify_one();
+                        }
+                        result
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulated thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Aligns every core's local clock to the current global maximum —
+    /// a synchronization barrier between measurement phases.
+    ///
+    /// Threads that did different amounts of work in a previous
+    /// [`Machine::run`] leave their cores' clocks skewed; a later run
+    /// would then execute them in disjoint simulated-time windows,
+    /// making serialized work look concurrent. Call this between a
+    /// warm-up phase and a timed phase (the workload harness does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a run is in progress.
+    pub fn align_clocks(&self) {
+        let mut st = self.shared.state.lock().expect("simulator lock poisoned");
+        assert!(
+            st.live.iter().all(|&l| !l),
+            "align_clocks called while a run is in progress"
+        );
+        let max = st.clocks.iter().copied().max().unwrap_or(0);
+        st.clocks.fill(max);
+    }
+
+    /// Snapshot of counters and clocks.
+    pub fn report(&self) -> MachineReport {
+        let st = self.shared.state.lock().expect("simulator lock poisoned");
+        MachineReport {
+            core_cycles: st.clocks.clone(),
+            cores: st.cores.iter().map(|c| c.stats).collect(),
+        }
+    }
+}
+
+pub(crate) use gate::sync_op;
+
+mod gate {
+    use super::Shared;
+    use crate::machine::SimState;
+    use std::sync::Arc;
+
+    /// Executes one simulated operation for `core`: posts it, waits for
+    /// its turn under the lockstep rule, runs `f` atomically against the
+    /// state, then wakes the next runnable core.
+    pub(crate) fn sync_op<R>(
+        shared: &Arc<Shared>,
+        core: usize,
+        f: impl FnOnce(&mut SimState) -> R,
+    ) -> R {
+        let mut st = shared.state.lock().expect("simulator lock poisoned");
+        st.pending[core] = true;
+        // Posting may have completed the "all live cores posted"
+        // condition for someone else.
+        loop {
+            match st.runnable() {
+                Some(c) if c == core => break,
+                Some(c) => {
+                    shared.cvs[c].notify_one();
+                    st = shared.cvs[core].wait(st).expect("simulator lock poisoned");
+                }
+                None => {
+                    st = shared.cvs[core].wait(st).expect("simulator lock poisoned");
+                }
+            }
+        }
+        let r = f(&mut st);
+        st.pending[core] = false;
+        if let Some(next) = st.runnable() {
+            shared.cvs[next].notify_one();
+        }
+        r
+    }
+}
+
+pub(crate) type SharedMachine = Arc<Shared>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let m = Machine::new(MachineConfig::small_test());
+        let out = m.run(1, |proc| {
+            proc.work(10);
+            proc.core()
+        });
+        assert_eq!(out, vec![0]);
+        assert_eq!(m.report().core_cycles[0], 10);
+    }
+
+    #[test]
+    fn operations_execute_in_clock_order() {
+        // Core 0 does cheap ops, core 1 one expensive op; the cheap ops
+        // must interleave deterministically before core 1's clock is
+        // passed.
+        let m = Machine::new(MachineConfig::small_test());
+        m.run(2, |proc| {
+            if proc.core() == 0 {
+                for _ in 0..10 {
+                    proc.work(1);
+                }
+            } else {
+                proc.work(100);
+            }
+        });
+        let r = m.report();
+        assert_eq!(r.core_cycles[0], 10);
+        assert_eq!(r.core_cycles[1], 100);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let m = Machine::new(MachineConfig::small_test());
+            m.with_state(|st| st.mem.write(crate::mem::Addr::new(0x1000), 5));
+            m.run(3, |proc| {
+                let a = crate::mem::Addr::new(0x1000);
+                let v = proc.load(a);
+                proc.store(a.offset(1 + proc.core() as u64), v + proc.core() as u64);
+                proc.work(proc.core() as u64 * 3);
+            });
+            let r = m.report();
+            (r.core_cycles.clone(), r.total(|c| c.l1_misses))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "threads on a")]
+    fn too_many_threads_panics() {
+        let m = Machine::new(MachineConfig::small_test());
+        m.run(99, |_| {});
+    }
+
+    #[test]
+    fn sequential_runs_accumulate_clocks() {
+        let m = Machine::new(MachineConfig::small_test());
+        m.run(1, |p| p.work(5));
+        m.run(2, |p| p.work(7));
+        let r = m.report();
+        assert_eq!(r.core_cycles[0], 12);
+        assert_eq!(r.core_cycles[1], 7);
+    }
+}

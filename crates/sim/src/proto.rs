@@ -1,0 +1,1260 @@
+//! The TMESI coherence protocol engine (paper Fig. 1 and §3.3–§3.5).
+//!
+//! Each simulated operation executes atomically against [`SimState`]:
+//! the requester's L1 is probed; on a miss the request travels to the
+//! L2/directory, which forwards to remote L1s; responders test their
+//! signatures and answer `Shared` / `Threatened` / `Exposed-Read` /
+//! `Invalidated`; CSTs are updated on both sides; and the requester's
+//! clock is charged the whole round trip.
+//!
+//! Protocol decisions that refine the paper (documented here because
+//! tests pin them down):
+//!
+//! * Coherence transactions are atomic — no transient states. GEMS
+//!   models the races; they do not change which accesses conflict.
+//! * The request encodes transactionality (TLoad vs Load), so CSTs are
+//!   only updated when the *requester* is transactional. Responder-side
+//!   conflict detection is identical either way.
+//! * A `Threatened` TGETX response also reports an `Exposed-Read` hit
+//!   when both signatures match, so both CST pairs get set in one round
+//!   trip.
+//! * On a CAS-Commit that fails because `W-R|W-W ≠ 0` the speculative
+//!   state is *retained* (the lazy `Commit()` loop of Fig. 3 re-runs
+//!   and commits it); only a failure due to a changed TSW (the
+//!   transaction was aborted) reverts speculative lines.
+
+use crate::cache::{Evicted, L1State};
+use crate::core_state::AlertCause;
+use crate::cst::{procs_in_mask, CstKind};
+use crate::machine::SimState;
+use crate::mem::{Addr, WORDS_PER_LINE};
+use crate::ot::OverflowTable;
+use crate::stats::Event;
+use flextm_sig::LineAddr;
+
+/// The four access flavours of the simulator's "ISA".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Non-transactional load.
+    Load,
+    /// Non-transactional store.
+    Store,
+    /// Transactional load (`TLoad`): updates `Rsig`, may cache in `TI`.
+    TLoad,
+    /// Transactional store (`TStore`): updates `Wsig`, buffers in `TMI`.
+    TStore,
+}
+
+impl AccessKind {
+    fn is_tx(self) -> bool {
+        matches!(self, AccessKind::TLoad | AccessKind::TStore)
+    }
+    fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store | AccessKind::TStore)
+    }
+}
+
+/// The kind of conflict a requester learned about from a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// The responder has speculatively written the line (`Wsig` hit).
+    Threatened,
+    /// The responder has speculatively read the line (`Rsig` hit).
+    ExposedRead,
+}
+
+/// One conflict edge reported to the requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict {
+    /// The remote processor involved.
+    pub with: usize,
+    /// What the response said.
+    pub kind: ConflictKind,
+}
+
+/// Result of a memory access.
+#[derive(Debug, Clone, Default)]
+pub struct AccessResult {
+    /// The value read (loads) or the value just written (stores).
+    pub value: u64,
+    /// Conflicts reported by responders, in processor order.
+    pub conflicts: Vec<Conflict>,
+    /// Descheduled thread ids whose summary signature hit — the
+    /// requester must trap to the software handler (§5).
+    pub summary_hits: Vec<usize>,
+    /// The request was NACKed at least once against a committing OT.
+    pub nacked: bool,
+}
+
+/// Outcome of the CAS-Commit instruction (§3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasCommitOutcome {
+    /// TSW swapped; all TMI lines flash-committed, TI dropped,
+    /// signatures and CSTs cleared. The payload is the number of lines
+    /// made globally visible (L1 + OT).
+    Committed(usize),
+    /// The TSW no longer held the expected value — the transaction was
+    /// aborted remotely. Speculative state has been reverted.
+    LostTsw(u64),
+    /// `W-R | W-W` was non-zero: new conflicts arrived. Speculative
+    /// state is retained; software re-runs the Commit() loop.
+    ConflictsPending {
+        /// Snapshot of `W-R` at the failed commit.
+        wr: u64,
+        /// Snapshot of `W-W` at the failed commit.
+        ww: u64,
+    },
+}
+
+impl SimState {
+    fn me_bit(me: usize) -> u64 {
+        1 << me
+    }
+
+    /// Reads the architecturally-correct local value: private (TMI/TI)
+    /// data if the line carries any, committed memory otherwise.
+    fn local_value(&self, me: usize, addr: Addr) -> u64 {
+        if let Some(e) = self.cores[me].l1.peek(addr.line()) {
+            if let Some(d) = &e.data {
+                return d[addr.word_in_line()];
+            }
+        }
+        self.mem.read(addr)
+    }
+
+    /// Installs `line` in `me`'s L1, spilling whatever gets displaced.
+    /// Returns extra latency incurred by write-backs / OT traps.
+    fn fill_line(
+        &mut self,
+        me: usize,
+        line: LineAddr,
+        state: L1State,
+        data: Option<Box<[u64; WORDS_PER_LINE]>>,
+    ) -> u64 {
+        let mut extra = 0;
+        let evicted = self.cores[me].l1.fill(line, state);
+        if let Some(d) = data {
+            self.cores[me]
+                .l1
+                .peek_mut(line)
+                .expect("line was just filled")
+                .data = Some(d);
+        }
+        for ev in evicted {
+            match ev {
+                Evicted::None => {}
+                Evicted::Silent(l, _, a_bit) => {
+                    if a_bit {
+                        // Conservative AOU: losing the marked line must
+                        // alert, or a remote write could go unnoticed.
+                        self.cores[me].post_alert(AlertCause::AouInvalidated(l));
+                    }
+                }
+                Evicted::WritebackM(l, a_bit) => {
+                    self.cores[me].stats.writebacks += 1;
+                    extra += self.config.l2_latency;
+                    if a_bit {
+                        self.cores[me].post_alert(AlertCause::AouInvalidated(l));
+                    }
+                }
+                Evicted::OverflowTmi(l, d) => {
+                    extra += self.overflow_tmi(me, l, d);
+                }
+            }
+        }
+        extra
+    }
+
+    /// Spills a TMI line to the overflow table, allocating one (via the
+    /// modelled software trap) if needed. Returns the latency charged.
+    fn overflow_tmi(&mut self, me: usize, line: LineAddr, data: Box<[u64; WORDS_PER_LINE]>) -> u64 {
+        let mut extra = 0;
+        let needs_alloc = match &self.cores[me].ot {
+            None => true,
+            Some(ot) => ot.is_committed(),
+        };
+        if needs_alloc {
+            self.cores[me].ot = Some(OverflowTable::new(self.config.signature.clone()));
+            extra += self.config.ot_alloc_trap_latency;
+        }
+        self.cores[me]
+            .ot
+            .as_mut()
+            .expect("OT allocated above")
+            .insert(line, data);
+        self.cores[me].stats.overflows += 1;
+        self.log.push(Event::Overflow { core: me, line });
+        extra + self.config.l2_latency // controller write-back to VM
+    }
+
+    /// Executes one memory access for core `me`. `store_val` is written
+    /// on `Store`/`TStore` and ignored otherwise.
+    pub fn access(&mut self, me: usize, addr: Addr, kind: AccessKind, store_val: u64) -> AccessResult {
+        let line = addr.line();
+        match kind {
+            AccessKind::Load => self.cores[me].stats.loads += 1,
+            AccessKind::Store => self.cores[me].stats.stores += 1,
+            AccessKind::TLoad => self.cores[me].stats.tloads += 1,
+            AccessKind::TStore => self.cores[me].stats.tstores += 1,
+        }
+
+        // FlexWatcher (§8): activated signatures screen local accesses.
+        if kind == AccessKind::Load && self.cores[me].watch_reads && self.cores[me].rsig.contains(line)
+        {
+            self.cores[me].post_alert(AlertCause::WatchRead(addr));
+        }
+        if kind == AccessKind::Store
+            && self.cores[me].watch_writes
+            && self.cores[me].wsig.contains(line)
+        {
+            self.cores[me].post_alert(AlertCause::WatchWrite(addr));
+        }
+
+        let mut latency = self.config.l1_latency;
+        let mut result = AccessResult::default();
+
+        // Transactional accesses update the access signatures up front.
+        if kind == AccessKind::TLoad {
+            self.cores[me].rsig.insert(line);
+        } else if kind == AccessKind::TStore {
+            self.cores[me].wsig.insert(line);
+        }
+
+        let state = self.cores[me].l1.probe(line).map(|e| e.state);
+        let served_locally = match (kind, state) {
+            // ------- local hits -------
+            (AccessKind::Load, Some(s)) if s.readable() => true,
+            (AccessKind::Load, Some(L1State::Tmi)) => true, // own speculative data
+            (AccessKind::TLoad, Some(_)) => true,           // every TMESI state serves TLoad
+            (AccessKind::Store, Some(L1State::M)) => {
+                self.mem.write(addr, store_val);
+                true
+            }
+            (AccessKind::Store, Some(L1State::E)) => {
+                // Silent E→M upgrade.
+                self.cores[me].l1.peek_mut(line).expect("probed").state = L1State::M;
+                self.mem.write(addr, store_val);
+                true
+            }
+            (AccessKind::Store, Some(L1State::Tmi)) => {
+                // A plain (escape) store to a locally speculative line
+                // updates both views: the speculative buffer (so the
+                // transaction keeps reading it) and committed memory
+                // (so the non-transactional write survives an abort).
+                // Unlike M/E hits it is NOT purely local: TMI coexists
+                // with remote transactional readers by design, and a
+                // non-transactional write must still abort them (§3.5).
+                latency += self.escape_store_tmi(me, addr, store_val);
+                true
+            }
+            (AccessKind::TStore, Some(L1State::Tmi)) => {
+                let e = self.cores[me].l1.peek_mut(line).expect("probed");
+                e.data.as_mut().expect("TMI carries data")[addr.word_in_line()] = store_val;
+                true
+            }
+            (AccessKind::TStore, Some(L1State::M)) => {
+                // First TStore to an M line: write the committed version
+                // back to L2 so later Loads elsewhere see it, then go
+                // speculative in place.
+                self.cores[me].stats.writebacks += 1;
+                latency += self.config.l2_latency;
+                let snapshot = self.mem.read_line(line);
+                let e = self.cores[me].l1.peek_mut(line).expect("probed");
+                e.state = L1State::Tmi;
+                let mut d = Box::new(snapshot);
+                d[addr.word_in_line()] = store_val;
+                e.data = Some(d);
+                true
+            }
+            (AccessKind::TStore, Some(L1State::E)) => {
+                // E→TMI is silent: the directory already forwards all
+                // requests to the exclusive owner.
+                let snapshot = self.mem.read_line(line);
+                let e = self.cores[me].l1.peek_mut(line).expect("probed");
+                e.state = L1State::Tmi;
+                let mut d = Box::new(snapshot);
+                d[addr.word_in_line()] = store_val;
+                e.data = Some(d);
+                true
+            }
+            _ => false,
+        };
+
+        if served_locally {
+            self.cores[me].stats.l1_hits += 1;
+            result.value = match kind {
+                AccessKind::Store | AccessKind::TStore => store_val,
+                _ => self.local_value(me, addr),
+            };
+            self.advance(me, latency);
+            self.cores[me].stats.mem_cycles += latency;
+            return result;
+        }
+
+        // ------- L1 miss path -------
+        self.cores[me].stats.l1_misses += 1;
+
+        // Local overflow-table lookaside (§4.1): an overflowed TMI line
+        // is still ours; fetch it back instead of asking the directory.
+        let ot_hit = self.cores[me]
+            .ot
+            .as_ref()
+            .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains(line));
+        if ot_hit {
+            if let Some(entry) = self
+                .cores[me]
+                .ot
+                .as_mut()
+                .expect("checked above")
+                .lookup(line)
+            {
+                self.cores[me].stats.ot_hits += 1;
+                self.log.push(Event::OtFill { core: me, line });
+                latency += self.config.ot_lookup_latency;
+                latency += self.fill_line(me, line, L1State::Tmi, Some(entry.data));
+                let e = self.cores[me].l1.peek_mut(line).expect("just filled");
+                match kind {
+                    AccessKind::TStore => {
+                        e.data.as_mut().expect("TMI data")[addr.word_in_line()] = store_val;
+                        result.value = store_val;
+                    }
+                    AccessKind::Store => {
+                        e.data.as_mut().expect("TMI data")[addr.word_in_line()] = store_val;
+                        self.mem.write(addr, store_val);
+                        result.value = store_val;
+                    }
+                    _ => {
+                        result.value = e.data.as_ref().expect("TMI data")[addr.word_in_line()];
+                    }
+                }
+                self.advance(me, latency);
+                self.cores[me].stats.mem_cycles += latency;
+                return result;
+            }
+            // Osig false positive: charge the wasted tag walk and fall
+            // through to the directory.
+            latency += self.config.ot_lookup_latency;
+        }
+
+        latency += self.request(me, addr, kind, store_val, &mut result);
+        self.advance(me, latency);
+        self.cores[me].stats.mem_cycles += latency;
+        result
+    }
+
+    /// The directory request machinery shared by misses and upgrades.
+    /// Returns the latency of the request (beyond the L1 probe).
+    fn request(
+        &mut self,
+        me: usize,
+        addr: Addr,
+        kind: AccessKind,
+        store_val: u64,
+        result: &mut AccessResult,
+    ) -> u64 {
+        let line = addr.line();
+        let mut latency = self.config.l2_round_trip();
+
+        // L2 tag reference; a miss costs memory and may require
+        // directory recreation from L1 signatures (§4.1 sticky-style).
+        if self.l2.reference(line) == crate::l2::L2Ref::Miss {
+            self.cores[me].stats.l2_misses += 1;
+            latency += self.config.mem_latency;
+            if !self.l2.has_dir_info(line) {
+                latency += self.config.forward_penalty();
+                let entry = self.recreate_dir(line);
+                self.l2.install_dir(line, entry);
+                self.log.push(Event::DirRecreated { line });
+            }
+        }
+
+        // Summary-signature check for descheduled transactions (§5).
+        let summary_hits = self.l2.summary_check(line, kind.is_write());
+        if !summary_hits.is_empty() {
+            self.log.push(Event::SummaryHit {
+                core: me,
+                line,
+                threads: summary_hits.clone(),
+            });
+            result.summary_hits = summary_hits;
+        }
+
+        // NACK window: a committed OT still copying back holds off all
+        // requests for its lines (§4.1).
+        let now = self.now(me);
+        let mut nacks: Vec<(usize, u64)> = Vec::new();
+        for (o, core) in self.cores.iter().enumerate() {
+            if o == me {
+                continue;
+            }
+            if let Some(ot) = &core.ot {
+                if ot.nacks_at(now + latency, line) {
+                    nacks.push((o, ot.copyback_done_at()));
+                }
+            }
+        }
+        for (o, done) in nacks {
+            self.cores[me].stats.nacks += 1;
+            result.nacked = true;
+            self.log.push(Event::Nack {
+                requester: me,
+                owner: o,
+                line,
+            });
+            let wait = done.saturating_sub(now);
+            latency = latency.max(wait) + self.config.nack_retry_latency;
+        }
+
+        match kind {
+            AccessKind::Load | AccessKind::TLoad => {
+                latency += self.handle_gets(me, addr, kind, result)
+            }
+            AccessKind::Store => latency += self.handle_getx(me, addr, store_val, result),
+            AccessKind::TStore => latency += self.handle_tgetx(me, addr, store_val, result),
+        }
+        latency
+    }
+
+    /// Rebuilds a directory entry by querying every L1's signatures and
+    /// tags (the price of losing directory info to an L2 eviction).
+    fn recreate_dir(&mut self, line: LineAddr) -> crate::l2::DirEntry {
+        let mut entry = crate::l2::DirEntry::default();
+        for (i, core) in self.cores.iter().enumerate() {
+            let l1_state = core.l1.peek(line).map(|e| e.state);
+            let owner = matches!(
+                l1_state,
+                Some(L1State::M) | Some(L1State::E) | Some(L1State::Tmi)
+            ) || core.wsig.contains(line)
+                || core
+                    .ot
+                    .as_ref()
+                    .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains(line));
+            let sharer = matches!(l1_state, Some(L1State::S) | Some(L1State::Ti))
+                || core.rsig.contains(line);
+            if owner {
+                entry.owners |= 1 << i;
+            }
+            if sharer {
+                entry.sharers |= 1 << i;
+            }
+        }
+        entry
+    }
+
+    /// True if processor `o` must answer `Threatened` for `line`.
+    fn threatens(&self, o: usize, line: LineAddr) -> bool {
+        matches!(
+            self.cores[o].l1.peek(line).map(|e| e.state),
+            Some(L1State::Tmi)
+        ) || self.cores[o].writes_line(line)
+            || self.cores[o]
+                .ot
+                .as_ref()
+                .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains(line))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_conflict(
+        &mut self,
+        me: usize,
+        other: usize,
+        requester_cst: CstKind,
+        responder_cst: CstKind,
+        kind: ConflictKind,
+        line: LineAddr,
+        result: &mut AccessResult,
+    ) {
+        self.cores[me].csts.set(requester_cst, other);
+        self.cores[other].csts.set(responder_cst, me);
+        match kind {
+            ConflictKind::Threatened => self.cores[me].stats.threatened_seen += 1,
+            ConflictKind::ExposedRead => self.cores[me].stats.exposed_seen += 1,
+        }
+        result.conflicts.push(Conflict { with: other, kind });
+        self.log.push(Event::Conflict {
+            requester: me,
+            responder: other,
+            requester_cst,
+            line,
+        });
+    }
+
+    fn handle_gets(
+        &mut self,
+        me: usize,
+        addr: Addr,
+        kind: AccessKind,
+        result: &mut AccessResult,
+    ) -> u64 {
+        let line = addr.line();
+        let dir = self.l2.dir(line);
+        let mut latency = 0;
+        let mut forwarded = false;
+        let mut threatened = false;
+
+        for o in procs_in_mask(dir.owners & !Self::me_bit(me)) {
+            let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
+            if l1_state == Some(L1State::M) || l1_state == Some(L1State::E) {
+                // Exclusive owner downgrades to S (M additionally
+                // flushes); both end up sharers.
+                forwarded = true;
+                if l1_state == Some(L1State::M) {
+                    self.cores[o].stats.writebacks += 1;
+                }
+                self.cores[o].l1.peek_mut(line).expect("peeked").state = L1State::S;
+                let d = self.l2.dir_mut(line);
+                d.owners &= !(1 << o);
+                d.sharers |= 1 << o;
+            } else if self.threatens(o, line) {
+                forwarded = true;
+                threatened = true;
+                if kind.is_tx() {
+                    // Local read vs remote write: requester R-W,
+                    // responder W-R.
+                    self.record_conflict(
+                        me,
+                        o,
+                        CstKind::RW,
+                        CstKind::WR,
+                        ConflictKind::Threatened,
+                        line,
+                        result,
+                    );
+                } else {
+                    self.cores[me].stats.threatened_seen += 1;
+                    result.conflicts.push(Conflict {
+                        with: o,
+                        kind: ConflictKind::Threatened,
+                    });
+                }
+            } else {
+                // Stale owner bit (committed/aborted long ago).
+                self.l2.drop_owner(line, o);
+            }
+        }
+        if forwarded {
+            latency += self.config.forward_penalty();
+        }
+
+        // A write-summary hit means a *descheduled* transaction has
+        // speculatively written this line: the L2 responds Threatened on
+        // the hardware's behalf, so the reader caches in TI (never S) —
+        // otherwise a stale S copy would survive the suspended writer's
+        // eventual commit (§5).
+        let threatened = threatened || !result.summary_hits.is_empty();
+
+        result.value = self.mem.read(addr);
+        match kind {
+            AccessKind::TLoad => {
+                let fill_state = if threatened { L1State::Ti } else { L1State::S };
+                let data = if threatened {
+                    // Snapshot the committed value: it must stay
+                    // readable even if the remote writer commits first.
+                    Some(Box::new(self.mem.read_line(line)))
+                } else {
+                    None
+                };
+                // Upgrade-in-place never happens for TLoad misses (any
+                // cached state would have hit), so fill directly.
+                latency += self.fill_line(me, line, fill_state, data);
+                self.l2.dir_mut(line).sharers |= Self::me_bit(me);
+            }
+            AccessKind::Load => {
+                if !threatened && self.cores[me].l1.peek(line).is_none() {
+                    let dir_now = self.l2.dir(line);
+                    let alone = dir_now.sharers & !Self::me_bit(me) == 0
+                        && dir_now.owners & !Self::me_bit(me) == 0;
+                    if alone {
+                        // Exclusive grant: track as owner (E silently
+                        // upgrades to M).
+                        latency += self.fill_line(me, line, L1State::E, None);
+                        self.l2.dir_mut(line).owners |= Self::me_bit(me);
+                    } else {
+                        latency += self.fill_line(me, line, L1State::S, None);
+                        self.l2.dir_mut(line).sharers |= Self::me_bit(me);
+                    }
+                }
+                // Threatened ⇒ the non-transactional read stays
+                // uncached (§3.5): value comes from memory, no fill.
+            }
+            _ => unreachable!("handle_gets only serves loads"),
+        }
+        latency
+    }
+
+    /// Invalidates `line` at `s` if present, firing AOU if marked.
+    fn invalidate_at(&mut self, s: usize, line: LineAddr) {
+        if let Some(entry) = self.cores[s].l1.invalidate(line) {
+            if entry.a_bit {
+                self.cores[s].post_alert(AlertCause::AouInvalidated(line));
+                self.log.push(Event::Alert { core: s, line });
+            }
+            if self.cores[s].aloaded == Some(line) {
+                self.cores[s].aloaded = None;
+            }
+        }
+    }
+
+    fn strong_isolation_abort(&mut self, victim: usize, requester: usize, line: LineAddr) {
+        // The write is about to take exclusive ownership: any
+        // non-speculative copy the victim holds must invalidate too.
+        self.invalidate_at(victim, line);
+        self.cores[victim].hardware_abort();
+        self.cores[victim].stats.tx_aborts += 1;
+        self.cores[victim].post_alert(AlertCause::StrongIsolation(line));
+        self.log.push(Event::StrongIsolationAbort {
+            victim,
+            requester,
+            line,
+        });
+        // The victim no longer holds any speculative claim on the line.
+        let d = self.l2.dir_mut(line);
+        d.owners &= !(1 << victim);
+        d.sharers &= !(1 << victim);
+    }
+
+    /// Plain store hitting the local TMI copy: sweep remote
+    /// transactional readers/writers (strong isolation) through the
+    /// directory, then update both the speculative and committed views.
+    fn escape_store_tmi(&mut self, me: usize, addr: Addr, store_val: u64) -> u64 {
+        let line = addr.line();
+        let dir = self.l2.dir(line);
+        let mut latency = self.config.l2_round_trip();
+        let mut forwarded = false;
+        for o in procs_in_mask((dir.owners | dir.sharers) & !Self::me_bit(me)) {
+            forwarded = true;
+            let transactional = self.threatens(o, line) || self.cores[o].reads_line(line);
+            if transactional {
+                self.strong_isolation_abort(o, me, line);
+            } else {
+                if matches!(
+                    self.cores[o].l1.peek(line).map(|e| e.state),
+                    Some(L1State::M)
+                ) {
+                    self.cores[o].stats.writebacks += 1;
+                }
+                self.invalidate_at(o, line);
+                self.l2.drop_sharer(line, o);
+                self.l2.drop_owner(line, o);
+            }
+        }
+        if forwarded {
+            latency += self.config.forward_penalty();
+        }
+        let e = self.cores[me].l1.peek_mut(line).expect("TMI hit");
+        e.data.as_mut().expect("TMI carries data")[addr.word_in_line()] = store_val;
+        self.mem.write(addr, store_val);
+        latency
+    }
+
+    fn handle_getx(
+        &mut self,
+        me: usize,
+        addr: Addr,
+        store_val: u64,
+        result: &mut AccessResult,
+    ) -> u64 {
+        let line = addr.line();
+        let dir = self.l2.dir(line);
+        let mut latency = 0;
+        let mut forwarded = false;
+
+        for o in procs_in_mask((dir.owners | dir.sharers) & !Self::me_bit(me)) {
+            forwarded = true;
+            let transactional = self.threatens(o, line) || self.cores[o].reads_line(line);
+            if transactional {
+                // §3.5 strong isolation: a non-transactional write
+                // aborts every transactional reader/writer of the line.
+                self.strong_isolation_abort(o, me, line);
+            } else {
+                if matches!(
+                    self.cores[o].l1.peek(line).map(|e| e.state),
+                    Some(L1State::M)
+                ) {
+                    self.cores[o].stats.writebacks += 1;
+                }
+                self.invalidate_at(o, line);
+                self.l2.drop_sharer(line, o);
+                self.l2.drop_owner(line, o);
+            }
+        }
+        if forwarded {
+            latency += self.config.forward_penalty();
+        }
+
+        // Acquire M locally (upgrade in place if we held S/E/TI).
+        match self.cores[me].l1.peek_mut(line) {
+            Some(e) => {
+                e.state = L1State::M;
+                e.data = None;
+            }
+            None => latency += self.fill_line(me, line, L1State::M, None),
+        }
+        let d = self.l2.dir_mut(line);
+        d.owners |= Self::me_bit(me);
+        d.sharers &= !Self::me_bit(me);
+        self.mem.write(addr, store_val);
+        result.value = store_val;
+        latency
+    }
+
+    fn handle_tgetx(
+        &mut self,
+        me: usize,
+        addr: Addr,
+        store_val: u64,
+        result: &mut AccessResult,
+    ) -> u64 {
+        let line = addr.line();
+        let dir = self.l2.dir(line);
+        let mut latency = 0;
+        let mut forwarded = false;
+
+        for o in procs_in_mask(dir.owners & !Self::me_bit(me)) {
+            let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
+            if self.threatens(o, line) {
+                // Speculative co-writer: both record W-W; owner retains
+                // its TMI copy (multiple owners).
+                forwarded = true;
+                self.record_conflict(
+                    me,
+                    o,
+                    CstKind::WW,
+                    CstKind::WW,
+                    ConflictKind::Threatened,
+                    line,
+                    result,
+                );
+                if self.cores[o].reads_line(line) {
+                    // Piggybacked Exposed-Read: they also read it.
+                    self.record_conflict(
+                        me,
+                        o,
+                        CstKind::WR,
+                        CstKind::RW,
+                        ConflictKind::ExposedRead,
+                        line,
+                        result,
+                    );
+                }
+            } else if l1_state == Some(L1State::M) || l1_state == Some(L1State::E) {
+                // Exclusive owner: flush (if dirty) + invalidate. If it
+                // also *read* the line transactionally, record the
+                // Exposed-Read and keep it sticky as a sharer so later
+                // requests (e.g. a strong-isolation store) still reach
+                // it.
+                forwarded = true;
+                if l1_state == Some(L1State::M) {
+                    self.cores[o].stats.writebacks += 1;
+                }
+                self.invalidate_at(o, line);
+                let d = self.l2.dir_mut(line);
+                d.owners &= !(1 << o);
+                if self.cores[o].reads_line(line) {
+                    self.l2.dir_mut(line).sharers |= 1 << o;
+                    self.record_conflict(
+                        me,
+                        o,
+                        CstKind::WR,
+                        CstKind::RW,
+                        ConflictKind::ExposedRead,
+                        line,
+                        result,
+                    );
+                }
+            } else if self.cores[o].reads_line(line) {
+                // Stale owner bit but a live transactional reader:
+                // conflict + sticky demotion to sharer.
+                forwarded = true;
+                let d = self.l2.dir_mut(line);
+                d.owners &= !(1 << o);
+                d.sharers |= 1 << o;
+                self.record_conflict(
+                    me,
+                    o,
+                    CstKind::WR,
+                    CstKind::RW,
+                    ConflictKind::ExposedRead,
+                    line,
+                    result,
+                );
+            } else {
+                self.l2.drop_owner(line, o);
+            }
+        }
+
+        for s in procs_in_mask(dir.sharers & !Self::me_bit(me)) {
+            forwarded = true;
+            if self.cores[s].reads_line(line) {
+                // Exposed-Read: requester W-R, responder R-W.
+                self.record_conflict(
+                    me,
+                    s,
+                    CstKind::WR,
+                    CstKind::RW,
+                    ConflictKind::ExposedRead,
+                    line,
+                    result,
+                );
+            }
+            if self.cores[s].writes_line(line)
+                && !procs_in_mask(dir.owners).any(|o| o == s)
+            {
+                // Writer whose line was silently displaced: still W-W.
+                self.record_conflict(
+                    me,
+                    s,
+                    CstKind::WW,
+                    CstKind::WW,
+                    ConflictKind::Threatened,
+                    line,
+                    result,
+                );
+            }
+            self.invalidate_at(s, line);
+            // Stickiness (§4.1 rationale): a transactional reader whose
+            // copy we just invalidated must keep receiving coherence
+            // requests for this line — a later non-transactional write
+            // still has to find and abort it. Only non-transactional
+            // sharers are dropped.
+            if !self.cores[s].reads_line(line) && !self.cores[s].writes_line(line) {
+                self.l2.drop_sharer(line, s);
+            }
+        }
+        if forwarded {
+            latency += self.config.forward_penalty();
+        }
+
+        // Become a (possibly additional) owner with speculative data.
+        let snapshot = self.mem.read_line(line);
+        let mut data = Box::new(snapshot);
+        data[addr.word_in_line()] = store_val;
+        match self.cores[me].l1.peek_mut(line) {
+            Some(e) => {
+                e.state = L1State::Tmi;
+                e.data = Some(data);
+            }
+            None => latency += self.fill_line(me, line, L1State::Tmi, Some(data)),
+        }
+        let d = self.l2.dir_mut(line);
+        d.owners |= Self::me_bit(me);
+        d.sharers &= !Self::me_bit(me);
+        result.value = store_val;
+        latency
+    }
+
+    /// Plain atomic compare-and-swap (the instruction transactions use
+    /// to abort each other's status words). Returns the old value.
+    pub fn cas(&mut self, me: usize, addr: Addr, expected: u64, new: u64) -> (u64, AccessResult) {
+        let old = self.peek_word(addr);
+        let store_val = if old == expected { new } else { old };
+        let result = self.access(me, addr, AccessKind::Store, store_val);
+        (old, result)
+    }
+
+    /// Reads a word with full architectural semantics but zero timing
+    /// (used inside composite instructions).
+    fn peek_word(&self, addr: Addr) -> u64 {
+        // The committed value is authoritative for non-speculative data
+        // such as TSWs; TSWs are never TStored.
+        self.mem.read(addr)
+    }
+
+    /// The CAS-Commit instruction (§3.6): atomically swap the TSW and
+    /// flash-commit or revert the speculative state.
+    pub fn cas_commit(&mut self, me: usize, tsw: Addr, expected: u64, new: u64) -> CasCommitOutcome {
+        let old = self.peek_word(tsw);
+        if old != expected {
+            // Aborted remotely: revert speculative state.
+            let _ = self.access(me, tsw, AccessKind::Load, 0);
+            self.cores[me].stats.failed_commits += 1;
+            let dropped = self.cores[me].hardware_abort();
+            let _ = dropped;
+            self.clear_aou(me);
+            self.cores[me].stats.tx_aborts += 1;
+            self.log.push(Event::CasCommit {
+                core: me,
+                success: false,
+            });
+            return CasCommitOutcome::LostTsw(old);
+        }
+        if self.cores[me].csts.has_write_conflicts() {
+            let (_, wr, ww) = self.cores[me].csts.snapshot();
+            self.cores[me].stats.failed_commits += 1;
+            self.log.push(Event::CasCommit {
+                core: me,
+                success: false,
+            });
+            return CasCommitOutcome::ConflictsPending { wr, ww };
+        }
+
+        // Success: swap the TSW through the normal exclusive path…
+        let _ = self.access(me, tsw, AccessKind::Store, new);
+        // …then flash-commit all speculative state.
+        let committed = self.cores[me].l1.flash_commit();
+        let mut lines = committed.len();
+        for (l, data) in &committed {
+            self.mem.write_line(*l, data);
+        }
+        let now = self.now(me);
+        let per_line = self.config.ot_copyback_per_line;
+        if let Some(ot) = self.cores[me].ot.as_mut() {
+            if !ot.is_empty() {
+                let drained = ot.begin_commit(now, per_line);
+                lines += drained.len();
+                for (l, e) in drained {
+                    self.mem.write_line(l, &e.data);
+                }
+            }
+        }
+        self.cores[me].rsig.clear();
+        self.cores[me].wsig.clear();
+        self.cores[me].csts.clear_all();
+        self.clear_aou(me);
+        self.cores[me].stats.commits += 1;
+        self.log.push(Event::CasCommit {
+            core: me,
+            success: true,
+        });
+        CasCommitOutcome::Committed(lines)
+    }
+
+    /// The explicit abort instruction: revert TMI/TI, clear signatures,
+    /// CSTs and the AOU mark, discard a speculative OT.
+    pub fn abort_tx(&mut self, me: usize) -> usize {
+        let dropped = self.cores[me].hardware_abort();
+        self.clear_aou(me);
+        self.cores[me].stats.tx_aborts += 1;
+        self.cores[me].alert_pending = None;
+        self.log.push(Event::TxAbort { core: me });
+        self.advance(me, self.config.l1_latency);
+        dropped
+    }
+
+    fn clear_aou(&mut self, me: usize) {
+        if let Some(line) = self.cores[me].aloaded.take() {
+            if let Some(e) = self.cores[me].l1.peek_mut(line) {
+                e.a_bit = false;
+            }
+        }
+    }
+
+    /// The ALoad instruction (§3.4): cache the line and mark it so any
+    /// remote invalidation alerts this core.
+    pub fn aload(&mut self, me: usize, addr: Addr) -> u64 {
+        let line = addr.line();
+        self.clear_aou(me);
+        if self.cores[me].l1.peek(line).is_none() {
+            let _ = self.access(me, addr, AccessKind::Load, 0);
+        } else {
+            self.advance(me, self.config.l1_latency);
+        }
+        let value = self.local_value(me, addr);
+        if let Some(e) = self.cores[me].l1.peek_mut(line) {
+            e.a_bit = true;
+            self.cores[me].aloaded = Some(line);
+        } else {
+            // The line would not cache (e.g. threatened): fall back to
+            // an immediate alert so software revalidates — conservative
+            // but safe.
+            self.cores[me].post_alert(AlertCause::AouInvalidated(line));
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::machine::SimState;
+
+    fn state() -> SimState {
+        SimState::for_tests(MachineConfig::small_test())
+    }
+
+    fn addr(x: u64) -> Addr {
+        Addr::new(x)
+    }
+
+    #[test]
+    fn load_miss_then_hit() {
+        let mut st = state();
+        st.mem.write(addr(0x1000), 42);
+        let r = st.access(0, addr(0x1000), AccessKind::Load, 0);
+        assert_eq!(r.value, 42);
+        assert_eq!(st.cores[0].stats.l1_misses, 1);
+        let r = st.access(0, addr(0x1008), AccessKind::Load, 0);
+        assert_eq!(r.value, 0);
+        assert_eq!(st.cores[0].stats.l1_hits, 1);
+        // First reader alone gets E.
+        assert_eq!(
+            st.cores[0].l1.peek(addr(0x1000).line()).unwrap().state,
+            L1State::E
+        );
+    }
+
+    #[test]
+    fn second_reader_shares() {
+        let mut st = state();
+        st.access(0, addr(0x1000), AccessKind::Load, 0);
+        st.access(1, addr(0x1000), AccessKind::Load, 0);
+        assert_eq!(
+            st.cores[1].l1.peek(addr(0x1000).line()).unwrap().state,
+            L1State::S
+        );
+    }
+
+    #[test]
+    fn store_invalidates_readers() {
+        let mut st = state();
+        st.access(0, addr(0x1000), AccessKind::Load, 0);
+        st.access(1, addr(0x1000), AccessKind::Store, 7);
+        assert!(st.cores[0].l1.peek(addr(0x1000).line()).is_none());
+        assert_eq!(st.mem.read(addr(0x1000)), 7);
+        assert_eq!(
+            st.cores[1].l1.peek(addr(0x1000).line()).unwrap().state,
+            L1State::M
+        );
+    }
+
+    #[test]
+    fn tstore_buffers_speculatively() {
+        let mut st = state();
+        st.mem.write(addr(0x2000), 1);
+        let r = st.access(0, addr(0x2000), AccessKind::TStore, 99);
+        assert_eq!(r.value, 99);
+        // Memory keeps the committed value.
+        assert_eq!(st.mem.read(addr(0x2000)), 1);
+        assert_eq!(
+            st.cores[0].l1.peek(addr(0x2000).line()).unwrap().state,
+            L1State::Tmi
+        );
+        // The writer reads its own speculation.
+        let r = st.access(0, addr(0x2000), AccessKind::TLoad, 0);
+        assert_eq!(r.value, 99);
+        // A remote committed read still sees 1 and is threatened.
+        let r = st.access(1, addr(0x2000), AccessKind::TLoad, 0);
+        assert_eq!(r.value, 1);
+        assert_eq!(r.conflicts.len(), 1);
+        assert_eq!(r.conflicts[0].kind, ConflictKind::Threatened);
+        assert_eq!(
+            st.cores[1].l1.peek(addr(0x2000).line()).unwrap().state,
+            L1State::Ti
+        );
+    }
+
+    #[test]
+    fn tload_vs_tstore_sets_cst_pairs() {
+        let mut st = state();
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        st.access(1, addr(0x2000), AccessKind::TLoad, 0);
+        // Requester 1 read a line writer 0 threatened: 1's R-W has 0,
+        // 0's W-R has 1.
+        assert_eq!(st.cores[1].csts.read(CstKind::RW), 1 << 0);
+        assert_eq!(st.cores[0].csts.read(CstKind::WR), 1 << 1);
+    }
+
+    #[test]
+    fn dueling_tstores_set_ww_both_sides_and_keep_both_owners() {
+        let mut st = state();
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        let r = st.access(1, addr(0x2000), AccessKind::TStore, 6);
+        assert_eq!(r.conflicts.len(), 1);
+        assert_eq!(st.cores[0].csts.read(CstKind::WW), 1 << 1);
+        assert_eq!(st.cores[1].csts.read(CstKind::WW), 1 << 0);
+        let line = addr(0x2000).line();
+        assert_eq!(st.cores[0].l1.peek(line).unwrap().state, L1State::Tmi);
+        assert_eq!(st.cores[1].l1.peek(line).unwrap().state, L1State::Tmi);
+        let dir = st.l2.dir(line);
+        assert_eq!(dir.owners, 0b11, "both speculative owners tracked");
+    }
+
+    #[test]
+    fn commit_makes_speculation_visible() {
+        let mut st = state();
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 1); // active
+        st.access(0, addr(0x2000), AccessKind::TStore, 99);
+        let out = st.cas_commit(0, tsw, 1, 2);
+        assert_eq!(out, CasCommitOutcome::Committed(1));
+        assert_eq!(st.mem.read(addr(0x2000)), 99);
+        assert_eq!(st.mem.read(tsw), 2);
+        assert_eq!(
+            st.cores[0].l1.peek(addr(0x2000).line()).unwrap().state,
+            L1State::M
+        );
+        assert!(st.cores[0].wsig.is_empty());
+    }
+
+    #[test]
+    fn commit_blocked_by_write_conflicts() {
+        let mut st = state();
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 1);
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        st.access(1, addr(0x2000), AccessKind::TStore, 6);
+        // Core 1 now has W-W with core 0; its CAS-Commit must fail but
+        // retain speculative state.
+        let out = st.cas_commit(1, tsw, 1, 2);
+        assert!(matches!(out, CasCommitOutcome::ConflictsPending { ww, .. } if ww == 1));
+        assert_eq!(
+            st.cores[1].l1.peek(addr(0x2000).line()).unwrap().state,
+            L1State::Tmi,
+            "speculative state must survive a CST-failed commit"
+        );
+    }
+
+    #[test]
+    fn lost_tsw_reverts_speculation() {
+        let mut st = state();
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 3); // already aborted by an enemy
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        let out = st.cas_commit(0, tsw, 1, 2);
+        assert_eq!(out, CasCommitOutcome::LostTsw(3));
+        assert!(st.cores[0].l1.peek(addr(0x2000).line()).is_none());
+        assert_eq!(st.mem.read(addr(0x2000)), 0);
+    }
+
+    #[test]
+    fn aou_alert_on_remote_cas() {
+        let mut st = state();
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 1);
+        st.aload(0, tsw);
+        assert_eq!(st.cores[0].aloaded, Some(tsw.line()));
+        // Enemy aborts core 0's transaction.
+        let (old, _) = st.cas(1, tsw, 1, 9);
+        assert_eq!(old, 1);
+        assert_eq!(st.mem.read(tsw), 9);
+        assert_eq!(
+            st.cores[0].alert_pending,
+            Some(AlertCause::AouInvalidated(tsw.line()))
+        );
+    }
+
+    #[test]
+    fn strong_isolation_store_aborts_transaction() {
+        let mut st = state();
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        st.access(1, addr(0x2000), AccessKind::Store, 7);
+        assert_eq!(st.mem.read(addr(0x2000)), 7);
+        assert!(st.cores[0].wsig.is_empty(), "victim was hardware-aborted");
+        assert_eq!(
+            st.cores[0].alert_pending,
+            Some(AlertCause::StrongIsolation(addr(0x2000).line()))
+        );
+    }
+
+    #[test]
+    fn nontx_read_of_threatened_line_stays_uncached() {
+        let mut st = state();
+        st.mem.write(addr(0x2000), 1);
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        let r = st.access(1, addr(0x2000), AccessKind::Load, 0);
+        assert_eq!(r.value, 1, "non-tx read sees committed value");
+        assert!(st.cores[1].l1.peek(addr(0x2000).line()).is_none());
+        // The writer's transaction survives a non-transactional read.
+        assert!(!st.cores[0].wsig.is_empty());
+    }
+
+    #[test]
+    fn abort_discards_speculation() {
+        let mut st = state();
+        st.mem.write(addr(0x2000), 1);
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        st.abort_tx(0);
+        assert_eq!(st.mem.read(addr(0x2000)), 1);
+        assert!(st.cores[0].l1.peek(addr(0x2000).line()).is_none());
+        let r = st.access(1, addr(0x2000), AccessKind::TLoad, 0);
+        assert!(r.conflicts.is_empty(), "no conflict after abort");
+    }
+
+    #[test]
+    fn overflow_spills_to_ot_and_refills() {
+        let mut st = {
+            let mut cfg = MachineConfig::small_test();
+            cfg.victim_entries = 0; // force overflow quickly
+            SimState::for_tests(cfg)
+        };
+        let sets = st.config.l1_sets() as u64;
+        // Three TStores mapping to the same L1 set (2 ways): the first
+        // line overflows.
+        let stride = sets * 64;
+        let a0 = addr(0x10000);
+        let a1 = addr(0x10000 + stride);
+        let a2 = addr(0x10000 + 2 * stride);
+        st.access(0, a0, AccessKind::TStore, 10);
+        st.access(0, a1, AccessKind::TStore, 11);
+        st.access(0, a2, AccessKind::TStore, 12);
+        assert_eq!(st.cores[0].stats.overflows, 1);
+        let ot = st.cores[0].ot.as_ref().expect("OT allocated");
+        assert_eq!(ot.len(), 1);
+        // Reading the overflowed line fetches it back as TMI.
+        let r = st.access(0, a0, AccessKind::TLoad, 0);
+        assert_eq!(r.value, 10);
+        assert_eq!(st.cores[0].stats.ot_hits, 1);
+        assert_eq!(st.cores[0].l1.peek(a0.line()).unwrap().state, L1State::Tmi);
+    }
+
+    #[test]
+    fn commit_with_overflow_publishes_ot_lines() {
+        let mut st = {
+            let mut cfg = MachineConfig::small_test();
+            cfg.victim_entries = 0;
+            SimState::for_tests(cfg)
+        };
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 1);
+        let stride = st.config.l1_sets() as u64 * 64;
+        let a0 = addr(0x10000);
+        let a1 = addr(0x10000 + stride);
+        let a2 = addr(0x10000 + 2 * stride);
+        st.access(0, a0, AccessKind::TStore, 10);
+        st.access(0, a1, AccessKind::TStore, 11);
+        st.access(0, a2, AccessKind::TStore, 12);
+        let out = st.cas_commit(0, tsw, 1, 2);
+        assert_eq!(out, CasCommitOutcome::Committed(3));
+        assert_eq!(st.mem.read(a0), 10);
+        assert_eq!(st.mem.read(a1), 11);
+        assert_eq!(st.mem.read(a2), 12);
+        // A prompt remote access to the overflowed line gets NACKed
+        // until copy-back completes.
+        let r = st.access(1, a0, AccessKind::Load, 0);
+        assert!(r.nacked);
+        assert_eq!(r.value, 10);
+    }
+
+    #[test]
+    fn eviction_then_conflict_still_detected_via_signature() {
+        // A reader whose line is silently evicted must still produce an
+        // Exposed-Read for a later transactional writer (the stale
+        // sharer bit keeps it on the forward list).
+        let mut st = state();
+        st.access(0, addr(0x3000), AccessKind::TLoad, 0);
+        st.cores[0].l1.invalidate(addr(0x3000).line()); // simulate silent eviction
+        let r = st.access(1, addr(0x3000), AccessKind::TStore, 1);
+        assert!(
+            r.conflicts
+                .iter()
+                .any(|c| c.with == 0 && c.kind == ConflictKind::ExposedRead),
+            "conflict lost after silent eviction: {:?}",
+            r.conflicts
+        );
+    }
+
+    #[test]
+    fn first_tstore_to_m_writes_back() {
+        let mut st = state();
+        st.access(0, addr(0x2000), AccessKind::Store, 7);
+        let wb = st.cores[0].stats.writebacks;
+        st.access(0, addr(0x2000), AccessKind::TStore, 8);
+        assert_eq!(st.cores[0].stats.writebacks, wb + 1);
+        assert_eq!(st.mem.read(addr(0x2000)), 7, "committed value preserved");
+        assert_eq!(
+            st.cores[0].l1.peek(addr(0x2000).line()).unwrap().state,
+            L1State::Tmi
+        );
+    }
+}

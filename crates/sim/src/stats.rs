@@ -1,0 +1,258 @@
+//! Counters and the optional event log.
+//!
+//! Per-core counters cover the memory system (hits/misses), the
+//! transactional machinery (conflicts observed, alerts, overflows,
+//! NACKs), and are aggregated into a [`MachineReport`] at the end of a
+//! run. The event log is a test aid: with
+//! [`crate::MachineConfig::record_events`] set, every interesting
+//! protocol action is recorded in order.
+
+use crate::cst::CstKind;
+use flextm_sig::LineAddr;
+
+/// Per-core counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Plain loads executed.
+    pub loads: u64,
+    /// Plain stores executed.
+    pub stores: u64,
+    /// Transactional loads executed.
+    pub tloads: u64,
+    /// Transactional stores executed.
+    pub tstores: u64,
+    /// Accesses satisfied by the local L1 (including victim buffer).
+    pub l1_hits: u64,
+    /// Accesses that went to the L2/directory.
+    pub l1_misses: u64,
+    /// L1 misses that also missed in the L2 tags.
+    pub l2_misses: u64,
+    /// L1 misses satisfied from the local overflow table.
+    pub ot_hits: u64,
+    /// `Threatened` responses received.
+    pub threatened_seen: u64,
+    /// `Exposed-Read` responses received.
+    pub exposed_seen: u64,
+    /// Alerts delivered (AOU fires + strong-isolation aborts).
+    pub alerts: u64,
+    /// TMI lines that overflowed into the OT.
+    pub overflows: u64,
+    /// Requests NACKed against a committing OT.
+    pub nacks: u64,
+    /// Successful CAS-Commits.
+    pub commits: u64,
+    /// Failed CAS-Commits.
+    pub failed_commits: u64,
+    /// Explicit abort instructions executed.
+    pub tx_aborts: u64,
+    /// Writebacks of M lines (evictions + first-TStore-to-M).
+    pub writebacks: u64,
+    /// Cycles spent in `work` (computation).
+    pub work_cycles: u64,
+    /// Cycles spent waiting on the memory system.
+    pub mem_cycles: u64,
+}
+
+/// Whole-machine report returned by [`crate::Machine::report`].
+#[derive(Debug, Clone, Default)]
+pub struct MachineReport {
+    /// Final per-core cycle counts.
+    pub core_cycles: Vec<u64>,
+    /// Per-core counters.
+    pub cores: Vec<CoreStats>,
+}
+
+impl MachineReport {
+    /// The run's elapsed time: the maximum core clock.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.core_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of a counter over all cores.
+    pub fn total(&self, f: impl Fn(&CoreStats) -> u64) -> u64 {
+        self.cores.iter().map(f).sum()
+    }
+
+    /// Total committed CAS-Commits.
+    pub fn commits(&self) -> u64 {
+        self.total(|c| c.commits)
+    }
+
+    /// Total explicit aborts.
+    pub fn aborts(&self) -> u64 {
+        self.total(|c| c.tx_aborts)
+    }
+
+    /// Overall L1 hit rate in `[0, 1]` (1 if there were no accesses).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let hits = self.total(|c| c.l1_hits);
+        let total = hits + self.total(|c| c.l1_misses);
+        if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// A recorded protocol event (only with `record_events`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A coherence response indicated a conflict; `requester` and
+    /// `responder` both updated CSTs.
+    Conflict {
+        /// Requesting processor.
+        requester: usize,
+        /// Responding processor.
+        responder: usize,
+        /// Table updated at the requester (`responder` updates the
+        /// mirror-image table).
+        requester_cst: CstKind,
+        /// The contested line.
+        line: LineAddr,
+    },
+    /// An AOU alert fired on `core`.
+    Alert {
+        /// Alerted processor.
+        core: usize,
+        /// The invalidated, marked line.
+        line: LineAddr,
+    },
+    /// A strong-isolation abort: a non-transactional access killed a
+    /// transaction.
+    StrongIsolationAbort {
+        /// Processor whose transaction died.
+        victim: usize,
+        /// Non-transactional requester.
+        requester: usize,
+        /// The contested line.
+        line: LineAddr,
+    },
+    /// A TMI line overflowed to the OT.
+    Overflow {
+        /// Processor that overflowed.
+        core: usize,
+        /// Line spilled.
+        line: LineAddr,
+    },
+    /// An L1 miss was satisfied from the overflow table.
+    OtFill {
+        /// Processor served.
+        core: usize,
+        /// Line fetched.
+        line: LineAddr,
+    },
+    /// A request was NACKed against a committed, copying-back OT.
+    Nack {
+        /// Requesting processor.
+        requester: usize,
+        /// Owning (committing) processor.
+        owner: usize,
+        /// The contested line.
+        line: LineAddr,
+    },
+    /// CAS-Commit executed.
+    CasCommit {
+        /// Committing processor.
+        core: usize,
+        /// Whether the commit succeeded.
+        success: bool,
+    },
+    /// Explicit abort instruction.
+    TxAbort {
+        /// Aborting processor.
+        core: usize,
+    },
+    /// An L1 miss hit the directory's summary signatures and trapped to
+    /// software.
+    SummaryHit {
+        /// Requesting processor.
+        core: usize,
+        /// The contested line.
+        line: LineAddr,
+        /// Descheduled thread ids implicated.
+        threads: Vec<usize>,
+    },
+    /// Directory info was recreated from L1 signatures after an L2 miss.
+    DirRecreated {
+        /// The line whose entry was rebuilt.
+        line: LineAddr,
+    },
+}
+
+/// Ordered event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+    enabled: bool,
+}
+
+impl EventLog {
+    /// Creates a log; a disabled log discards everything.
+    pub fn new(enabled: bool) -> Self {
+        EventLog {
+            events: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// Appends an event if enabled.
+    pub fn push(&mut self, e: Event) {
+        if self.enabled {
+            self.events.push(e);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Drains the log (tests consume between phases).
+    pub fn take(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_elapsed_is_max_clock() {
+        let r = MachineReport {
+            core_cycles: vec![10, 99, 5],
+            cores: vec![CoreStats::default(); 3],
+        };
+        assert_eq!(r.elapsed_cycles(), 99);
+    }
+
+    #[test]
+    fn hit_rate_handles_no_accesses() {
+        let r = MachineReport {
+            core_cycles: vec![],
+            cores: vec![],
+        };
+        assert_eq!(r.l1_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn disabled_log_discards() {
+        let mut log = EventLog::new(false);
+        log.push(Event::TxAbort { core: 0 });
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = EventLog::new(true);
+        log.push(Event::TxAbort { core: 0 });
+        log.push(Event::CasCommit {
+            core: 1,
+            success: true,
+        });
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.take().len(), 2);
+        assert!(log.events().is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Exhaustive coverage of the Fig. 1 TMESI state machine: every
+//! documented local-access and remote-request transition, pinned down
+//! one edge at a time.
+//!
+//! Notation in test names: `from_X_on_Y_to_Z` — a line in state `X`
+//! experiencing event `Y` ends in state `Z` at the observed core.
+
+use flextm_sim::{AccessKind, Addr, ConflictKind, L1State, MachineConfig, SimState};
+
+fn st() -> SimState {
+    SimState::for_tests(MachineConfig::small_test())
+}
+
+fn a(x: u64) -> Addr {
+    Addr::new(x)
+}
+
+fn state_of(st: &SimState, core: usize, addr: Addr) -> Option<L1State> {
+    st.cores[core].l1.peek(addr.line()).map(|e| e.state)
+}
+
+// ---------- local transitions ----------
+
+#[test]
+fn from_i_on_load_to_e_when_alone() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::Load, 0);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::E));
+}
+
+#[test]
+fn from_i_on_load_to_s_when_shared() {
+    let mut s = st();
+    s.access(1, a(0x1000), AccessKind::Load, 0);
+    s.access(0, a(0x1000), AccessKind::Load, 0);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::S));
+    assert_eq!(state_of(&s, 1, a(0x1000)), Some(L1State::S));
+}
+
+#[test]
+fn from_i_on_tload_to_s_unthreatened() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::TLoad, 0);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::S));
+}
+
+#[test]
+fn from_i_on_tload_to_ti_when_threatened() {
+    let mut s = st();
+    s.access(1, a(0x1000), AccessKind::TStore, 9);
+    let r = s.access(0, a(0x1000), AccessKind::TLoad, 0);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::Ti));
+    assert_eq!(r.conflicts[0].kind, ConflictKind::Threatened);
+}
+
+#[test]
+fn from_i_on_store_to_m() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::Store, 5);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::M));
+}
+
+#[test]
+fn from_i_on_tstore_to_tmi() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::TStore, 5);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::Tmi));
+}
+
+#[test]
+fn from_e_on_store_to_m_silent() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::Load, 0);
+    let misses = s.cores[0].stats.l1_misses;
+    s.access(0, a(0x1000), AccessKind::Store, 5);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::M));
+    assert_eq!(s.cores[0].stats.l1_misses, misses, "upgrade must be silent");
+}
+
+#[test]
+fn from_e_on_tstore_to_tmi_silent() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::Load, 0);
+    s.access(0, a(0x1000), AccessKind::TStore, 5);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::Tmi));
+}
+
+#[test]
+fn from_m_on_tstore_to_tmi_with_writeback() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::Store, 5);
+    let wb = s.cores[0].stats.writebacks;
+    s.access(0, a(0x1000), AccessKind::TStore, 6);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::Tmi));
+    assert_eq!(s.cores[0].stats.writebacks, wb + 1);
+    assert_eq!(s.mem.read(a(0x1000)), 5, "committed version written back");
+}
+
+#[test]
+fn from_s_on_tstore_to_tmi_via_tgetx() {
+    let mut s = st();
+    s.access(1, a(0x1000), AccessKind::Load, 0);
+    s.access(0, a(0x1000), AccessKind::Load, 0); // both S
+    s.access(0, a(0x1000), AccessKind::TStore, 5);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::Tmi));
+    assert_eq!(state_of(&s, 1, a(0x1000)), None, "other sharer invalidated");
+}
+
+#[test]
+fn from_ti_on_tload_hits_locally() {
+    let mut s = st();
+    s.mem.write(a(0x1000), 3);
+    s.access(1, a(0x1000), AccessKind::TStore, 9);
+    s.access(0, a(0x1000), AccessKind::TLoad, 0); // TI
+    let hits = s.cores[0].stats.l1_hits;
+    let r = s.access(0, a(0x1000), AccessKind::TLoad, 0);
+    assert_eq!(r.value, 3, "TI serves the pre-transaction snapshot");
+    assert_eq!(s.cores[0].stats.l1_hits, hits + 1);
+}
+
+#[test]
+fn from_ti_on_tstore_to_tmi() {
+    let mut s = st();
+    s.access(1, a(0x1000), AccessKind::TStore, 9);
+    s.access(0, a(0x1000), AccessKind::TLoad, 0); // TI
+    s.access(0, a(0x1000), AccessKind::TStore, 4);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::Tmi));
+}
+
+// ---------- commit / abort transitions ----------
+
+#[test]
+fn commit_tmi_to_m_and_ti_to_i() {
+    let mut s = st();
+    let tsw = a(0x100);
+    s.mem.write(tsw, 1);
+    s.access(0, a(0x1000), AccessKind::TStore, 7);
+    s.access(1, a(0x2000), AccessKind::TStore, 8);
+    s.access(0, a(0x2000), AccessKind::TLoad, 0); // TI at core 0
+    s.cas_commit(0, tsw, 1, 2);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::M));
+    assert_eq!(state_of(&s, 0, a(0x2000)), None, "TI dropped at commit");
+}
+
+#[test]
+fn abort_tmi_and_ti_to_i() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::TStore, 7);
+    s.access(1, a(0x2000), AccessKind::TStore, 8);
+    s.access(0, a(0x2000), AccessKind::TLoad, 0);
+    s.abort_tx(0);
+    assert_eq!(state_of(&s, 0, a(0x1000)), None);
+    assert_eq!(state_of(&s, 0, a(0x2000)), None);
+}
+
+// ---------- remote-request transitions ----------
+
+#[test]
+fn from_m_on_remote_gets_to_s_with_flush() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::Store, 5);
+    s.access(1, a(0x1000), AccessKind::Load, 0);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::S));
+    assert_eq!(state_of(&s, 1, a(0x1000)), Some(L1State::S));
+}
+
+#[test]
+fn from_e_on_remote_gets_to_s() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::Load, 0); // E
+    s.access(1, a(0x1000), AccessKind::Load, 0);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::S));
+}
+
+#[test]
+fn from_m_on_remote_getx_to_i() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::Store, 5);
+    s.access(1, a(0x1000), AccessKind::Store, 6);
+    assert_eq!(state_of(&s, 0, a(0x1000)), None);
+    assert_eq!(state_of(&s, 1, a(0x1000)), Some(L1State::M));
+}
+
+#[test]
+fn from_s_on_remote_tgetx_to_i() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::Load, 0);
+    s.access(1, a(0x1000), AccessKind::Load, 0);
+    s.access(2, a(0x1000), AccessKind::TStore, 7);
+    assert_eq!(state_of(&s, 0, a(0x1000)), None);
+    assert_eq!(state_of(&s, 1, a(0x1000)), None);
+    assert_eq!(state_of(&s, 2, a(0x1000)), Some(L1State::Tmi));
+}
+
+#[test]
+fn from_tmi_on_remote_tgetx_stays_tmi_both_owners() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::TStore, 7);
+    s.access(1, a(0x1000), AccessKind::TStore, 8);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::Tmi));
+    assert_eq!(state_of(&s, 1, a(0x1000)), Some(L1State::Tmi));
+}
+
+#[test]
+fn from_tmi_on_remote_gets_stays_tmi_responds_threatened() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::TStore, 7);
+    let r = s.access(1, a(0x1000), AccessKind::TLoad, 0);
+    assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::Tmi));
+    assert_eq!(r.conflicts[0].kind, ConflictKind::Threatened);
+}
+
+#[test]
+fn from_tmi_on_remote_getx_dies_strong_isolation() {
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::TStore, 7);
+    s.access(1, a(0x1000), AccessKind::Store, 6);
+    assert_eq!(state_of(&s, 0, a(0x1000)), None);
+    assert!(s.cores[0].alert_pending.is_some());
+    assert_eq!(s.mem.read(a(0x1000)), 6);
+}
+
+#[test]
+fn from_ti_on_remote_tgetx_to_i() {
+    let mut s = st();
+    s.access(1, a(0x1000), AccessKind::TStore, 9);
+    s.access(0, a(0x1000), AccessKind::TLoad, 0); // TI at 0
+    s.access(2, a(0x1000), AccessKind::TStore, 5);
+    assert_eq!(state_of(&s, 0, a(0x1000)), None);
+}
+
+// ---------- response-type table (Fig. 1 bottom right) ----------
+
+#[test]
+fn response_table_wsig_hit() {
+    // Request GETX/TGETX/GETS against a Wsig hit: always Threatened.
+    for kind in [AccessKind::TLoad, AccessKind::TStore] {
+        let mut s = st();
+        s.access(0, a(0x1000), AccessKind::TStore, 1);
+        let r = s.access(1, a(0x1000), kind, 2);
+        assert!(
+            r.conflicts
+                .iter()
+                .any(|c| c.with == 0 && c.kind == ConflictKind::Threatened),
+            "{kind:?} against a writer must be Threatened"
+        );
+    }
+}
+
+#[test]
+fn response_table_rsig_hit() {
+    // TGETX against an Rsig-only hit: Exposed-Read.
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::TLoad, 0);
+    let r = s.access(1, a(0x1000), AccessKind::TStore, 2);
+    assert!(
+        r.conflicts
+            .iter()
+            .any(|c| c.with == 0 && c.kind == ConflictKind::ExposedRead),
+        "TGETX against a reader must be Exposed-Read"
+    );
+    // GETS against an Rsig-only hit: Shared (no conflict).
+    let mut s = st();
+    s.access(0, a(0x1000), AccessKind::TLoad, 0);
+    let r = s.access(1, a(0x1000), AccessKind::TLoad, 0);
+    assert!(r.conflicts.is_empty(), "read-read must not conflict");
+}

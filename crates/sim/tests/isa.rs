@@ -1,0 +1,187 @@
+//! ISA-level tests of [`flextm_sim::ProcHandle`]: every "instruction"
+//! driven through the real threaded machine (not `SimState::for_tests`),
+//! including the deterministic scheduler's cross-core interleavings.
+
+use flextm_sim::{
+    Addr, AlertCause, CasCommitOutcome, CstKind, Machine, MachineConfig, SigKind,
+};
+
+fn machine(cores: usize) -> Machine {
+    Machine::new(MachineConfig::small_test().with_cores(cores))
+}
+
+#[test]
+fn plain_ops_roundtrip() {
+    let m = machine(1);
+    let v = m.run(1, |proc| {
+        proc.store(Addr::new(0x1000), 17);
+        let a = proc.load(Addr::new(0x1000));
+        let old = proc.cas(Addr::new(0x1000), 17, 18);
+        let b = proc.load(Addr::new(0x1000));
+        (a, old, b)
+    });
+    assert_eq!(v[0], (17, 17, 18));
+}
+
+#[test]
+fn failed_cas_leaves_memory_unchanged() {
+    let m = machine(1);
+    let v = m.run(1, |proc| {
+        proc.store(Addr::new(0x1000), 5);
+        let old = proc.cas(Addr::new(0x1000), 99, 1);
+        (old, proc.load(Addr::new(0x1000)))
+    });
+    assert_eq!(v[0], (5, 5));
+}
+
+#[test]
+fn transactional_ops_and_commit_across_threads() {
+    let m = machine(2);
+    let tsw = Addr::new(0x100);
+    m.with_state(|st| st.mem.write(tsw, 1));
+    let out = m.run(2, |proc| {
+        if proc.core() == 0 {
+            proc.tstore(Addr::new(0x2000), 7).expect("no alert");
+            let r = proc.cas_commit(tsw, 1, 2).expect("no alert");
+            matches!(r, CasCommitOutcome::Committed(_))
+        } else {
+            // Wait past the commit, then read the published value.
+            proc.work(5000);
+            proc.load(Addr::new(0x2000)) == 7
+        }
+    });
+    assert_eq!(out, vec![true, true]);
+}
+
+#[test]
+fn cst_instructions() {
+    let m = machine(2);
+    let masks = m.run(2, |proc| {
+        let a = Addr::new(0x3000);
+        if proc.core() == 0 {
+            proc.tstore(a, 1).expect("no alert");
+            proc.work(2000);
+            // By now core 1 has read the line: W-R must hold its bit.
+            let wr = proc.read_cst(CstKind::WR);
+            let taken = proc.copy_and_clear_cst(CstKind::WR);
+            let after = proc.read_cst(CstKind::WR);
+            (wr, taken, after)
+        } else {
+            proc.work(500);
+            proc.tload(a).expect("no alert");
+            (0, 0, 0)
+        }
+    });
+    assert_eq!(masks[0], (1 << 1, 1 << 1, 0));
+}
+
+#[test]
+fn clear_cst_bit_is_surgical() {
+    let m = machine(3);
+    let wr = m.run(3, |proc| {
+        let a = Addr::new(0x4000);
+        match proc.core() {
+            0 => {
+                proc.tstore(a, 1).expect("no alert");
+                proc.work(3000);
+                let before = proc.read_cst(CstKind::WR);
+                proc.clear_cst_bit(CstKind::WR, 1);
+                (before, proc.read_cst(CstKind::WR))
+            }
+            _ => {
+                proc.work(300 * proc.core() as u64);
+                proc.tload(a).expect("no alert");
+                (0, 0)
+            }
+        }
+    });
+    assert_eq!(wr[0], (0b110, 0b100));
+}
+
+#[test]
+fn aou_alert_on_remote_write() {
+    let m = machine(2);
+    let alerted = m.run(2, |proc| {
+        let w = Addr::new(0x5000);
+        if proc.core() == 0 {
+            proc.aload(w);
+            proc.work(3000);
+            proc.take_alert()
+        } else {
+            proc.work(500);
+            proc.store(w, 1);
+            None
+        }
+    });
+    assert_eq!(alerted[0], Some(AlertCause::AouInvalidated(Addr::new(0x5000).line())));
+}
+
+#[test]
+fn signature_instructions_watch_accesses() {
+    let m = machine(1);
+    let hits = m.run(1, |proc| {
+        let a = Addr::new(0x6000);
+        proc.sig_insert(SigKind::Write, a);
+        assert!(proc.sig_member(SigKind::Write, a));
+        proc.watch_activate(false, true);
+        proc.store(a, 1);
+        let hit = proc.take_alert();
+        proc.watch_activate(false, false);
+        proc.sig_clear(SigKind::Write);
+        let member_after = proc.sig_member(SigKind::Write, a);
+        (hit, member_after)
+    });
+    assert_eq!(hits[0].0, Some(AlertCause::WatchWrite(Addr::new(0x6000))));
+    assert!(!hits[0].1);
+}
+
+#[test]
+fn abort_tx_discards_everything() {
+    let m = machine(1);
+    m.run(1, |proc| {
+        proc.tstore(Addr::new(0x7000), 9).expect("no alert");
+        let dropped = proc.abort_tx();
+        assert_eq!(dropped, 1);
+    });
+    m.with_state(|st| assert_eq!(st.mem.read(Addr::new(0x7000)), 0));
+}
+
+#[test]
+fn with_sync_orders_cross_thread_side_effects() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let m = machine(2);
+    let order = AtomicU64::new(0);
+    // Core 0 records at simulated time ~100, core 1 at ~5000; the gate
+    // must execute them in that order regardless of wall-clock.
+    let seen = m.run(2, |proc| {
+        if proc.core() == 0 {
+            proc.work(100);
+            proc.with_sync(|| order.fetch_add(1, Ordering::SeqCst))
+        } else {
+            proc.work(5000);
+            proc.with_sync(|| order.fetch_add(1, Ordering::SeqCst))
+        }
+    });
+    assert_eq!(seen, vec![0, 1], "side effects ran out of simulated order");
+}
+
+#[test]
+fn deterministic_interleaving_under_contention() {
+    let run = || {
+        let m = machine(4);
+        
+        m.run(4, |proc| {
+            let a = Addr::new(0x8000);
+            let mut wins = 0;
+            for _ in 0..50 {
+                if proc.cas(a, 0, proc.core() as u64 + 1) == 0 {
+                    wins += 1;
+                    proc.store(a, 0);
+                }
+                proc.work(proc.core() as u64 * 7 + 3);
+            }
+            wins
+        })
+    };
+    assert_eq!(run(), run());
+}

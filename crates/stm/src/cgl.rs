@@ -1,0 +1,135 @@
+//! Coarse-grain locking (CGL): the paper's throughput-normalization
+//! baseline. One global test-and-test-and-set lock serializes every
+//! "transaction"; at a single thread this is within noise of sequential
+//! code, which is why Fig. 4 normalizes to 1-thread CGL.
+
+use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, Txn, TxRetry, TxnBody};
+use flextm_sim::{Addr, Machine, ProcHandle, WORDS_PER_LINE};
+
+/// The coarse-grain-lock runtime.
+#[derive(Debug)]
+pub struct Cgl {
+    lock: Addr,
+}
+
+impl Cgl {
+    /// Allocates the global lock word in simulated memory.
+    pub fn new(machine: &Machine) -> Self {
+        let lock = machine.with_state(|st| {
+            let mut arena = flextm_sim::Heap::arena(crate::orec::METADATA_ARENA - 1);
+            let lock = arena.alloc(WORDS_PER_LINE as u64);
+            st.mem.write(lock, 0);
+            lock
+        });
+        Cgl { lock }
+    }
+}
+
+impl TmRuntime for Cgl {
+    fn name(&self) -> &str {
+        "CGL"
+    }
+
+    fn thread<'r>(&'r self, _thread_id: usize, proc: ProcHandle) -> Box<dyn TmThread + 'r> {
+        Box::new(CglThread {
+            lock: self.lock,
+            proc,
+            backoff: 8,
+        })
+    }
+}
+
+struct CglThread {
+    lock: Addr,
+    proc: ProcHandle,
+    backoff: u64,
+}
+
+impl TmThread for CglThread {
+    fn txn_once(&mut self, body: &mut TxnBody<'_>) -> AttemptOutcome {
+        // Test-and-test-and-set with capped exponential backoff.
+        loop {
+            if self.proc.load(self.lock) == 0 && self.proc.cas(self.lock, 0, 1) == 0 {
+                self.backoff = 8;
+                break;
+            }
+            self.proc.work(self.backoff);
+            self.backoff = (self.backoff * 2).min(1024);
+        }
+        let mut txn = CglTxn { proc: &self.proc };
+        let result = body(&mut txn);
+        self.proc.store(self.lock, 0);
+        match result {
+            // Under a lock, a body-requested retry is just "run again".
+            Err(TxRetry) => AttemptOutcome::Aborted,
+            Ok(()) => AttemptOutcome::Committed,
+        }
+    }
+
+    fn proc(&self) -> &ProcHandle {
+        &self.proc
+    }
+}
+
+struct CglTxn<'a> {
+    proc: &'a ProcHandle,
+}
+
+impl Txn for CglTxn<'_> {
+    fn read(&mut self, addr: Addr) -> Result<u64, TxRetry> {
+        Ok(self.proc.load(addr))
+    }
+    fn write(&mut self, addr: Addr, value: u64) -> Result<(), TxRetry> {
+        self.proc.store(addr, value);
+        Ok(())
+    }
+    fn work(&mut self, cycles: u64) -> Result<(), TxRetry> {
+        self.proc.work(cycles);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextm_sim::MachineConfig;
+
+    #[test]
+    fn cgl_serializes_increments() {
+        let m = Machine::new(MachineConfig::small_test());
+        let cgl = Cgl::new(&m);
+        let counter = Addr::new(0x10_000);
+        m.run(4, |proc| {
+            let mut th = cgl.thread(proc.core(), proc);
+            for _ in 0..25 {
+                th.txn(&mut |tx| {
+                    let v = tx.read(counter)?;
+                    tx.write(counter, v + 1)?;
+                    Ok(())
+                });
+            }
+        });
+        m.with_state(|st| assert_eq!(st.mem.read(counter), 100));
+    }
+
+    #[test]
+    fn cgl_never_retries() {
+        let m = Machine::new(MachineConfig::small_test());
+        let cgl = Cgl::new(&m);
+        let a = Addr::new(0x20_000);
+        let attempts = m.run(2, |proc| {
+            let mut th = cgl.thread(proc.core(), proc);
+            (0..10)
+                .map(|_| {
+                    th.txn(&mut |tx| {
+                        let v = tx.read(a)?;
+                        tx.write(a, v + 1)?;
+                        Ok(())
+                    })
+                    .attempts
+                })
+                .sum::<u32>()
+        });
+        assert_eq!(attempts, vec![10, 10]);
+    }
+}

@@ -1,0 +1,51 @@
+//! `flextm-stm`: the software TM baselines of the paper's evaluation,
+//! all running over the same simulated machine and the same
+//! [`flextm_sim::api::TmRuntime`] interface as FlexTM itself:
+//!
+//! * [`Cgl`] — coarse-grain locking, the normalization baseline;
+//! * [`Tl2`] — word-based TL2 (Workload-Set 2 comparator);
+//! * [`Rstm`] — RSTM-like invisible-reader STM with self-validation
+//!   (Workload-Set 1 comparator);
+//! * [`RtmF`] — the RTM-F hardware-accelerated STM model (AOU + PDI,
+//!   software metadata bookkeeping).
+//!
+//! Every piece of *shared* metadata (orecs, global clock, status words)
+//! lives in simulated memory, so the metadata traffic the paper blames
+//! for STM slowness appears as real cache misses and coherence
+//! transactions; purely thread-local bookkeeping is charged in cycles
+//! via each module's `costs` table.
+//!
+//! # Example
+//!
+//! ```
+//! use flextm_stm::Tl2;
+//! use flextm_sim::api::{TmRuntime, TmThread};
+//! use flextm_sim::{Addr, Machine, MachineConfig};
+//!
+//! let machine = Machine::new(MachineConfig::small_test());
+//! let tl2 = Tl2::with_defaults(&machine);
+//! let counter = Addr::new(0x10_000);
+//! machine.run(2, |proc| {
+//!     let mut th = tl2.thread(proc.core(), proc);
+//!     for _ in 0..10 {
+//!         th.txn(&mut |tx| {
+//!             let v = tx.read(counter)?;
+//!             tx.write(counter, v + 1)?;
+//!             Ok(())
+//!         });
+//!     }
+//! });
+//! machine.with_state(|st| assert_eq!(st.mem.read(counter), 20));
+//! ```
+
+mod cgl;
+pub mod orec;
+mod rstm;
+mod rtmf;
+mod tl2;
+
+pub use cgl::Cgl;
+pub use orec::OrecTable;
+pub use rstm::Rstm;
+pub use rtmf::RtmF;
+pub use tl2::Tl2;

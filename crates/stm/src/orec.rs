@@ -1,0 +1,143 @@
+//! Ownership records (orecs): the per-location metadata words all
+//! software TMs hash addresses into. Kept in *simulated* memory so that
+//! metadata traffic — the thing FlexTM eliminates — shows up as real
+//! cache misses and coherence transactions, exactly as it does for the
+//! paper's software baselines.
+
+use flextm_sim::{Addr, Machine, WORDS_PER_LINE};
+
+/// Arena id reserved for STM metadata.
+pub const METADATA_ARENA: usize = 62;
+
+/// A table of versioned lock words, 8 per cache line (packed, as real
+/// STMs pack them — false sharing on orec lines is part of the cost
+/// model).
+#[derive(Debug, Clone)]
+pub struct OrecTable {
+    base: Addr,
+    count: usize,
+}
+
+impl OrecTable {
+    /// Allocates `count` orecs (must be a power of two) plus the global
+    /// clock word used by TL2. Returns `(table, clock_addr)`.
+    pub fn allocate(machine: &Machine, count: usize) -> (Self, Addr) {
+        assert!(count.is_power_of_two(), "orec count must be a power of two");
+        machine.with_state(|st| {
+            let mut arena = flextm_sim::Heap::arena(METADATA_ARENA);
+            let clock = arena.alloc(WORDS_PER_LINE as u64); // clock gets its own line
+            let base = arena.alloc(count as u64);
+            // Touch every orec page so the harness's functional cache
+            // warming covers the metadata region (a calloc'd table in
+            // the real systems).
+            st.mem.write(clock, 0);
+            let mut a = base.raw();
+            while a < base.raw() + count as u64 * 8 {
+                st.mem.write(Addr::new(a), 0);
+                a += 4096;
+            }
+            (OrecTable { base, count }, clock)
+        })
+    }
+
+    /// The orec covering `addr` (multiplicative hash over the word
+    /// address).
+    pub fn orec_for(&self, addr: Addr) -> Addr {
+        let h = (addr.raw() >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (h >> 40) as usize & (self.count - 1);
+        self.base.offset(idx as u64)
+    }
+
+    /// Number of orecs.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Always false — the table is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Versioned-lock encoding shared by TL2 and the RSTM model:
+/// `version << 8` when free, `version << 8 | (owner+1)` when locked.
+pub mod lockword {
+    /// True if the word is write-locked.
+    pub fn is_locked(w: u64) -> bool {
+        w & 0xff != 0
+    }
+    /// Owner thread id of a locked word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is not locked.
+    pub fn owner(w: u64) -> usize {
+        assert!(is_locked(w), "lock word {w:#x} is not locked");
+        (w & 0xff) as usize - 1
+    }
+    /// Version number.
+    pub fn version(w: u64) -> u64 {
+        w >> 8
+    }
+    /// A free word at `version`.
+    pub fn free(version: u64) -> u64 {
+        version << 8
+    }
+    /// A locked word at `version` owned by `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for thread ids above 254 (the encoding byte).
+    pub fn locked(version: u64, tid: usize) -> u64 {
+        assert!(tid < 255, "thread id {tid} exceeds lock-word encoding");
+        version << 8 | (tid as u64 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextm_sim::MachineConfig;
+
+    #[test]
+    fn orecs_stay_in_table_and_are_deterministic() {
+        let m = Machine::new(MachineConfig::small_test());
+        let (t, clock) = OrecTable::allocate(&m, 1024);
+        let lo = t.base.raw();
+        let hi = lo + 1024 * 8;
+        for i in 0..4096u64 {
+            let o = t.orec_for(Addr::new(0x10_000 + i * 8));
+            assert!(o.raw() >= lo && o.raw() < hi);
+            assert_eq!(o, t.orec_for(Addr::new(0x10_000 + i * 8)));
+        }
+        assert!(clock.raw() < lo, "clock precedes the table");
+    }
+
+    #[test]
+    fn same_word_same_orec_different_spread() {
+        let m = Machine::new(MachineConfig::small_test());
+        let (t, _) = OrecTable::allocate(&m, 1024);
+        let distinct: std::collections::HashSet<u64> = (0..1024u64)
+            .map(|i| t.orec_for(Addr::new(0x20_000 + i * 8)).raw())
+            .collect();
+        assert!(distinct.len() > 300, "hash spreads poorly: {}", distinct.len());
+    }
+
+    #[test]
+    fn lockword_roundtrip() {
+        use lockword::*;
+        let w = locked(42, 7);
+        assert!(is_locked(w));
+        assert_eq!(owner(w), 7);
+        assert_eq!(version(w), 42);
+        let f = free(43);
+        assert!(!is_locked(f));
+        assert_eq!(version(f), 43);
+    }
+
+    #[test]
+    #[should_panic(expected = "not locked")]
+    fn owner_of_free_word_panics() {
+        let _ = lockword::owner(lockword::free(1));
+    }
+}

@@ -1,0 +1,316 @@
+//! BugBench-style test programs (paper §8, Table 4(b)): five programs
+//! with the bug classes of the originals — buffer overflow (BC, Gzip,
+//! Man), invariant violation (Gzip-IV), memory leak (Squid) — each
+//! runnable bare, under FlexWatcher, or under a Discover-style binary
+//! instrumenter model.
+//!
+//! The originals are proprietary-workload C programs; these synthetic
+//! versions preserve what matters for Table 4: the ratio of memory
+//! accesses to compute, the number and size of heap allocations, and
+//! where in the access stream the bug manifests.
+
+use crate::watcher::FlexWatcher;
+use flextm_sim::{Addr, ProcHandle, WORDS_PER_LINE};
+
+/// How a program is run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Monitor {
+    /// No monitoring (baseline denominator).
+    Bare,
+    /// FlexWatcher: signatures + alert handler.
+    FlexWatcher,
+    /// Discover-style software instrumentation: every load/store pays
+    /// an instrumentation check plus shadow-memory traffic.
+    Discover,
+}
+
+/// Per-access cost of the Discover model: the instrumentation stub.
+pub const DISCOVER_CHECK_CYCLES: u64 = 120;
+/// Shadow-memory base (each access also touches its shadow word).
+const SHADOW_BASE: u64 = 0x4000_0000;
+
+/// Bug classes, mirroring Table 4(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugKind {
+    /// Heap buffer overflow into padding.
+    BufferOverflow,
+    /// Program-specific invariant violated by a write.
+    InvariantViolation,
+    /// Heap object never freed nor touched again.
+    MemoryLeak,
+}
+
+/// Result of one monitored program run.
+#[derive(Debug, Clone)]
+pub struct ProgramReport {
+    /// Program name ("BC-BO", …).
+    pub name: &'static str,
+    /// Bug class.
+    pub bug: BugKind,
+    /// True if the monitor caught the bug (always false for `Bare`).
+    pub detected: bool,
+}
+
+/// Access helper that routes loads/stores per monitoring mode.
+struct Accessor<'a, 'p> {
+    proc: &'a ProcHandle,
+    watcher: Option<&'a mut FlexWatcher<'p>>,
+    discover: bool,
+}
+
+impl Accessor<'_, '_> {
+    fn shadow(addr: Addr) -> Addr {
+        Addr::new(SHADOW_BASE + (addr.raw() & 0xFF_FFC0))
+    }
+    fn load(&mut self, addr: Addr) -> u64 {
+        match &mut self.watcher {
+            Some(w) => w.load(addr),
+            None => {
+                if self.discover {
+                    self.proc.work(DISCOVER_CHECK_CYCLES);
+                    self.proc.load(Self::shadow(addr));
+                }
+                self.proc.load(addr)
+            }
+        }
+    }
+    fn store(&mut self, addr: Addr, v: u64) {
+        match &mut self.watcher {
+            Some(w) => w.store(addr, v),
+            None => {
+                if self.discover {
+                    self.proc.work(DISCOVER_CHECK_CYCLES);
+                    self.proc.load(Self::shadow(addr));
+                }
+                self.proc.store(addr, v);
+            }
+        }
+    }
+    fn work(&self, c: u64) {
+        self.proc.work(c);
+    }
+}
+
+/// A simple bump allocator with FlexWatcher's 64-byte pad-and-watch
+/// strategy for overflow detection ("Pad all heap allocated buffers
+/// with 64 bytes and watch padded locations for modification").
+struct PaddedHeap {
+    next: u64,
+}
+
+impl PaddedHeap {
+    fn new(region: u64) -> Self {
+        PaddedHeap {
+            next: 0x100_0000 + region * 0x100_0000,
+        }
+    }
+    /// Returns `(buffer, pad_line)`.
+    fn alloc(&mut self, lines: u64) -> (Addr, Addr) {
+        let base = self.next;
+        self.next += (lines + 1) * 64;
+        (Addr::new(base), Addr::new(base + lines * 64))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_buffer_overflow(
+    name: &'static str,
+    proc: &ProcHandle,
+    monitor: Monitor,
+    buffers: u64,
+    buffer_lines: u64,
+    passes: u64,
+    compute_per_word: u64,
+    region: u64,
+) -> ProgramReport {
+    let mut heap = PaddedHeap::new(region);
+    let allocs: Vec<(Addr, Addr)> = (0..buffers).map(|_| heap.alloc(buffer_lines)).collect();
+    let mut watcher_store;
+    let mut watcher = None;
+    if monitor == Monitor::FlexWatcher {
+        watcher_store = FlexWatcher::new(proc);
+        for &(_, pad) in &allocs {
+            watcher_store.watch_writes(pad, 1);
+        }
+        watcher_store.activate();
+        watcher = Some(watcher_store);
+    }
+    let mut acc = Accessor {
+        proc,
+        watcher: watcher.as_mut(),
+        discover: monitor == Monitor::Discover,
+    };
+    let words = buffer_lines * WORDS_PER_LINE as u64;
+    for pass in 0..passes {
+        for (i, &(buf, _)) in allocs.iter().enumerate() {
+            // The bug: on the last pass, the last buffer is written one
+            // word past its end (into the pad).
+            let overrun = pass == passes - 1 && i as u64 == buffers - 1;
+            let limit = if overrun { words + 1 } else { words };
+            for w in 0..limit {
+                let v = acc.load(buf.offset(w.min(words - 1)));
+                acc.store(buf.offset(w), v + 1);
+                acc.work(compute_per_word);
+            }
+        }
+    }
+    let detected = watcher
+        .as_ref()
+        .map(|w| !w.hits().is_empty())
+        .unwrap_or(false);
+    if let Some(w) = watcher.as_mut() {
+        w.deactivate();
+    }
+    ProgramReport {
+        name,
+        bug: BugKind::BufferOverflow,
+        detected,
+    }
+}
+
+/// BC-BO: arithmetic on big numbers stored in heap arrays; overruns a
+/// digit array by one word.
+pub fn bc_bo(proc: &ProcHandle, monitor: Monitor) -> ProgramReport {
+    run_buffer_overflow("BC-BO", proc, monitor, 8, 4, 6, 2, 1)
+}
+
+/// Gzip-BO: streaming compression over a window buffer; overruns the
+/// window once. More compute per access than BC, so monitoring taxes
+/// it less.
+pub fn gzip_bo(proc: &ProcHandle, monitor: Monitor) -> ProgramReport {
+    run_buffer_overflow("Gzip-BO", proc, monitor, 4, 8, 4, 4, 2)
+}
+
+/// Man-BO: string formatting into small heap buffers; dense small
+/// accesses, worst case for per-access instrumentation.
+pub fn man_bo(proc: &ProcHandle, monitor: Monitor) -> ProgramReport {
+    run_buffer_overflow("Man-BO", proc, monitor, 16, 1, 8, 1, 3)
+}
+
+/// Gzip-IV: an invariant (`header.len <= MAX`) violated once by a
+/// stray write. FlexWatcher ALoads the variable's cache block and the
+/// handler asserts the invariant on each modification — the AOU-style
+/// solution of Table 4(b), implemented over the watch machinery at
+/// block granularity.
+pub fn gzip_iv(proc: &ProcHandle, monitor: Monitor) -> ProgramReport {
+    let header = Addr::new(0x900_0000);
+    let data = Addr::new(0x901_0000);
+    const MAX_LEN: u64 = 100;
+    let mut watcher_store;
+    let mut watcher = None;
+    if monitor == Monitor::FlexWatcher {
+        watcher_store = FlexWatcher::new(proc);
+        watcher_store.watch_writes(header, 1);
+        watcher_store.activate();
+        watcher = Some(watcher_store);
+    }
+    let mut acc = Accessor {
+        proc,
+        watcher: watcher.as_mut(),
+        discover: monitor == Monitor::Discover,
+    };
+    let mut violated = false;
+    for round in 0..200u64 {
+        // Mostly data-plane work…
+        for w in 0..16 {
+            let v = acc.load(data.offset(w));
+            acc.store(data.offset(w), v ^ round);
+            acc.work(3);
+        }
+        // …occasional header updates; round 150 writes a bad length.
+        if round % 10 == 0 {
+            let len = if round == 150 { MAX_LEN + 7 } else { round % MAX_LEN };
+            acc.store(header, len);
+            if let Some(w) = acc.watcher.as_deref_mut() {
+                for _hit in w.take_hits() {
+                    // Handler: assert the program invariant.
+                    if len > MAX_LEN {
+                        violated = true;
+                    }
+                }
+            }
+        }
+    }
+    if let Some(w) = watcher.as_mut() {
+        w.deactivate();
+    }
+    ProgramReport {
+        name: "Gzip-IV",
+        bug: BugKind::InvariantViolation,
+        detected: violated,
+    }
+}
+
+/// Squid-ML: a cache server allocating many objects, touching most of
+/// them repeatedly, and forgetting some. FlexWatcher monitors *all*
+/// heap objects (read watch) and timestamps each on access; objects
+/// with stale timestamps at the end are leaks. Heaviest FlexWatcher
+/// case (~2.5× in the paper) because every heap access traps.
+pub fn squid_ml(proc: &ProcHandle, monitor: Monitor) -> ProgramReport {
+    const OBJECTS: u64 = 24;
+    const LEAKED: [u64; 3] = [5, 11, 17];
+    let base = Addr::new(0xA00_0000);
+    let obj = |i: u64| Addr::new(base.raw() + i * 64);
+    let mut watcher_store;
+    let mut watcher = None;
+    if monitor == Monitor::FlexWatcher {
+        watcher_store = FlexWatcher::new(proc);
+        for i in 0..OBJECTS {
+            watcher_store.watch_reads(obj(i), 1);
+        }
+        watcher_store.activate();
+        watcher = Some(watcher_store);
+    }
+    let mut acc = Accessor {
+        proc,
+        watcher: watcher.as_mut(),
+        discover: monitor == Monitor::Discover,
+    };
+    let mut timestamps = vec![0u64; OBJECTS as usize];
+    let mut tick = 0u64;
+    for round in 0..40u64 {
+        for i in 0..OBJECTS {
+            if LEAKED.contains(&i) && round >= 2 {
+                continue; // forgotten after round 2
+            }
+            tick += 1;
+            let v = acc.load(obj(i));
+            let _ = v;
+            acc.work(16);
+            if let Some(w) = acc.watcher.as_deref_mut() {
+                for _hit in w.take_hits() {
+                    timestamps[i as usize] = tick;
+                }
+            }
+        }
+    }
+    let detected = if monitor == Monitor::FlexWatcher {
+        LEAKED
+            .iter()
+            .all(|&i| tick - timestamps[i as usize] > OBJECTS * 20)
+    } else {
+        false
+    };
+    if let Some(w) = watcher.as_mut() {
+        w.deactivate();
+    }
+    ProgramReport {
+        name: "Squid-ML",
+        bug: BugKind::MemoryLeak,
+        detected,
+    }
+}
+
+/// All five programs, in Table 4 order. Each entry: name + runner.
+pub type ProgramFn = fn(&ProcHandle, Monitor) -> ProgramReport;
+
+/// The Table 4 program list.
+pub fn bugbench() -> Vec<(&'static str, ProgramFn)> {
+    vec![
+        ("BC-BO", bc_bo as ProgramFn),
+        ("Gzip-BO", gzip_bo as ProgramFn),
+        ("Gzip-IV", gzip_iv as ProgramFn),
+        ("Man-BO", man_bo as ProgramFn),
+        ("Squid-ML", squid_ml as ProgramFn),
+    ]
+}

@@ -1,0 +1,230 @@
+//! FlexWatcher (paper §8): a memory-monitoring tool built from FlexTM's
+//! *non-transactional* reuse of two mechanisms:
+//!
+//! * **Signatures** — unbounded watch sets with false positives: the
+//!   Table 4(a) API extension makes every local load/store test
+//!   membership and alert a handler on a hit;
+//! * **AOU** — precise, cache-block-granularity watchpoints.
+//!
+//! The software handler disambiguates signature hits against a precise
+//! (native) watch list, charging the trap + check cost, and invokes a
+//! user callback for true hits.
+
+use flextm_sim::{Addr, AlertCause, LineAddr, ProcHandle, SigKind};
+use std::collections::HashSet;
+
+/// Cycles charged for an alert trap plus the disambiguation check.
+pub const HANDLER_CYCLES: u64 = 25;
+
+/// What a confirmed watch hit looked like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchHit {
+    /// A watched location was read.
+    Read(Addr),
+    /// A watched location was written.
+    Write(Addr),
+}
+
+/// Per-thread FlexWatcher instance.
+///
+/// Use [`FlexWatcher::load`] / [`FlexWatcher::store`] instead of the
+/// raw `ProcHandle` accessors; confirmed hits accumulate in
+/// [`FlexWatcher::hits`].
+pub struct FlexWatcher<'p> {
+    proc: &'p ProcHandle,
+    watched_reads: HashSet<LineAddr>,
+    watched_writes: HashSet<LineAddr>,
+    hits: Vec<WatchHit>,
+    false_positives: u64,
+}
+
+impl std::fmt::Debug for FlexWatcher<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlexWatcher")
+            .field("watched_reads", &self.watched_reads.len())
+            .field("watched_writes", &self.watched_writes.len())
+            .field("hits", &self.hits.len())
+            .finish()
+    }
+}
+
+impl<'p> FlexWatcher<'p> {
+    /// Creates a watcher on `proc` with empty watch sets.
+    pub fn new(proc: &'p ProcHandle) -> Self {
+        FlexWatcher {
+            proc,
+            watched_reads: HashSet::new(),
+            watched_writes: HashSet::new(),
+            hits: Vec::new(),
+            false_positives: 0,
+        }
+    }
+
+    /// Adds `lines` cache lines starting at `addr` to the read watch
+    /// set (`insert [%r], Rsig`).
+    pub fn watch_reads(&mut self, addr: Addr, lines: u64) {
+        for i in 0..lines {
+            let a = Addr::new(addr.line().byte_addr() + i * flextm_sim::LINE_BYTES);
+            self.proc.sig_insert(SigKind::Read, a);
+            self.watched_reads.insert(a.line());
+        }
+    }
+
+    /// Adds lines to the write watch set (`insert [%r], Wsig`).
+    pub fn watch_writes(&mut self, addr: Addr, lines: u64) {
+        for i in 0..lines {
+            let a = Addr::new(addr.line().byte_addr() + i * flextm_sim::LINE_BYTES);
+            self.proc.sig_insert(SigKind::Write, a);
+            self.watched_writes.insert(a.line());
+        }
+    }
+
+    /// `activate Sig`: begin screening local accesses.
+    pub fn activate(&self) {
+        self.proc.watch_activate(
+            !self.watched_reads.is_empty(),
+            !self.watched_writes.is_empty(),
+        );
+    }
+
+    /// Stops screening and clears both signatures.
+    pub fn deactivate(&mut self) {
+        self.proc.watch_activate(false, false);
+        self.proc.sig_clear(SigKind::Read);
+        self.proc.sig_clear(SigKind::Write);
+        self.watched_reads.clear();
+        self.watched_writes.clear();
+    }
+
+    fn check_alert(&mut self) {
+        if let Some(cause) = self.proc.take_alert() {
+            self.proc.work(HANDLER_CYCLES);
+            match cause {
+                AlertCause::WatchRead(a) => {
+                    if self.watched_reads.contains(&a.line()) {
+                        self.hits.push(WatchHit::Read(a));
+                    } else {
+                        self.false_positives += 1;
+                    }
+                }
+                AlertCause::WatchWrite(a) => {
+                    if self.watched_writes.contains(&a.line()) {
+                        self.hits.push(WatchHit::Write(a));
+                    } else {
+                        self.false_positives += 1;
+                    }
+                }
+                // AOU or TM alerts are not ours; drop them.
+                _ => {}
+            }
+        }
+    }
+
+    /// Monitored load.
+    pub fn load(&mut self, addr: Addr) -> u64 {
+        let v = self.proc.load(addr);
+        self.check_alert();
+        v
+    }
+
+    /// Monitored store.
+    pub fn store(&mut self, addr: Addr, value: u64) {
+        self.proc.store(addr, value);
+        self.check_alert();
+    }
+
+    /// Confirmed hits so far.
+    pub fn hits(&self) -> &[WatchHit] {
+        &self.hits
+    }
+
+    /// Signature false positives disambiguated away.
+    pub fn false_positives(&self) -> u64 {
+        self.false_positives
+    }
+
+    /// Drains recorded hits.
+    pub fn take_hits(&mut self) -> Vec<WatchHit> {
+        std::mem::take(&mut self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextm_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn write_watch_detects_overflow_into_pad() {
+        let m = Machine::new(MachineConfig::small_test());
+        let hits = m.run(1, |proc| {
+            let mut w = FlexWatcher::new(&proc);
+            let buf = Addr::new(0x10_000);
+            let pad = Addr::new(0x10_000 + 4 * 64); // pad line after 4-line buffer
+            w.watch_writes(pad, 1);
+            w.activate();
+            // In-bounds writes: no hits.
+            for i in 0..32 {
+                w.store(buf.offset(i), i);
+            }
+            assert!(w.hits().is_empty());
+            // Overflow into the pad.
+            w.store(pad, 0xBAD);
+            let hits = w.take_hits();
+            w.deactivate();
+            hits
+        });
+        assert_eq!(hits[0], vec![WatchHit::Write(Addr::new(0x10_000 + 256))]);
+    }
+
+    #[test]
+    fn read_watch_detects_touch() {
+        let m = Machine::new(MachineConfig::small_test());
+        let n = m.run(1, |proc| {
+            let mut w = FlexWatcher::new(&proc);
+            let obj = Addr::new(0x20_000);
+            w.watch_reads(obj, 2);
+            w.activate();
+            w.load(obj.offset(1));
+            w.load(Addr::new(0x90_000)); // unwatched
+            w.hits().len()
+        });
+        assert_eq!(n[0], 1);
+    }
+
+    #[test]
+    fn deactivate_stops_alerts() {
+        let m = Machine::new(MachineConfig::small_test());
+        let n = m.run(1, |proc| {
+            let mut w = FlexWatcher::new(&proc);
+            let obj = Addr::new(0x30_000);
+            w.watch_writes(obj, 1);
+            w.activate();
+            w.store(obj, 1);
+            w.deactivate();
+            w.store(obj, 2);
+            w.hits().len()
+        });
+        assert_eq!(n[0], 1);
+    }
+
+    #[test]
+    fn handler_cost_is_charged() {
+        let m = Machine::new(MachineConfig::small_test());
+        m.run(1, |proc| {
+            let mut w = FlexWatcher::new(&proc);
+            let obj = Addr::new(0x40_000);
+            w.watch_writes(obj, 1);
+            w.activate();
+            for _ in 0..10 {
+                w.store(obj, 7);
+            }
+        });
+        let r = m.report();
+        assert!(
+            r.cores[0].work_cycles >= 10 * HANDLER_CYCLES,
+            "handler cycles missing: {}",
+            r.cores[0].work_cycles
+        );
+    }
+}

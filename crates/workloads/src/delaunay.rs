@@ -1,0 +1,154 @@
+//! Delaunay (Table 3(b)): the triangulation benchmark is fundamentally
+//! data-parallel — less than 5% of execution time is transactional
+//! ("stitching" region seams) and the parallel phase is memory-bandwidth
+//! bound. Fig. 4(e)'s message is that a TM must not tax the
+//! non-transactional 95%: FlexTM and CGL track each other while the
+//! STMs run at half speed because metadata indirection doubles their
+//! cache misses.
+//!
+//! We reproduce exactly that structure: each unit streams through a
+//! thread-private region (the triangulation), then runs one short
+//! transaction appending to a shared seam list.
+
+use crate::harness::{ThreadCtx, Workload};
+use flextm_sim::api::TmThread;
+use flextm_sim::{Addr, Machine, WORDS_PER_LINE};
+
+/// Lines of private data streamed per unit (the "triangulation" work).
+const PRIVATE_LINES: u64 = 48;
+/// Compute cycles per streamed line.
+const COMPUTE_PER_LINE: u64 = 12;
+/// Seam node: [point, next].
+const SEAM_WORDS: u64 = WORDS_PER_LINE as u64;
+
+/// The Delaunay-style workload.
+#[derive(Debug)]
+pub struct Delaunay {
+    /// Shared seam list head.
+    seam: Addr,
+    /// Per-thread private regions (base; thread t uses
+    /// `private + t * PRIVATE_LINES` lines).
+    private: Addr,
+    threads: usize,
+}
+
+impl Delaunay {
+    /// Builds the workload for up to `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Delaunay {
+            seam: Addr::NULL,
+            private: Addr::NULL,
+            threads,
+        }
+    }
+
+    fn private_base(&self, tid: usize) -> Addr {
+        self.private
+            .offset(tid as u64 * PRIVATE_LINES * WORDS_PER_LINE as u64)
+    }
+
+    /// Length of the shared seam list in committed state.
+    pub fn seam_len_direct(&self, st: &flextm_sim::SimState) -> u64 {
+        let mut n = 0;
+        let mut cur = Addr::new(st.mem.read(self.seam));
+        while !cur.is_null() {
+            n += 1;
+            cur = Addr::new(st.mem.read(cur.offset(1)));
+        }
+        n
+    }
+}
+
+impl Workload for Delaunay {
+    fn name(&self) -> &str {
+        "Delaunay"
+    }
+
+    fn setup(&mut self, machine: &Machine) {
+        machine.with_state(|st| {
+            let alloc = crate::alloc::NodeAlloc::setup();
+            self.seam = alloc.alloc(WORDS_PER_LINE as u64);
+            self.private = alloc.alloc_lines(self.threads as u64 * PRIVATE_LINES);
+            st.mem.write(self.seam, 0);
+        });
+    }
+
+    fn run_once(&self, th: &mut dyn TmThread, ctx: &mut ThreadCtx) -> u32 {
+        // Phase 1 (~95%): stream the private region, read-modify-write
+        // every line, with per-line compute. Non-transactional.
+        let base = self.private_base(ctx.tid);
+        let proc = th.proc();
+        for line in 0..PRIVATE_LINES {
+            let a = base.offset(line * WORDS_PER_LINE as u64);
+            let v = proc.load(a);
+            proc.store(a, v + 1);
+            proc.work(COMPUTE_PER_LINE);
+        }
+        // Phase 2 (<5%): stitch one seam point transactionally.
+        let point = ctx.rng.below(1 << 20);
+        let node = ctx.alloc.alloc(SEAM_WORDS);
+        let seam = self.seam;
+        let outcome = th.txn(&mut |tx| {
+            let head = tx.read(seam)?;
+            tx.write(node, point)?;
+            tx.write(node.offset(1), head)?;
+            tx.write(seam, node.raw())?;
+            Ok(())
+        });
+        outcome.attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextm::{FlexTm, FlexTmConfig};
+    use flextm_sim::MachineConfig;
+
+    #[test]
+    fn seam_collects_every_stitch() {
+        let m = Machine::new(MachineConfig::small_test());
+        let mut wl = Delaunay::new(4);
+        wl.setup(&m);
+        let tm = FlexTm::new(&m, FlexTmConfig::lazy(4));
+        let r = crate::harness::run_measured(
+            &m,
+            &tm,
+            &wl,
+            crate::harness::RunConfig {
+                threads: 4,
+                txns_per_thread: 10,
+                warmup_per_thread: 0,
+                seed: 5,
+            },
+        );
+        assert_eq!(r.committed, 40);
+        m.with_state(|st| assert_eq!(wl.seam_len_direct(st), 40));
+    }
+
+    #[test]
+    fn transactional_fraction_is_small() {
+        let m = Machine::new(MachineConfig::small_test());
+        let mut wl = Delaunay::new(1);
+        wl.setup(&m);
+        let tm = FlexTm::new(&m, FlexTmConfig::lazy(1));
+        let r = crate::harness::run_measured(
+            &m,
+            &tm,
+            &wl,
+            crate::harness::RunConfig {
+                threads: 1,
+                txns_per_thread: 20,
+                warmup_per_thread: 2,
+                seed: 5,
+            },
+        );
+        // Transactional accesses must be a small share of all accesses.
+        let tx_accesses = r.report.total(|c| c.tloads + c.tstores);
+        let total = tx_accesses + r.report.total(|c| c.loads + c.stores);
+        assert!(
+            (tx_accesses as f64) < 0.25 * total as f64,
+            "transactional fraction too high: {tx_accesses}/{total}"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Prime factorization: the CPU-intensive, non-transactional
+//! background job of the §7.4 multiprogramming experiments
+//! (Fig. 5(e–f)). Trial division over a thread-private candidate, with
+//! the arithmetic charged as compute cycles and the candidate table
+//! read from private memory.
+
+use crate::harness::{ThreadCtx, Workload};
+use flextm_sim::api::TmThread;
+use flextm_sim::{Addr, Machine, WORDS_PER_LINE};
+
+/// Compute cycles charged per trial division.
+const CYCLES_PER_TRIAL: u64 = 4;
+
+/// The prime-factorization workload.
+#[derive(Debug)]
+pub struct Prime {
+    /// Private scratch area (one line per thread, for result stores).
+    scratch: Addr,
+}
+
+impl Prime {
+    /// Builds the workload.
+    pub fn new() -> Self {
+        Prime {
+            scratch: Addr::NULL,
+        }
+    }
+
+    /// Factors `n` on `th`'s processor, charging trial divisions as
+    /// compute. Returns the number of prime factors found.
+    pub fn factor(&self, th: &dyn TmThread, tid: usize, mut n: u64) -> u32 {
+        let proc = th.proc();
+        let out = self.scratch.offset(tid as u64 * WORDS_PER_LINE as u64);
+        let mut factors = 0u32;
+        let mut trials = 0u64;
+        let mut d = 2u64;
+        while d * d <= n {
+            trials += 1;
+            while n.is_multiple_of(d) {
+                n /= d;
+                factors += 1;
+                trials += 1;
+            }
+            d += 1;
+            if trials >= 64 {
+                proc.work(trials * CYCLES_PER_TRIAL);
+                trials = 0;
+            }
+        }
+        if n > 1 {
+            factors += 1;
+        }
+        proc.work((trials + 1) * CYCLES_PER_TRIAL);
+        proc.store(out, factors as u64);
+        factors
+    }
+}
+
+impl Default for Prime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for Prime {
+    fn name(&self) -> &str {
+        "Prime"
+    }
+
+    fn setup(&mut self, machine: &Machine) {
+        machine.with_state(|_| {
+            // Dedicated arena: Prime may be co-scheduled with a TM
+            // workload whose structures live in the shared setup arena;
+            // overlapping scratch would turn every prime store into a
+            // strong-isolation kill of the TM app.
+            let alloc = crate::alloc::NodeAlloc::for_thread(250);
+            self.scratch = alloc.alloc_lines(64);
+        });
+    }
+
+    fn run_once(&self, th: &mut dyn TmThread, ctx: &mut ThreadCtx) -> u32 {
+        let n = 100_000 + ctx.rng.below(1 << 20);
+        self.factor(th, ctx.tid, n);
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextm_stm::Cgl;
+    use flextm_sim::api::TmRuntime;
+    use flextm_sim::MachineConfig;
+
+    #[test]
+    fn factor_counts_are_correct() {
+        let m = Machine::new(MachineConfig::small_test());
+        let mut wl = Prime::new();
+        wl.setup(&m);
+        let cgl = Cgl::new(&m);
+        let counts = m.run(1, |proc| {
+            let th = cgl.thread(0, proc);
+            [
+                wl.factor(th.as_ref(), 0, 12), // 2,2,3
+                wl.factor(th.as_ref(), 0, 97), // prime
+                wl.factor(th.as_ref(), 0, 1024), // 2^10
+            ]
+        });
+        assert_eq!(counts[0], [3, 1, 10]);
+    }
+
+    #[test]
+    fn factoring_charges_compute_cycles() {
+        let m = Machine::new(MachineConfig::small_test());
+        let mut wl = Prime::new();
+        wl.setup(&m);
+        let cgl = Cgl::new(&m);
+        m.run(1, |proc| {
+            let th = cgl.thread(0, proc);
+            wl.factor(th.as_ref(), 0, 1_000_003); // large prime
+        });
+        let r = m.report();
+        assert!(
+            r.cores[0].work_cycles > 1000,
+            "trial division barely charged: {}",
+            r.cores[0].work_cycles
+        );
+    }
+}

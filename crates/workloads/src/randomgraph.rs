@@ -1,0 +1,327 @@
+//! RandomGraph (Table 3(b)): an undirected graph as adjacency lists.
+//! Transactions insert a vertex (with up to 4 random edges) or delete
+//! one (50/50). Vertices live in a sorted singly-linked list; edge
+//! insertion walks the list to find each neighbour, so an average
+//! transaction reads ~80 cache lines and writes ~15 — large, highly
+//! conflicting read/write sets that livelock eager conflict management
+//! at high thread counts (Fig. 4(d), Fig. 5(d)).
+
+use crate::harness::{ThreadCtx, Workload};
+use flextm_sim::api::{TmThread, Txn, TxRetry};
+use flextm_sim::{Addr, Machine, WORDS_PER_LINE};
+
+// Vertex node: [id, next_vertex, adj_head, _pad…] — one line.
+const V_WORDS: u64 = WORDS_PER_LINE as u64;
+const V_ID: u64 = 0;
+const V_NEXT: u64 = 1;
+const V_ADJ: u64 = 2;
+
+// Edge node: [peer_id, next_edge] — one line.
+const E_WORDS: u64 = WORDS_PER_LINE as u64;
+const E_PEER: u64 = 0;
+const E_NEXT: u64 = 1;
+
+const ID_RANGE: u64 = 256;
+const MAX_EDGES: u64 = 4;
+
+/// The RandomGraph workload.
+#[derive(Debug)]
+pub struct RandomGraph {
+    /// Head pointer of the sorted vertex list.
+    head: Addr,
+    prefill: u64,
+}
+
+impl RandomGraph {
+    /// `prefill` vertices at setup.
+    pub fn new(prefill: u64) -> Self {
+        RandomGraph {
+            head: Addr::NULL,
+            prefill,
+        }
+    }
+
+    /// Paper-like steady state (half the id range).
+    pub fn paper() -> Self {
+        Self::new(ID_RANGE / 2)
+    }
+
+    /// Finds the insertion point for `id`: returns `(prev, cur)` where
+    /// `cur` is the first vertex with `id_cur >= id` (or null).
+    fn locate(
+        &self,
+        tx: &mut dyn Txn,
+        id: u64,
+    ) -> Result<(Option<Addr>, Addr), TxRetry> {
+        let mut prev = None;
+        let mut cur = Addr::new(tx.read(self.head)?);
+        while !cur.is_null() {
+            tx.work(15)?; // compare + advance
+            let cid = tx.read(cur.offset(V_ID))?;
+            if cid >= id {
+                break;
+            }
+            prev = Some(cur);
+            cur = Addr::new(tx.read(cur.offset(V_NEXT))?);
+        }
+        Ok((prev, cur))
+    }
+
+    fn find(&self, tx: &mut dyn Txn, id: u64) -> Result<Option<Addr>, TxRetry> {
+        let (_, cur) = self.locate(tx, id)?;
+        if cur.is_null() {
+            return Ok(None);
+        }
+        Ok((tx.read(cur.offset(V_ID))? == id).then_some(cur))
+    }
+
+    fn add_edge_one_way(
+        &self,
+        tx: &mut dyn Txn,
+        from: Addr,
+        peer: u64,
+        ctx: &ThreadCtx,
+    ) -> Result<(), TxRetry> {
+        let edge = ctx.alloc.alloc(E_WORDS);
+        let head = tx.read(from.offset(V_ADJ))?;
+        tx.write(edge.offset(E_PEER), peer)?;
+        tx.write(edge.offset(E_NEXT), head)?;
+        tx.write(from.offset(V_ADJ), edge.raw())?;
+        Ok(())
+    }
+
+    fn remove_edges_to(&self, tx: &mut dyn Txn, v: Addr, peer: u64) -> Result<(), TxRetry> {
+        let mut prev: Option<Addr> = None;
+        let mut cur = Addr::new(tx.read(v.offset(V_ADJ))?);
+        while !cur.is_null() {
+            tx.work(15)?;
+            let next = Addr::new(tx.read(cur.offset(E_NEXT))?);
+            if tx.read(cur.offset(E_PEER))? == peer {
+                match prev {
+                    None => tx.write(v.offset(V_ADJ), next.raw())?,
+                    Some(p) => tx.write(p.offset(E_NEXT), next.raw())?,
+                }
+            } else {
+                prev = Some(cur);
+            }
+            cur = next;
+        }
+        Ok(())
+    }
+
+    /// Inserts vertex `id` with up to [`MAX_EDGES`] edges to random
+    /// existing vertices. Returns `false` if already present.
+    pub fn insert_vertex(
+        &self,
+        tx: &mut dyn Txn,
+        id: u64,
+        neighbor_ids: &[u64],
+        ctx: &ThreadCtx,
+    ) -> Result<bool, TxRetry> {
+        let (prev, cur) = self.locate(tx, id)?;
+        if !cur.is_null() && tx.read(cur.offset(V_ID))? == id {
+            return Ok(false);
+        }
+        let v = ctx.alloc.alloc(V_WORDS);
+        tx.write(v.offset(V_ID), id)?;
+        tx.write(v.offset(V_NEXT), cur.raw())?;
+        tx.write(v.offset(V_ADJ), 0)?;
+        match prev {
+            None => tx.write(self.head, v.raw())?,
+            Some(p) => tx.write(p.offset(V_NEXT), v.raw())?,
+        }
+        // Link up to MAX_EDGES random neighbours, each found by a
+        // fresh list walk (the read-set bulk of this benchmark).
+        for &nid in neighbor_ids.iter().take(MAX_EDGES as usize) {
+            if nid == id {
+                continue;
+            }
+            if let Some(peer) = self.find(tx, nid)? {
+                self.add_edge_one_way(tx, v, nid, ctx)?;
+                self.add_edge_one_way(tx, peer, id, ctx)?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Deletes vertex `id` and all edges referencing it. Returns
+    /// `false` if absent.
+    pub fn delete_vertex(&self, tx: &mut dyn Txn, id: u64) -> Result<bool, TxRetry> {
+        let (prev, cur) = self.locate(tx, id)?;
+        if cur.is_null() || tx.read(cur.offset(V_ID))? != id {
+            return Ok(false);
+        }
+        // Unlink my edges from every neighbour's adjacency list.
+        let mut edge = Addr::new(tx.read(cur.offset(V_ADJ))?);
+        while !edge.is_null() {
+            let peer_id = tx.read(edge.offset(E_PEER))?;
+            if let Some(peer) = self.find(tx, peer_id)? {
+                self.remove_edges_to(tx, peer, id)?;
+            }
+            edge = Addr::new(tx.read(edge.offset(E_NEXT))?);
+        }
+        // Unlink the vertex itself.
+        let next = tx.read(cur.offset(V_NEXT))?;
+        match prev {
+            None => tx.write(self.head, next)?,
+            Some(p) => tx.write(p.offset(V_NEXT), next)?,
+        }
+        Ok(true)
+    }
+
+    /// Committed-state consistency check: the vertex list is sorted and
+    /// every edge's peer exists with a reciprocal edge.
+    pub fn check_direct(&self, st: &flextm_sim::SimState) {
+        let mut ids = Vec::new();
+        let mut cur = Addr::new(st.mem.read(self.head));
+        while !cur.is_null() {
+            ids.push((st.mem.read(cur.offset(V_ID)), cur));
+            cur = Addr::new(st.mem.read(cur.offset(V_NEXT)));
+        }
+        for w in ids.windows(2) {
+            assert!(w[0].0 < w[1].0, "vertex list out of order");
+        }
+        let find = |id: u64| ids.iter().find(|(i, _)| *i == id).map(|&(_, a)| a);
+        for &(id, v) in &ids {
+            let mut e = Addr::new(st.mem.read(v.offset(V_ADJ)));
+            while !e.is_null() {
+                let peer_id = st.mem.read(e.offset(E_PEER));
+                let peer = find(peer_id)
+                    .unwrap_or_else(|| panic!("edge {id}→{peer_id} dangles"));
+                // Reciprocal edge must exist.
+                let mut back = Addr::new(st.mem.read(peer.offset(V_ADJ)));
+                let mut found = false;
+                while !back.is_null() {
+                    if st.mem.read(back.offset(E_PEER)) == id {
+                        found = true;
+                        break;
+                    }
+                    back = Addr::new(st.mem.read(back.offset(E_NEXT)));
+                }
+                assert!(found, "edge {id}→{peer_id} not reciprocated");
+                e = Addr::new(st.mem.read(e.offset(E_NEXT)));
+            }
+        }
+    }
+}
+
+impl Workload for RandomGraph {
+    fn name(&self) -> &str {
+        "RandomGraph"
+    }
+
+    fn setup(&mut self, machine: &Machine) {
+        let alloc = crate::alloc::NodeAlloc::setup();
+        machine.with_state(|st| {
+            self.head = alloc.alloc(WORDS_PER_LINE as u64);
+            st.mem.write(self.head, 0);
+        });
+        // Prefill with the same transactional code over a DirectTxn.
+        let head = self.head;
+        let wl = RandomGraph {
+            head,
+            prefill: 0,
+        };
+        let prefill = self.prefill;
+        machine.with_state(|st| {
+            let mut tx = crate::harness::DirectTxn::new(st);
+            let ctx = crate::harness::ThreadCtx {
+                tid: 0,
+                rng: crate::rng::WlRng::new(0x6EED, 0),
+                alloc,
+            };
+            let mut rng = crate::rng::WlRng::new(0x6EED, 1);
+            let mut inserted = 0;
+            while inserted < prefill {
+                let id = rng.below(ID_RANGE);
+                let neighbors: Vec<u64> = (0..MAX_EDGES).map(|_| rng.below(ID_RANGE)).collect();
+                if wl
+                    .insert_vertex(&mut tx, id, &neighbors, &ctx)
+                    .expect("direct insert")
+                {
+                    inserted += 1;
+                }
+            }
+        });
+    }
+
+    fn run_once(&self, th: &mut dyn TmThread, ctx: &mut ThreadCtx) -> u32 {
+        let insert = ctx.rng.percent(50);
+        let id = ctx.rng.below(ID_RANGE);
+        let neighbors: Vec<u64> = (0..MAX_EDGES).map(|_| ctx.rng.below(ID_RANGE)).collect();
+        let outcome = th.txn(&mut |tx| {
+            if insert {
+                self.insert_vertex(tx, id, &neighbors, ctx)?;
+            } else {
+                self.delete_vertex(tx, id)?;
+            }
+            Ok(())
+        });
+        outcome.attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextm::{FlexTm, FlexTmConfig};
+    use flextm_sim::MachineConfig;
+
+    #[test]
+    fn setup_builds_consistent_graph() {
+        let m = Machine::new(MachineConfig::small_test());
+        let mut wl = RandomGraph::new(40);
+        wl.setup(&m);
+        m.with_state(|st| wl.check_direct(st));
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrip() {
+        let m = Machine::new(MachineConfig::small_test());
+        let mut wl = RandomGraph::new(10);
+        wl.setup(&m);
+        let tm = FlexTm::new(&m, FlexTmConfig::lazy(1));
+        m.run(1, |proc| {
+            use flextm_sim::api::TmRuntime;
+            let mut th = tm.thread(0, proc);
+            let ctx = ThreadCtx {
+                tid: 0,
+                rng: crate::rng::WlRng::new(1, 0),
+                alloc: crate::alloc::NodeAlloc::for_thread(0),
+            };
+            th.txn(&mut |tx| {
+                // 300 is outside the prefill range: fresh vertex.
+                assert!(wl.insert_vertex(tx, 200, &[0, 1, 2, 3], &ctx)?);
+                assert!(!wl.insert_vertex(tx, 200, &[], &ctx)?);
+                Ok(())
+            });
+            th.txn(&mut |tx| {
+                assert!(wl.delete_vertex(tx, 200)?);
+                assert!(!wl.delete_vertex(tx, 200)?);
+                Ok(())
+            });
+        });
+        m.with_state(|st| wl.check_direct(st));
+    }
+
+    #[test]
+    fn concurrent_graph_mutation_stays_consistent() {
+        let m = Machine::new(MachineConfig::small_test());
+        let mut wl = RandomGraph::new(32);
+        wl.setup(&m);
+        let tm = FlexTm::new(&m, FlexTmConfig::lazy(4));
+        let r = crate::harness::run_measured(
+            &m,
+            &tm,
+            &wl,
+            crate::harness::RunConfig {
+                threads: 4,
+                txns_per_thread: 15,
+                warmup_per_thread: 0,
+                seed: 11,
+            },
+        );
+        assert_eq!(r.committed, 60);
+        m.with_state(|st| wl.check_direct(st));
+    }
+}

@@ -1,0 +1,226 @@
+//! RBTree (Table 3(b)): insert / remove / lookup (⅓ each) of values in
+//! `0..4096`, ~2048 resident at steady state, 256-byte nodes. The
+//! interesting behaviour is rebalancing: inserts fix up bottom-up while
+//! lookups descend top-down, so writers conflict with readers near the
+//! root — the workload where lazy beats eager by ~16% at 16 threads
+//! (Fig. 5(a)).
+
+use crate::harness::{ThreadCtx, Workload};
+use crate::tmap::TMap;
+use flextm_sim::api::TmThread;
+use flextm_sim::{Addr, Machine};
+
+const KEY_RANGE: u64 = 4096;
+
+/// The RBTree workload.
+#[derive(Debug)]
+pub struct RbTree {
+    map: TMap,
+    prefill: u64,
+}
+
+impl RbTree {
+    /// `prefill` random keys inserted at setup.
+    pub fn new(prefill: u64) -> Self {
+        RbTree {
+            map: TMap::at(Addr::NULL),
+            prefill,
+        }
+    }
+
+    /// Paper steady state: about half the value range resident.
+    pub fn paper() -> Self {
+        Self::new(KEY_RANGE / 2)
+    }
+
+    /// The underlying map (tests inspect it).
+    pub fn map(&self) -> TMap {
+        self.map
+    }
+}
+
+impl Workload for RbTree {
+    fn name(&self) -> &str {
+        "RBTree"
+    }
+
+    fn setup(&mut self, machine: &Machine) {
+        let alloc = crate::alloc::NodeAlloc::setup();
+        let map = TMap::create(&alloc);
+        self.map = map;
+        let prefill = self.prefill;
+        machine.with_state(|st| {
+            let mut tx = crate::harness::DirectTxn::new(st);
+            let mut rng = crate::rng::WlRng::new(0x5EED, 0);
+            for _ in 0..prefill {
+                let key = rng.below(KEY_RANGE);
+                map.put(&mut tx, key, key, &alloc).expect("direct put");
+            }
+        });
+    }
+
+    fn run_once(&self, th: &mut dyn TmThread, ctx: &mut ThreadCtx) -> u32 {
+        let op = ctx.rng.below(3);
+        let key = ctx.rng.below(KEY_RANGE);
+        let map = self.map;
+        let outcome = th.txn(&mut |tx| {
+            match op {
+                0 => {
+                    map.get(tx, key)?;
+                }
+                1 => {
+                    map.put(tx, key, key, &ctx.alloc)?;
+                }
+                _ => {
+                    map.remove(tx, key)?;
+                }
+            }
+            Ok(())
+        });
+        outcome.attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::NodeAlloc;
+    use crate::rng::WlRng;
+    use flextm::{FlexTm, FlexTmConfig};
+    use flextm_sim::api::TmRuntime;
+    use flextm_sim::MachineConfig;
+    use std::collections::BTreeMap;
+
+    /// The money test: 2000 random ops cross-checked against BTreeMap,
+    /// with full red-black invariant validation along the way.
+    #[test]
+    fn random_ops_match_reference_model() {
+        let m = Machine::new(MachineConfig::small_test());
+        let alloc = NodeAlloc::setup();
+        let map = TMap::create(&alloc);
+        let tm = FlexTm::new(&m, FlexTmConfig::lazy(1));
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = WlRng::new(0xABCD, 0);
+        let mut ops: Vec<(u64, u64, u64)> = Vec::new(); // (op, key, val)
+        for _ in 0..2000 {
+            ops.push((rng.below(3), rng.below(64), rng.below(1000)));
+        }
+        // Model results computed natively.
+        let mut expected: Vec<Option<u64>> = Vec::new();
+        for &(op, key, val) in &ops {
+            expected.push(match op {
+                0 => model.get(&key).copied(),
+                1 => model.insert(key, val),
+                _ => model.remove(&key),
+            });
+        }
+        let ops_ref = &ops;
+        let results = m.run(1, |proc| {
+            let mut th = tm.thread(0, proc);
+            let mut results = Vec::new();
+            for &(op, key, val) in ops_ref {
+                let mut r = None;
+                th.txn(&mut |tx| {
+                    r = match op {
+                        0 => map.get(tx, key)?,
+                        1 => map.put(tx, key, val, &alloc)?,
+                        _ => map.remove(tx, key)?,
+                    };
+                    Ok(())
+                });
+                results.push(r);
+            }
+            results
+        });
+        assert_eq!(results[0], expected, "tree diverged from reference model");
+        m.with_state(|st| {
+            map.check_invariants_direct(st);
+            let contents = map.collect_direct(st);
+            let model_contents: Vec<(u64, u64)> =
+                model.iter().map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(contents, model_contents);
+        });
+    }
+
+    #[test]
+    fn ascending_and_descending_inserts_stay_balanced() {
+        let m = Machine::new(MachineConfig::small_test());
+        let alloc = NodeAlloc::setup();
+        let map = TMap::create(&alloc);
+        let tm = FlexTm::new(&m, FlexTmConfig::lazy(1));
+        m.run(1, |proc| {
+            let mut th = tm.thread(0, proc);
+            for key in 0..128u64 {
+                th.txn(&mut |tx| {
+                    map.put(tx, key, key, &alloc)?;
+                    Ok(())
+                });
+            }
+            for key in (128..256u64).rev() {
+                th.txn(&mut |tx| {
+                    map.put(tx, key, key, &alloc)?;
+                    Ok(())
+                });
+            }
+        });
+        m.with_state(|st| {
+            map.check_invariants_direct(st);
+            assert_eq!(map.collect_direct(st).len(), 256);
+        });
+    }
+
+    #[test]
+    fn delete_everything_both_directions() {
+        let m = Machine::new(MachineConfig::small_test());
+        let alloc = NodeAlloc::setup();
+        let map = TMap::create(&alloc);
+        let tm = FlexTm::new(&m, FlexTmConfig::lazy(1));
+        m.run(1, |proc| {
+            let mut th = tm.thread(0, proc);
+            for key in 0..100u64 {
+                th.txn(&mut |tx| {
+                    map.put(tx, key, key * 2, &alloc)?;
+                    Ok(())
+                });
+            }
+            // Ascending half, then descending half.
+            for key in 0..50u64 {
+                th.txn(&mut |tx| {
+                    assert_eq!(map.remove(tx, key)?, Some(key * 2));
+                    Ok(())
+                });
+            }
+            for key in (50..100u64).rev() {
+                th.txn(&mut |tx| {
+                    assert_eq!(map.remove(tx, key)?, Some(key * 2));
+                    Ok(())
+                });
+            }
+        });
+        m.with_state(|st| {
+            map.check_invariants_direct(st);
+            assert!(map.collect_direct(st).is_empty());
+        });
+    }
+
+    #[test]
+    fn concurrent_rbtree_workload_keeps_invariants() {
+        let m = Machine::new(MachineConfig::small_test());
+        let mut wl = RbTree::new(64);
+        wl.setup(&m);
+        let tm = FlexTm::new(&m, FlexTmConfig::lazy(4));
+        let result = crate::harness::run_measured(
+            &m,
+            &tm,
+            &wl,
+            crate::harness::RunConfig {
+                threads: 4,
+                txns_per_thread: 30,
+                warmup_per_thread: 0,
+                seed: 7,
+            },
+        );
+        assert_eq!(result.committed, 120);
+        m.with_state(|st| wl.map().check_invariants_direct(st));
+    }
+}

@@ -1,0 +1,140 @@
+//! Deterministic per-thread random streams for workloads.
+//!
+//! All workload randomness flows through [`WlRng`], seeded from
+//! `(workload seed, thread id)`, so a run is a pure function of its
+//! configuration — the property every test and benchmark in this
+//! repository relies on.
+
+/// A SplitMix64-based RNG. Small, fast, and deterministic; statistical
+/// quality is ample for workload choice sequences.
+#[derive(Debug, Clone)]
+pub struct WlRng {
+    state: u64,
+}
+
+impl WlRng {
+    /// Seeds a stream for `thread_id` under workload `seed`.
+    pub fn new(seed: u64, thread_id: usize) -> Self {
+        WlRng {
+            state: seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((thread_id as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True with probability `percent`/100.
+    pub fn percent(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// A Zipf-like sampler with pmf `p(i) ∝ i^-2` over `1..=n` (the
+/// LFUCache page distribution: the paper gives the CDF form
+/// `p(i) ∝ Σ_{0<j≤i} j^-2`). Table-based inverse-CDF, O(log n) per
+/// sample.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler over `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64 * i as f64);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a value in `[0, n)` (0-based page index; page 0 is the
+    /// hottest).
+    pub fn sample(&self, rng: &mut WlRng) -> usize {
+        let u = rng.unit();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed_and_thread() {
+        let mut a = WlRng::new(7, 3);
+        let mut b = WlRng::new(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = WlRng::new(7, 4);
+        assert_ne!(WlRng::new(7, 3).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = WlRng::new(1, 0);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn zipf_is_heavily_skewed() {
+        let z = Zipf::new(2048);
+        let mut r = WlRng::new(42, 0);
+        let mut counts = vec![0u32; 2048];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        // p(1) = 1/ζ(2) ≈ 0.61 of all mass on page 0.
+        assert!(
+            counts[0] > 10_000,
+            "page 0 drew only {} of 20000",
+            counts[0]
+        );
+        assert!(counts[0] > counts[1] && counts[1] > counts[4]);
+    }
+
+    #[test]
+    fn percent_extremes() {
+        let mut r = WlRng::new(5, 0);
+        assert!(!(0..100).any(|_| r.percent(0)));
+        assert!((0..100).all(|_| r.percent(100)));
+    }
+}

@@ -1,0 +1,503 @@
+//! A transactional red-black tree map over simulated memory — the
+//! RBTree benchmark's structure and the table engine inside Vacation
+//! ("tables are implemented as a Red-Black tree", Table 3(b)).
+//!
+//! Every pointer chase is a transactional read and every mutation a
+//! transactional write, so rebalancing conflicts (rotations near the
+//! root vs. readers descending from it) arise exactly as they do in the
+//! paper's benchmark. Node layout uses the paper's 256-byte nodes.
+
+use crate::alloc::NodeAlloc;
+use flextm_sim::api::{Txn, TxRetry};
+use flextm_sim::{Addr, WORDS_PER_LINE};
+
+// 256-byte nodes (4 lines), fields in the first line.
+const NODE_WORDS: u64 = 4 * WORDS_PER_LINE as u64;
+const F_KEY: u64 = 0;
+const F_VAL: u64 = 1;
+const F_LEFT: u64 = 2;
+const F_RIGHT: u64 = 3;
+const F_PARENT: u64 = 4;
+const F_COLOR: u64 = 5;
+
+const BLACK: u64 = 0;
+const RED: u64 = 1;
+
+/// A red-black tree map rooted at a header word in simulated memory.
+///
+/// The header holds the root pointer; `TMap` itself is just the
+/// header's address, freely copyable across threads.
+#[derive(Debug, Clone, Copy)]
+pub struct TMap {
+    root_ptr: Addr,
+}
+
+impl TMap {
+    /// Allocates an empty map's header using `alloc`. The header must
+    /// be zero (empty) — fresh arena lines are.
+    pub fn create(alloc: &NodeAlloc) -> Self {
+        TMap {
+            root_ptr: alloc.alloc(WORDS_PER_LINE as u64),
+        }
+    }
+
+    /// Wraps an existing header address.
+    pub fn at(root_ptr: Addr) -> Self {
+        TMap { root_ptr }
+    }
+
+    /// The header address.
+    pub fn root_ptr(&self) -> Addr {
+        self.root_ptr
+    }
+
+    // ---- field helpers ----
+    fn key(tx: &mut dyn Txn, n: Addr) -> Result<u64, TxRetry> {
+        tx.read(n.offset(F_KEY))
+    }
+    fn val(tx: &mut dyn Txn, n: Addr) -> Result<u64, TxRetry> {
+        tx.read(n.offset(F_VAL))
+    }
+    fn left(tx: &mut dyn Txn, n: Addr) -> Result<Addr, TxRetry> {
+        Ok(Addr::new(tx.read(n.offset(F_LEFT))?))
+    }
+    fn right(tx: &mut dyn Txn, n: Addr) -> Result<Addr, TxRetry> {
+        Ok(Addr::new(tx.read(n.offset(F_RIGHT))?))
+    }
+    fn parent(tx: &mut dyn Txn, n: Addr) -> Result<Addr, TxRetry> {
+        Ok(Addr::new(tx.read(n.offset(F_PARENT))?))
+    }
+    fn color(tx: &mut dyn Txn, n: Addr) -> Result<u64, TxRetry> {
+        if n.is_null() {
+            return Ok(BLACK);
+        }
+        tx.read(n.offset(F_COLOR))
+    }
+    fn set_left(tx: &mut dyn Txn, n: Addr, v: Addr) -> Result<(), TxRetry> {
+        tx.write(n.offset(F_LEFT), v.raw())
+    }
+    fn set_right(tx: &mut dyn Txn, n: Addr, v: Addr) -> Result<(), TxRetry> {
+        tx.write(n.offset(F_RIGHT), v.raw())
+    }
+    fn set_parent(tx: &mut dyn Txn, n: Addr, v: Addr) -> Result<(), TxRetry> {
+        tx.write(n.offset(F_PARENT), v.raw())
+    }
+    fn set_color(tx: &mut dyn Txn, n: Addr, c: u64) -> Result<(), TxRetry> {
+        tx.write(n.offset(F_COLOR), c)
+    }
+
+    fn root(&self, tx: &mut dyn Txn) -> Result<Addr, TxRetry> {
+        Ok(Addr::new(tx.read(self.root_ptr)?))
+    }
+    fn set_root(&self, tx: &mut dyn Txn, n: Addr) -> Result<(), TxRetry> {
+        tx.write(self.root_ptr, n.raw())
+    }
+
+    /// Per-node computation charge (compare + branch + pointer math of
+    /// the original C++ benchmark).
+    const NODE_WORK: u64 = 35;
+
+    /// Transactional lookup.
+    pub fn get(&self, tx: &mut dyn Txn, key: u64) -> Result<Option<u64>, TxRetry> {
+        let mut cur = self.root(tx)?;
+        while !cur.is_null() {
+            tx.work(Self::NODE_WORK)?;
+            let k = Self::key(tx, cur)?;
+            cur = if key < k {
+                Self::left(tx, cur)?
+            } else if key > k {
+                Self::right(tx, cur)?
+            } else {
+                return Ok(Some(Self::val(tx, cur)?));
+            };
+        }
+        Ok(None)
+    }
+
+    /// Insert-or-update; returns the previous value if the key existed.
+    pub fn put(
+        &self,
+        tx: &mut dyn Txn,
+        key: u64,
+        value: u64,
+        alloc: &NodeAlloc,
+    ) -> Result<Option<u64>, TxRetry> {
+        let mut parent = Addr::NULL;
+        let mut cur = self.root(tx)?;
+        let mut went_left = false;
+        while !cur.is_null() {
+            tx.work(Self::NODE_WORK)?;
+            let k = Self::key(tx, cur)?;
+            if key == k {
+                let old = Self::val(tx, cur)?;
+                tx.write(cur.offset(F_VAL), value)?;
+                return Ok(Some(old));
+            }
+            parent = cur;
+            went_left = key < k;
+            cur = if went_left {
+                Self::left(tx, cur)?
+            } else {
+                Self::right(tx, cur)?
+            };
+        }
+        let node = alloc.alloc(NODE_WORDS);
+        tx.write(node.offset(F_KEY), key)?;
+        tx.write(node.offset(F_VAL), value)?;
+        Self::set_left(tx, node, Addr::NULL)?;
+        Self::set_right(tx, node, Addr::NULL)?;
+        Self::set_parent(tx, node, parent)?;
+        Self::set_color(tx, node, RED)?;
+        if parent.is_null() {
+            self.set_root(tx, node)?;
+        } else if went_left {
+            Self::set_left(tx, parent, node)?;
+        } else {
+            Self::set_right(tx, parent, node)?;
+        }
+        self.insert_fixup(tx, node)?;
+        Ok(None)
+    }
+
+    fn left_rotate(&self, tx: &mut dyn Txn, x: Addr) -> Result<(), TxRetry> {
+        let y = Self::right(tx, x)?;
+        let yl = Self::left(tx, y)?;
+        Self::set_right(tx, x, yl)?;
+        if !yl.is_null() {
+            Self::set_parent(tx, yl, x)?;
+        }
+        let xp = Self::parent(tx, x)?;
+        Self::set_parent(tx, y, xp)?;
+        if xp.is_null() {
+            self.set_root(tx, y)?;
+        } else if Self::left(tx, xp)? == x {
+            Self::set_left(tx, xp, y)?;
+        } else {
+            Self::set_right(tx, xp, y)?;
+        }
+        Self::set_left(tx, y, x)?;
+        Self::set_parent(tx, x, y)
+    }
+
+    fn right_rotate(&self, tx: &mut dyn Txn, x: Addr) -> Result<(), TxRetry> {
+        let y = Self::left(tx, x)?;
+        let yr = Self::right(tx, y)?;
+        Self::set_left(tx, x, yr)?;
+        if !yr.is_null() {
+            Self::set_parent(tx, yr, x)?;
+        }
+        let xp = Self::parent(tx, x)?;
+        Self::set_parent(tx, y, xp)?;
+        if xp.is_null() {
+            self.set_root(tx, y)?;
+        } else if Self::right(tx, xp)? == x {
+            Self::set_right(tx, xp, y)?;
+        } else {
+            Self::set_left(tx, xp, y)?;
+        }
+        Self::set_right(tx, y, x)?;
+        Self::set_parent(tx, x, y)
+    }
+
+    fn insert_fixup(&self, tx: &mut dyn Txn, mut z: Addr) -> Result<(), TxRetry> {
+        loop {
+            let zp = Self::parent(tx, z)?;
+            if zp.is_null() || Self::color(tx, zp)? == BLACK {
+                break;
+            }
+            let zpp = Self::parent(tx, zp)?; // grandparent exists: parent is red, root is black
+            if Self::left(tx, zpp)? == zp {
+                let uncle = Self::right(tx, zpp)?;
+                if Self::color(tx, uncle)? == RED {
+                    Self::set_color(tx, zp, BLACK)?;
+                    Self::set_color(tx, uncle, BLACK)?;
+                    Self::set_color(tx, zpp, RED)?;
+                    z = zpp;
+                } else {
+                    if Self::right(tx, zp)? == z {
+                        z = zp;
+                        self.left_rotate(tx, z)?;
+                    }
+                    let zp = Self::parent(tx, z)?;
+                    let zpp = Self::parent(tx, zp)?;
+                    Self::set_color(tx, zp, BLACK)?;
+                    Self::set_color(tx, zpp, RED)?;
+                    self.right_rotate(tx, zpp)?;
+                }
+            } else {
+                let uncle = Self::left(tx, zpp)?;
+                if Self::color(tx, uncle)? == RED {
+                    Self::set_color(tx, zp, BLACK)?;
+                    Self::set_color(tx, uncle, BLACK)?;
+                    Self::set_color(tx, zpp, RED)?;
+                    z = zpp;
+                } else {
+                    if Self::left(tx, zp)? == z {
+                        z = zp;
+                        self.right_rotate(tx, z)?;
+                    }
+                    let zp = Self::parent(tx, z)?;
+                    let zpp = Self::parent(tx, zp)?;
+                    Self::set_color(tx, zp, BLACK)?;
+                    Self::set_color(tx, zpp, RED)?;
+                    self.left_rotate(tx, zpp)?;
+                }
+            }
+        }
+        let root = self.root(tx)?;
+        Self::set_color(tx, root, BLACK)
+    }
+
+    /// Replaces subtree `u` with `v` in u's parent (CLRS transplant; a
+    /// null `v`'s parent pointer is tracked by the caller instead of a
+    /// shared sentinel, so concurrent deletes do not fight over one
+    /// NIL node).
+    fn transplant(&self, tx: &mut dyn Txn, u: Addr, v: Addr) -> Result<(), TxRetry> {
+        let up = Self::parent(tx, u)?;
+        if up.is_null() {
+            self.set_root(tx, v)?;
+        } else if Self::left(tx, up)? == u {
+            Self::set_left(tx, up, v)?;
+        } else {
+            Self::set_right(tx, up, v)?;
+        }
+        if !v.is_null() {
+            Self::set_parent(tx, v, up)?;
+        }
+        Ok(())
+    }
+
+    /// Transactional removal; returns the removed value, if any.
+    pub fn remove(&self, tx: &mut dyn Txn, key: u64) -> Result<Option<u64>, TxRetry> {
+        // Find z.
+        let mut z = self.root(tx)?;
+        while !z.is_null() {
+            tx.work(Self::NODE_WORK)?;
+            let k = Self::key(tx, z)?;
+            if key < k {
+                z = Self::left(tx, z)?;
+            } else if key > k {
+                z = Self::right(tx, z)?;
+            } else {
+                break;
+            }
+        }
+        if z.is_null() {
+            return Ok(None);
+        }
+        let removed = Self::val(tx, z)?;
+
+        let zl = Self::left(tx, z)?;
+        let zr = Self::right(tx, z)?;
+        let fix_black;
+        let x;
+        let xp;
+        if zl.is_null() {
+            fix_black = Self::color(tx, z)? == BLACK;
+            x = zr;
+            xp = Self::parent(tx, z)?;
+            self.transplant(tx, z, zr)?;
+        } else if zr.is_null() {
+            fix_black = Self::color(tx, z)? == BLACK;
+            x = zl;
+            xp = Self::parent(tx, z)?;
+            self.transplant(tx, z, zl)?;
+        } else {
+            // y = successor = minimum of right subtree.
+            let mut y = zr;
+            loop {
+                let yl = Self::left(tx, y)?;
+                if yl.is_null() {
+                    break;
+                }
+                y = yl;
+            }
+            fix_black = Self::color(tx, y)? == BLACK;
+            x = Self::right(tx, y)?;
+            if Self::parent(tx, y)? == z {
+                xp = y;
+            } else {
+                xp = Self::parent(tx, y)?;
+                self.transplant(tx, y, x)?;
+                let zr = Self::right(tx, z)?;
+                Self::set_right(tx, y, zr)?;
+                Self::set_parent(tx, zr, y)?;
+            }
+            self.transplant(tx, z, y)?;
+            let zl = Self::left(tx, z)?;
+            Self::set_left(tx, y, zl)?;
+            Self::set_parent(tx, zl, y)?;
+            let zc = Self::color(tx, z)?;
+            Self::set_color(tx, y, zc)?;
+        }
+        if fix_black {
+            self.delete_fixup(tx, x, xp)?;
+        }
+        Ok(Some(removed))
+    }
+
+    /// CLRS delete-fixup with `(x, xp)` tracking so a null `x` needs no
+    /// sentinel.
+    fn delete_fixup(&self, tx: &mut dyn Txn, mut x: Addr, mut xp: Addr) -> Result<(), TxRetry> {
+        while !xp.is_null() && Self::color(tx, x)? == BLACK {
+            if Self::left(tx, xp)? == x {
+                let mut w = Self::right(tx, xp)?;
+                if Self::color(tx, w)? == RED {
+                    Self::set_color(tx, w, BLACK)?;
+                    Self::set_color(tx, xp, RED)?;
+                    self.left_rotate(tx, xp)?;
+                    w = Self::right(tx, xp)?;
+                }
+                let wl = Self::left(tx, w)?;
+                let wr = Self::right(tx, w)?;
+                if Self::color(tx, wl)? == BLACK && Self::color(tx, wr)? == BLACK {
+                    Self::set_color(tx, w, RED)?;
+                    x = xp;
+                    xp = Self::parent(tx, x)?;
+                } else {
+                    if Self::color(tx, wr)? == BLACK {
+                        Self::set_color(tx, wl, BLACK)?;
+                        Self::set_color(tx, w, RED)?;
+                        self.right_rotate(tx, w)?;
+                        w = Self::right(tx, xp)?;
+                    }
+                    let xpc = Self::color(tx, xp)?;
+                    Self::set_color(tx, w, xpc)?;
+                    Self::set_color(tx, xp, BLACK)?;
+                    let wr = Self::right(tx, w)?;
+                    if !wr.is_null() {
+                        Self::set_color(tx, wr, BLACK)?;
+                    }
+                    self.left_rotate(tx, xp)?;
+                    break;
+                }
+            } else {
+                let mut w = Self::left(tx, xp)?;
+                if Self::color(tx, w)? == RED {
+                    Self::set_color(tx, w, BLACK)?;
+                    Self::set_color(tx, xp, RED)?;
+                    self.right_rotate(tx, xp)?;
+                    w = Self::left(tx, xp)?;
+                }
+                let wl = Self::left(tx, w)?;
+                let wr = Self::right(tx, w)?;
+                if Self::color(tx, wl)? == BLACK && Self::color(tx, wr)? == BLACK {
+                    Self::set_color(tx, w, RED)?;
+                    x = xp;
+                    xp = Self::parent(tx, x)?;
+                } else {
+                    if Self::color(tx, wl)? == BLACK {
+                        Self::set_color(tx, wr, BLACK)?;
+                        Self::set_color(tx, w, RED)?;
+                        self.left_rotate(tx, w)?;
+                        w = Self::left(tx, xp)?;
+                    }
+                    let xpc = Self::color(tx, xp)?;
+                    Self::set_color(tx, w, xpc)?;
+                    Self::set_color(tx, xp, BLACK)?;
+                    let wl = Self::left(tx, w)?;
+                    if !wl.is_null() {
+                        Self::set_color(tx, wl, BLACK)?;
+                    }
+                    self.right_rotate(tx, xp)?;
+                    break;
+                }
+            }
+        }
+        if !x.is_null() {
+            Self::set_color(tx, x, BLACK)?;
+        }
+        Ok(())
+    }
+
+    /// Walks `k` keys starting at `key` in ascending wrap-around order
+    /// (Vacation's "stream them through an RBTree" read pattern);
+    /// returns how many were present.
+    pub fn scan(
+        &self,
+        tx: &mut dyn Txn,
+        key: u64,
+        k: u64,
+        key_range: u64,
+    ) -> Result<u64, TxRetry> {
+        let mut found = 0;
+        for i in 0..k {
+            if self.get(tx, (key + i) % key_range)?.is_some() {
+                found += 1;
+            }
+        }
+        Ok(found)
+    }
+
+    // ---- direct (non-transactional) helpers for tests & setup ----
+
+    /// Direct read of the whole map (committed state).
+    pub fn collect_direct(&self, st: &flextm_sim::SimState) -> Vec<(u64, u64)> {
+        fn walk(st: &flextm_sim::SimState, n: Addr, out: &mut Vec<(u64, u64)>) {
+            if n.is_null() {
+                return;
+            }
+            walk(st, Addr::new(st.mem.read(n.offset(F_LEFT))), out);
+            out.push((st.mem.read(n.offset(F_KEY)), st.mem.read(n.offset(F_VAL))));
+            walk(st, Addr::new(st.mem.read(n.offset(F_RIGHT))), out);
+        }
+        let mut out = Vec::new();
+        walk(st, Addr::new(st.mem.read(self.root_ptr)), &mut out);
+        out
+    }
+
+    /// Validates the red-black invariants against committed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) on any violation — tests call this.
+    pub fn check_invariants_direct(&self, st: &flextm_sim::SimState) {
+        fn walk(
+            st: &flextm_sim::SimState,
+            n: Addr,
+            parent: Addr,
+            lo: Option<u64>,
+            hi: Option<u64>,
+        ) -> u32 {
+            if n.is_null() {
+                return 1; // black height of nil
+            }
+            let key = st.mem.read(n.offset(F_KEY));
+            if let Some(lo) = lo {
+                assert!(key > lo, "BST order violated at key {key}");
+            }
+            if let Some(hi) = hi {
+                assert!(key < hi, "BST order violated at key {key}");
+            }
+            let p = Addr::new(st.mem.read(n.offset(F_PARENT)));
+            assert_eq!(p, parent, "parent pointer corrupt at key {key}");
+            let color = st.mem.read(n.offset(F_COLOR));
+            let l = Addr::new(st.mem.read(n.offset(F_LEFT)));
+            let r = Addr::new(st.mem.read(n.offset(F_RIGHT)));
+            if color == RED {
+                for c in [l, r] {
+                    if !c.is_null() {
+                        assert_eq!(
+                            st.mem.read(c.offset(F_COLOR)),
+                            BLACK,
+                            "red-red violation under key {key}"
+                        );
+                    }
+                }
+            }
+            let bl = walk(st, l, n, lo, Some(key));
+            let br = walk(st, r, n, Some(key), hi);
+            assert_eq!(bl, br, "black-height mismatch at key {key}");
+            bl + u32::from(color == BLACK)
+        }
+        let root = Addr::new(st.mem.read(self.root_ptr));
+        if !root.is_null() {
+            assert_eq!(
+                st.mem.read(root.offset(F_COLOR)),
+                BLACK,
+                "root must be black"
+            );
+            walk(st, root, Addr::NULL, None, None);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Vacation (Table 3(b)): a travel-reservation system in the spirit of
+//! SPECjbb — client threads run tasks against an in-memory database
+//! whose tables are red-black trees. Transactions read on the order of
+//! a hundred entries, streaming them through the tree.
+//!
+//! Two contention modes, as in the paper:
+//! * **Low** — 90% of relations queried (wide window, conflicts rare),
+//!   read-only tasks dominate;
+//! * **High** — 10% of relations queried (all tasks hammer a narrow
+//!   window), 50/50 mix of read-only and read-write tasks.
+
+use crate::harness::{ThreadCtx, Workload};
+use crate::tmap::TMap;
+use flextm_sim::api::{TmThread, Txn, TxRetry};
+use flextm_sim::{Addr, Machine};
+
+/// Entries per table.
+const RELATIONS: u64 = 512;
+/// Entries examined per task ("read ~100 entries").
+const QUERIES_PER_TASK: u64 = 24;
+/// Initial free units per relation.
+const INITIAL_FREE: u64 = 100;
+
+/// Contention mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contention {
+    /// 90% of relations queried; 90% read-only tasks.
+    Low,
+    /// 10% of relations queried; 50% read-only tasks.
+    High,
+}
+
+impl Contention {
+    fn window(self) -> u64 {
+        match self {
+            Contention::Low => RELATIONS * 90 / 100,
+            Contention::High => RELATIONS * 10 / 100,
+        }
+    }
+    fn read_only_percent(self) -> u64 {
+        match self {
+            Contention::Low => 90,
+            Contention::High => 50,
+        }
+    }
+}
+
+/// The Vacation workload.
+#[derive(Debug)]
+pub struct Vacation {
+    mode: Contention,
+    /// cars, flights, rooms.
+    tables: [TMap; 3],
+    /// customer id → number of reservations made.
+    customers: TMap,
+}
+
+impl Vacation {
+    /// Builds the workload in the given contention mode.
+    pub fn new(mode: Contention) -> Self {
+        Vacation {
+            mode,
+            tables: [TMap::at(Addr::NULL); 3],
+            customers: TMap::at(Addr::NULL),
+        }
+    }
+
+    /// Browse task: stream entries from all three tables, remembering
+    /// the cheapest available relation per table (read-only).
+    fn browse(&self, tx: &mut dyn Txn, start: u64) -> Result<u64, TxRetry> {
+        tx.work(100)?; // task setup / query planning
+        let mut best_total = 0;
+        for table in &self.tables {
+            let mut best = u64::MAX;
+            for i in 0..QUERIES_PER_TASK / 3 {
+                let id = (start + i * 7) % RELATIONS;
+                if let Some(free) = table.get(tx, id)? {
+                    if free > 0 && id < best {
+                        best = id;
+                    }
+                }
+            }
+            if best != u64::MAX {
+                best_total += best;
+            }
+        }
+        Ok(best_total)
+    }
+
+    /// Reservation task: browse, then decrement the chosen relations'
+    /// free counts and record the reservation against the customer.
+    fn reserve(
+        &self,
+        tx: &mut dyn Txn,
+        start: u64,
+        customer: u64,
+        ctx: &ThreadCtx,
+    ) -> Result<bool, TxRetry> {
+        tx.work(100)?; // task setup
+        let mut reserved_any = false;
+        for table in &self.tables {
+            let mut chosen = None;
+            for i in 0..QUERIES_PER_TASK / 3 {
+                let id = (start + i * 7) % RELATIONS;
+                if let Some(free) = table.get(tx, id)? {
+                    if free > 0 {
+                        chosen = Some((id, free));
+                        break;
+                    }
+                }
+            }
+            if let Some((id, free)) = chosen {
+                table.put(tx, id, free - 1, &ctx.alloc)?;
+                reserved_any = true;
+            }
+        }
+        if reserved_any {
+            let count = self.customers.get(tx, customer)?.unwrap_or(0);
+            self.customers.put(tx, customer, count + 1, &ctx.alloc)?;
+        }
+        Ok(reserved_any)
+    }
+
+    /// Sum of free units across one table (test invariant support).
+    pub fn table_free_direct(&self, st: &flextm_sim::SimState, table: usize) -> u64 {
+        self.tables[table]
+            .collect_direct(st)
+            .iter()
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    /// Total reservations recorded across all customers.
+    pub fn reservations_direct(&self, st: &flextm_sim::SimState) -> u64 {
+        self.customers
+            .collect_direct(st)
+            .iter()
+            .map(|&(_, v)| v)
+            .sum()
+    }
+}
+
+impl Workload for Vacation {
+    fn name(&self) -> &str {
+        match self.mode {
+            Contention::Low => "Vacation-Low",
+            Contention::High => "Vacation-High",
+        }
+    }
+
+    fn setup(&mut self, machine: &Machine) {
+        let alloc = crate::alloc::NodeAlloc::setup();
+        machine.with_state(|st| {
+            let mut tx = crate::harness::DirectTxn::new(st);
+            for t in 0..3 {
+                let map = TMap::create(&alloc);
+                // Shuffled insertion order for a balanced tree shape.
+                let mut id = 17u64;
+                for _ in 0..RELATIONS {
+                    map.put(&mut tx, id, INITIAL_FREE, &alloc).expect("direct put");
+                    id = (id + 211) % RELATIONS;
+                }
+                self.tables[t] = map;
+            }
+            self.customers = TMap::create(&alloc);
+        });
+    }
+
+    fn run_once(&self, th: &mut dyn TmThread, ctx: &mut ThreadCtx) -> u32 {
+        let window = self.mode.window().max(1);
+        let start = ctx.rng.below(window);
+        let read_only = ctx.rng.percent(self.mode.read_only_percent());
+        let customer = ctx.rng.below(256);
+        let outcome = th.txn(&mut |tx| {
+            if read_only {
+                self.browse(tx, start)?;
+            } else {
+                self.reserve(tx, start, customer, ctx)?;
+            }
+            Ok(())
+        });
+        outcome.attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextm::{FlexTm, FlexTmConfig};
+    use flextm_sim::MachineConfig;
+
+    #[test]
+    fn reservations_conserve_inventory() {
+        let m = Machine::new(MachineConfig::small_test());
+        let mut wl = Vacation::new(Contention::High);
+        wl.setup(&m);
+        let tm = FlexTm::new(&m, FlexTmConfig::lazy(4));
+        let r = crate::harness::run_measured(
+            &m,
+            &tm,
+            &wl,
+            crate::harness::RunConfig {
+                threads: 4,
+                txns_per_thread: 15,
+                warmup_per_thread: 0,
+                seed: 21,
+            },
+        );
+        assert_eq!(r.committed, 60);
+        m.with_state(|st| {
+            // Every unit decremented from a table corresponds to ≥1
+            // customer reservation record; with 3 tables one
+            // reservation task decrements ≤ 3 units.
+            let initial = RELATIONS * INITIAL_FREE;
+            let consumed: u64 = (0..3)
+                .map(|t| initial - wl.table_free_direct(st, t))
+                .sum();
+            let reservations = wl.reservations_direct(st);
+            assert!(consumed >= reservations, "{consumed} < {reservations}");
+            assert!(
+                consumed <= 3 * reservations,
+                "{consumed} > 3×{reservations}"
+            );
+        });
+    }
+
+    #[test]
+    fn low_contention_mode_aborts_less_than_high() {
+        let run = |mode| {
+            let m = Machine::new(MachineConfig::small_test());
+            let mut wl = Vacation::new(mode);
+            wl.setup(&m);
+            let tm = FlexTm::new(&m, FlexTmConfig::lazy(4));
+            let r = crate::harness::run_measured(
+                &m,
+                &tm,
+                &wl,
+                crate::harness::RunConfig {
+                    threads: 4,
+                    txns_per_thread: 12,
+                    warmup_per_thread: 0,
+                    seed: 33,
+                },
+            );
+            r.abort_ratio()
+        };
+        let low = run(Contention::Low);
+        let high = run(Contention::High);
+        assert!(
+            low <= high,
+            "low-contention abort ratio {low} exceeds high {high}"
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Workspace root for the FlexTM reproduction.
+//!
+//! This crate only re-exports the member crates so that the root
+//! `examples/` and `tests/` directories can exercise the whole stack
+//! through one dependency. See [`flextm`] for the paper's primary
+//! contribution and `DESIGN.md` for the system inventory.
+
+pub use flextm;
+pub use flextm_area;
+pub use flextm_sig;
+pub use flextm_sim;
+pub use flextm_stm;
+pub use flextm_watcher;
+pub use flextm_workloads;

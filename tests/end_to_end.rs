@@ -1,0 +1,179 @@
+//! Whole-stack integration tests: every runtime on every workload,
+//! exercising the full simulator + runtime + data-structure pipeline.
+
+use flextm::{FlexTm, FlexTmConfig};
+use flextm_repro::*;
+use flextm_sim::api::TmRuntime;
+use flextm_sim::{Machine, MachineConfig};
+use flextm_stm::{Cgl, Rstm, RtmF, Tl2};
+use flextm_workloads::harness::{run_measured, RunConfig, Workload};
+use flextm_workloads::{Contention, Delaunay, HashTable, LfuCache, RandomGraph, RbTree, Vacation};
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::small_test().with_cores(4))
+}
+
+fn workloads(threads: usize) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(HashTable::paper()),
+        Box::new(RbTree::new(128)),
+        Box::new(LfuCache::paper()),
+        Box::new(RandomGraph::new(24)),
+        Box::new(Delaunay::new(threads)),
+        Box::new(Vacation::new(Contention::Low)),
+        Box::new(Vacation::new(Contention::High)),
+    ]
+}
+
+fn run_all(build: impl Fn(&Machine, usize) -> Box<dyn TmRuntime + '_>, label: &str) {
+    let threads = 4;
+    for mut wl in workloads(threads) {
+        let m = machine();
+        wl.setup(&m);
+        let rt = build(&m, threads);
+        let r = run_measured(
+            &m,
+            rt.as_ref(),
+            wl.as_ref(),
+            RunConfig {
+                threads,
+                txns_per_thread: 12,
+                warmup_per_thread: 2,
+                seed: 0xE2E,
+            },
+        );
+        assert_eq!(
+            r.committed,
+            4 * 12,
+            "{label} lost transactions on {}",
+            wl.name()
+        );
+        assert!(r.cycles > 0);
+        assert!(
+            r.throughput() > 0.0,
+            "{label} zero throughput on {}",
+            wl.name()
+        );
+    }
+}
+
+#[test]
+fn flextm_lazy_runs_every_workload() {
+    run_all(
+        |m, t| Box::new(FlexTm::new(m, FlexTmConfig::lazy(t))),
+        "FlexTM-Lazy",
+    );
+}
+
+#[test]
+fn flextm_eager_runs_every_workload() {
+    run_all(
+        |m, t| Box::new(FlexTm::new(m, FlexTmConfig::eager(t))),
+        "FlexTM-Eager",
+    );
+}
+
+#[test]
+fn cgl_runs_every_workload() {
+    run_all(|m, _| Box::new(Cgl::new(m)), "CGL");
+}
+
+#[test]
+fn tl2_runs_every_workload() {
+    run_all(|m, _| Box::new(Tl2::with_defaults(m)), "TL2");
+}
+
+#[test]
+fn rstm_runs_every_workload() {
+    run_all(
+        |m, t| Box::new(Rstm::new(m, t, flextm::CmKind::Polka)),
+        "RSTM",
+    );
+}
+
+#[test]
+fn rtmf_runs_every_workload() {
+    run_all(
+        |m, t| Box::new(RtmF::new(m, t, flextm::CmKind::Polka)),
+        "RTM-F",
+    );
+}
+
+/// Cross-runtime agreement: the RBTree invariants hold under every
+/// runtime after an identical op mix.
+#[test]
+fn rbtree_invariants_hold_under_every_runtime() {
+    #[allow(clippy::type_complexity)]
+    let builders: Vec<(&str, Box<dyn Fn(&Machine, usize) -> Box<dyn TmRuntime + '_>>)> = vec![
+        ("flextm", Box::new(|m: &Machine, t| {
+            Box::new(FlexTm::new(m, FlexTmConfig::lazy(t))) as Box<dyn TmRuntime>
+        })),
+        ("cgl", Box::new(|m: &Machine, _| Box::new(Cgl::new(m)) as Box<dyn TmRuntime>)),
+        ("tl2", Box::new(|m: &Machine, _| {
+            Box::new(Tl2::with_defaults(m)) as Box<dyn TmRuntime>
+        })),
+        ("rstm", Box::new(|m: &Machine, t| {
+            Box::new(Rstm::new(m, t, flextm::CmKind::Polka)) as Box<dyn TmRuntime>
+        })),
+    ];
+    for (label, build) in builders {
+        let m = machine();
+        let mut wl = RbTree::new(96);
+        wl.setup(&m);
+        let rt = build(&m, 3);
+        let r = run_measured(
+            &m,
+            rt.as_ref(),
+            &wl,
+            RunConfig {
+                threads: 3,
+                txns_per_thread: 25,
+                warmup_per_thread: 0,
+                seed: 5,
+            },
+        );
+        assert_eq!(r.committed, 75, "{label}");
+        m.with_state(|st| wl.map().check_invariants_direct(st));
+    }
+}
+
+/// A lock must serialize in *simulated time*: N threads × M critical
+/// sections of W cycles take at least N·M·W cycles of wall clock.
+#[test]
+fn cgl_serializes_in_simulated_time() {
+    let m = machine();
+    let cgl = Cgl::new(&m);
+    m.align_clocks();
+    let before = m.report().elapsed_cycles();
+    m.run(4, |proc| {
+        let mut th = cgl.thread(proc.core(), proc);
+        for _ in 0..8 {
+            th.txn(&mut |tx| {
+                tx.work(300)?;
+                Ok(())
+            });
+        }
+    });
+    let elapsed = m.report().elapsed_cycles() - before;
+    assert!(
+        elapsed >= 4 * 8 * 300,
+        "critical sections overlapped: {elapsed} < 9600"
+    );
+}
+
+/// Baselines without an escape mechanism fall back to transactional
+/// semantics for escape operations (correct, just stronger).
+#[test]
+fn baselines_fall_back_to_transactional_escape() {
+    let m = machine();
+    let tl2 = Tl2::with_defaults(&m);
+    let x = flextm_sim::Addr::new(0x80_000);
+    m.run(1, |proc| {
+        let mut th = tl2.thread(0, proc);
+        th.txn(&mut |tx| {
+            tx.escape_write(x, 9)?;
+            Ok(())
+        });
+    });
+    m.with_state(|st| assert_eq!(st.mem.read(x), 9));
+}
