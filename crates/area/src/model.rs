@@ -79,9 +79,9 @@ impl CactiLite {
     /// matching MSHRs. Dominated by the buffers, hence ∝ line size.
     pub fn ot_controller_mm2(&self, line_bytes: u64) -> f64 {
         let buffer_bits = 16 * line_bytes * 8; // 8 WB + 8 miss buffers
-        // Calibrated peripheral factor for small dual-ported buffers
-        // with CAM-tagged MSHRs (fits the paper's CACTI 6 outputs:
-        // 0.16 / 0.24 / 0.035 mm² for 64 / 128 / 16-byte lines).
+                                               // Calibrated peripheral factor for small dual-ported buffers
+                                               // with CAM-tagged MSHRs (fits the paper's CACTI 6 outputs:
+                                               // 0.16 / 0.24 / 0.035 mm² for 64 / 128 / 16-byte lines).
         let buffer_factor = 34.0;
         let fsm_mm2 = 0.01; // TSB-walker-class FSM
         buffer_bits as f64 * self.node.sram_cell_um2() * buffer_factor / 1e6 + fsm_mm2

@@ -72,8 +72,7 @@ pub fn addons(spec: &ProcessorSpec, sig_bits: u64) -> FlexTmAddons {
     // Core increase: signatures + OT controller + CST registers (a few
     // hundred flops — counted at register-file cell cost).
     let cst_mm2 = cst_registers as f64 * 64.0 * spec.node.sram_cell_um2() * 10.0 / 1e6;
-    let core_increase_pct =
-        (signature_mm2 + ot_controller_mm2 + cst_mm2) / spec.core_mm2 * 100.0;
+    let core_increase_pct = (signature_mm2 + ot_controller_mm2 + cst_mm2) / spec.core_mm2 * 100.0;
 
     FlexTmAddons {
         name: spec.name,
@@ -140,9 +139,15 @@ pub fn render_table2(sig_bits: u64) -> String {
     };
     push(&mut out, "Processor", &|i| specs[i].name.to_string());
     push(&mut out, "SMT (threads)", &|i| specs[i].smt.to_string());
-    push(&mut out, "Die (mm2)", &|i| format!("{:.0}", specs[i].die_mm2));
-    push(&mut out, "Core (mm2)", &|i| format!("{:.1}", specs[i].core_mm2));
-    push(&mut out, "L1 D (mm2)", &|i| format!("{:.1}", specs[i].l1d_mm2));
+    push(&mut out, "Die (mm2)", &|i| {
+        format!("{:.0}", specs[i].die_mm2)
+    });
+    push(&mut out, "Core (mm2)", &|i| {
+        format!("{:.1}", specs[i].core_mm2)
+    });
+    push(&mut out, "L1 D (mm2)", &|i| {
+        format!("{:.1}", specs[i].l1d_mm2)
+    });
     push(&mut out, "line size (bytes)", &|i| {
         specs[i].line_bytes.to_string()
     });
@@ -181,9 +186,21 @@ mod tests {
         let a: Vec<FlexTmAddons> = specs.iter().map(|s| addons(s, 2048)).collect();
 
         // Signatures: 0.033 / 0.066 / 0.26 mm².
-        assert!((a[0].signature_mm2 - 0.033).abs() < 0.02, "{}", a[0].signature_mm2);
-        assert!((a[1].signature_mm2 - 0.066).abs() < 0.04, "{}", a[1].signature_mm2);
-        assert!((a[2].signature_mm2 - 0.26).abs() < 0.15, "{}", a[2].signature_mm2);
+        assert!(
+            (a[0].signature_mm2 - 0.033).abs() < 0.02,
+            "{}",
+            a[0].signature_mm2
+        );
+        assert!(
+            (a[1].signature_mm2 - 0.066).abs() < 0.04,
+            "{}",
+            a[1].signature_mm2
+        );
+        assert!(
+            (a[2].signature_mm2 - 0.26).abs() < 0.15,
+            "{}",
+            a[2].signature_mm2
+        );
 
         // CST register counts: 3 / 6 / 24 — exact.
         assert_eq!(a[0].cst_registers, 3);
@@ -196,14 +213,38 @@ mod tests {
         assert_eq!(a[2].state_bits, 5);
 
         // Core increase: 0.6% / 0.59% / 2.6% — within 2×.
-        assert!((0.3..=1.2).contains(&a[0].core_increase_pct), "{}", a[0].core_increase_pct);
-        assert!((0.3..=1.2).contains(&a[1].core_increase_pct), "{}", a[1].core_increase_pct);
-        assert!((1.3..=5.2).contains(&a[2].core_increase_pct), "{}", a[2].core_increase_pct);
+        assert!(
+            (0.3..=1.2).contains(&a[0].core_increase_pct),
+            "{}",
+            a[0].core_increase_pct
+        );
+        assert!(
+            (0.3..=1.2).contains(&a[1].core_increase_pct),
+            "{}",
+            a[1].core_increase_pct
+        );
+        assert!(
+            (1.3..=5.2).contains(&a[2].core_increase_pct),
+            "{}",
+            a[2].core_increase_pct
+        );
 
         // L1 increase: 0.35% / 0.29% / 3.9% — within 2×.
-        assert!((0.17..=0.8).contains(&a[0].l1_increase_pct), "{}", a[0].l1_increase_pct);
-        assert!((0.15..=0.6).contains(&a[1].l1_increase_pct), "{}", a[1].l1_increase_pct);
-        assert!((2.0..=7.8).contains(&a[2].l1_increase_pct), "{}", a[2].l1_increase_pct);
+        assert!(
+            (0.17..=0.8).contains(&a[0].l1_increase_pct),
+            "{}",
+            a[0].l1_increase_pct
+        );
+        assert!(
+            (0.15..=0.6).contains(&a[1].l1_increase_pct),
+            "{}",
+            a[1].l1_increase_pct
+        );
+        assert!(
+            (2.0..=7.8).contains(&a[2].l1_increase_pct),
+            "{}",
+            a[2].l1_increase_pct
+        );
     }
 
     /// The paper's headline claim: overheads are noticeable (~2.6%)

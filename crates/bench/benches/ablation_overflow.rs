@@ -73,7 +73,11 @@ fn main() {
     ] {
         let (real, overflows) = run_with_victim(wl, false, threads);
         let (ideal, _) = run_with_victim(wl, true, threads);
-        let slowdown = if real > 0.0 { (ideal - real) / ideal * 100.0 } else { 0.0 };
+        let slowdown = if real > 0.0 {
+            (ideal - real) / ideal * 100.0
+        } else {
+            0.0
+        };
         println!(
             "{:<14} {threads:>8} {:>14.3} {:>14.3} {:>11.1}% {:>10}",
             wl.label(),

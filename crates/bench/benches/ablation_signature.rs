@@ -42,7 +42,9 @@ fn run_with_signature(bits: usize, scheme: HashScheme, threads: usize) -> (f64, 
 
 fn main() {
     let threads = 8.min(flextm_bench::max_threads());
-    println!("== Ablation: signature size & hash scheme (RBTree, {threads} threads, FlexTM-Lazy) ==");
+    println!(
+        "== Ablation: signature size & hash scheme (RBTree, {threads} threads, FlexTM-Lazy) =="
+    );
     println!(
         "{:<10} {:<10} {:>14} {:>10}",
         "bits", "scheme", "tx/Mcycle", "abort%"

@@ -40,7 +40,10 @@ fn conflict_stats(workload_kind: WorkloadKind, threads: usize) -> ThreadTxStats 
 
 fn main() {
     println!("== Fig 4 side table: conflicting transactions per committed txn ==");
-    println!("{:<14} {:>9} {:>9} {:>9} {:>9}", "Workload", "8T Md", "8T Mx", "16T Md", "16T Mx");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9}",
+        "Workload", "8T Md", "8T Mx", "16T Md", "16T Mx"
+    );
     let workloads = [
         WorkloadKind::HashTable,
         WorkloadKind::RbTree,

@@ -11,13 +11,23 @@ use flextm_bench::{print_series, run_point, thread_axis, RuntimeKind, WorkloadKi
 fn sweep(plot: &str, workload: WorkloadKind, runtimes: &[RuntimeKind]) {
     // Normalization baseline: 1-thread CGL.
     let base = run_point(workload, RuntimeKind::Cgl, 1).throughput();
-    println!("-- Fig 4 {plot}: {} (normalized to 1T CGL) --", workload.label());
+    println!(
+        "-- Fig 4 {plot}: {} (normalized to 1T CGL) --",
+        workload.label()
+    );
     for &rt in runtimes {
         let points: Vec<(usize, f64)> = thread_axis()
             .into_iter()
             .map(|t| {
                 let r = run_point(workload, rt, t);
-                (t, if base > 0.0 { r.throughput() / base } else { 0.0 })
+                (
+                    t,
+                    if base > 0.0 {
+                        r.throughput() / base
+                    } else {
+                        0.0
+                    },
+                )
             })
             .collect();
         print_series(plot, rt, &points);

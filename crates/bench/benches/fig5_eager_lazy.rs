@@ -21,7 +21,14 @@ fn sweep(plot: &str, workload: WorkloadKind) {
             .into_iter()
             .map(|t| {
                 let r = run_point(workload, rt, t);
-                (t, if base > 0.0 { r.throughput() / base } else { 0.0 })
+                (
+                    t,
+                    if base > 0.0 {
+                        r.throughput() / base
+                    } else {
+                        0.0
+                    },
+                )
             })
             .collect();
         print_series(plot, rt, &points);

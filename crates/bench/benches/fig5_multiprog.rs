@@ -40,7 +40,7 @@ fn run_mix(workload_kind: WorkloadKind, mode: Mode, threads: usize) -> MixResult
             mode,
             cm: flextm::CmKind::Polka,
             threads,
-            serialized_commits: false
+            serialized_commits: false,
         },
     );
     let txns = (txns_per_thread() / 2).max(8);

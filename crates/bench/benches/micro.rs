@@ -1,87 +1,90 @@
-//! Criterion micro-benchmarks of the FlexTM primitives: signature
-//! insert/test, L1 hit/miss service, CST operations, and the full
-//! commit path. These measure *host* time of the simulator (not
-//! simulated cycles) — they exist to keep the simulator itself fast
-//! and to profile its hot paths.
+//! Micro-benchmarks of the FlexTM primitives: signature insert/test,
+//! L1 hit/miss service, and the full commit path. These measure *host*
+//! time of the simulator (not simulated cycles) — they exist to keep
+//! the simulator itself fast and to profile its hot paths.
+//!
+//! Plain `std::time` harness (no external benchmark crate, so the
+//! workspace builds offline). Each case reports ns/op over a fixed
+//! iteration count after a short warm-up.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flextm_sig::{LineAddr, Signature, SignatureConfig};
 use flextm_sim::{AccessKind, Addr, MachineConfig, SimState};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_signature(c: &mut Criterion) {
-    let mut g = c.benchmark_group("signature");
-    g.bench_function("insert", |b| {
-        let mut s = Signature::new(SignatureConfig::paper_default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9E37);
-            s.insert(LineAddr(black_box(i)));
-        });
-    });
-    g.bench_function("contains_hit", |b| {
-        let mut s = Signature::new(SignatureConfig::paper_default());
-        for i in 0..64 {
-            s.insert(LineAddr(i * 31));
-        }
-        b.iter(|| black_box(s.contains(LineAddr(black_box(31)))));
-    });
-    g.bench_function("contains_miss", |b| {
-        let mut s = Signature::new(SignatureConfig::paper_default());
-        for i in 0..64 {
-            s.insert(LineAddr(i * 31));
-        }
-        b.iter(|| black_box(s.contains(LineAddr(black_box(999_999)))));
-    });
-    g.bench_function("union", |b| {
-        let mut a = Signature::new(SignatureConfig::paper_default());
-        let mut other = Signature::new(SignatureConfig::paper_default());
-        for i in 0..128 {
-            other.insert(LineAddr(i * 7));
-        }
-        b.iter(|| a.union_with(black_box(&other)));
-    });
-    g.finish();
+const WARMUP: u64 = 10_000;
+const ITERS: u64 = 200_000;
+
+fn bench(name: &str, mut f: impl FnMut(u64)) {
+    for i in 0..WARMUP {
+        f(i);
+    }
+    let t0 = Instant::now();
+    for i in 0..ITERS {
+        f(i);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    println!("{name:<28} {ns:>10.1} ns/op");
 }
 
-fn bench_protocol(c: &mut Criterion) {
-    let mut g = c.benchmark_group("protocol");
-    g.bench_function("l1_hit_load", |b| {
-        let mut st = SimState::for_tests(MachineConfig::paper_default());
-        st.access(0, Addr::new(0x1000), AccessKind::Load, 0);
-        b.iter(|| black_box(st.access(0, Addr::new(0x1000), AccessKind::Load, 0).value));
+fn bench_signature() {
+    println!("# signature");
+    let mut s = Signature::new(SignatureConfig::paper_default());
+    bench("insert", |i| {
+        s.insert(LineAddr(black_box(i.wrapping_mul(0x9E37))));
     });
-    g.bench_function("tstore_hit", |b| {
-        let mut st = SimState::for_tests(MachineConfig::paper_default());
-        st.access(0, Addr::new(0x2000), AccessKind::TStore, 1);
-        b.iter(|| {
-            st.access(0, Addr::new(0x2000), AccessKind::TStore, black_box(2));
-        });
+
+    let mut s = Signature::new(SignatureConfig::paper_default());
+    for i in 0..64 {
+        s.insert(LineAddr(i * 31));
+    }
+    bench("contains_hit", |_| {
+        black_box(s.contains(LineAddr(black_box(31))));
     });
-    g.bench_function("commit_small_tx", |b| {
-        let mut st = SimState::for_tests(MachineConfig::paper_default());
-        let tsw = Addr::new(0x100);
-        b.iter(|| {
-            st.mem.write(tsw, 1);
-            for i in 0..4u64 {
-                st.access(0, Addr::new(0x3000 + i * 64), AccessKind::TStore, i);
-            }
-            black_box(st.cas_commit(0, tsw, 1, 2));
-        });
+    bench("contains_miss", |_| {
+        black_box(s.contains(LineAddr(black_box(999_999))));
     });
-    g.bench_function("conflicting_tload", |b| {
-        let mut st = SimState::for_tests(MachineConfig::paper_default());
-        st.access(0, Addr::new(0x4000), AccessKind::TStore, 1);
-        b.iter(|| {
-            black_box(st.access(1, Addr::new(0x4000), AccessKind::TLoad, 0));
-        });
-    });
-    g.finish();
+
+    let mut a = Signature::new(SignatureConfig::paper_default());
+    let mut other = Signature::new(SignatureConfig::paper_default());
+    for i in 0..128 {
+        other.insert(LineAddr(i * 7));
+    }
+    bench("union", |_| a.union_with(black_box(&other)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_signature, bench_protocol
+fn bench_protocol() {
+    println!("# protocol");
+    let mut st = SimState::for_tests(MachineConfig::paper_default());
+    st.access(0, Addr::new(0x1000), AccessKind::Load, 0);
+    bench("l1_hit_load", |_| {
+        black_box(st.access(0, Addr::new(0x1000), AccessKind::Load, 0).value);
+    });
+
+    let mut st = SimState::for_tests(MachineConfig::paper_default());
+    st.access(0, Addr::new(0x2000), AccessKind::TStore, 1);
+    bench("tstore_hit", |_| {
+        st.access(0, Addr::new(0x2000), AccessKind::TStore, black_box(2));
+    });
+
+    let mut st = SimState::for_tests(MachineConfig::paper_default());
+    let tsw = Addr::new(0x100);
+    bench("commit_small_tx", |_| {
+        st.mem.write(tsw, 1);
+        for i in 0..4u64 {
+            st.access(0, Addr::new(0x3000 + i * 64), AccessKind::TStore, i);
+        }
+        black_box(st.cas_commit(0, tsw, 1, 2));
+    });
+
+    let mut st = SimState::for_tests(MachineConfig::paper_default());
+    st.access(0, Addr::new(0x4000), AccessKind::TStore, 1);
+    bench("conflicting_tload", |_| {
+        black_box(st.access(1, Addr::new(0x4000), AccessKind::TLoad, 0));
+    });
 }
-criterion_main!(benches);
+
+fn main() {
+    bench_signature();
+    bench_protocol();
+}

@@ -1,0 +1,98 @@
+//! Scheduler microbenchmark: host-side throughput of the execution
+//! engine on the 16-core hashtable workload.
+//!
+//! Measures *simulated operations per wall-clock second* — the number
+//! the scheduling-layer refactor is judged by (see `BENCH_sched.json`
+//! at the repo root for recorded before/after numbers). Plain
+//! `std::time` harness; run with:
+//!
+//! ```text
+//! cargo run --release -p flextm-bench --bin sched_bench
+//! ```
+//!
+//! `FLEXTM_SCHED_TXNS` overrides timed transactions per thread
+//! (default 96); `FLEXTM_SCHED_STRICT=1` disables the scheduler's
+//! fast paths (`MachineConfig::strict_lockstep`) to measure the
+//! conservative engine; `FLEXTM_SCHED_THREADS` overrides the thread
+//! count (diagnostic — a 1-thread run isolates raw protocol cost from
+//! scheduling cost).
+
+use flextm::{FlexTm, FlexTmConfig};
+use flextm_sim::{Machine, MachineConfig, MachineReport};
+use flextm_workloads::harness::{run_measured, RunConfig, Workload};
+use flextm_workloads::HashTable;
+use std::time::Instant;
+
+/// The op metric: executed simulated instructions that went through
+/// the scheduler (memory ops + commit-path instructions). Derived from
+/// machine counters so the same formula applies to any engine version.
+fn sim_ops(r: &MachineReport) -> u64 {
+    r.total(|c| c.loads + c.stores + c.tloads + c.tstores)
+        + r.total(|c| c.commits + c.failed_commits + c.tx_aborts)
+}
+
+fn main() {
+    let txns: u64 = std::env::var("FLEXTM_SCHED_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96);
+    let strict = std::env::var("FLEXTM_SCHED_STRICT").as_deref() == Ok("1");
+    let threads: usize = std::env::var("FLEXTM_SCHED_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+
+    let mut config = MachineConfig::paper_default();
+    config.strict_lockstep = strict;
+    let machine = Machine::new(config);
+    let mut wl = HashTable::paper();
+    wl.setup(&machine);
+    let tm = FlexTm::new(&machine, FlexTmConfig::lazy(threads));
+
+    let t0 = Instant::now();
+    let result = run_measured(
+        &machine,
+        &tm,
+        &wl,
+        RunConfig {
+            threads,
+            txns_per_thread: txns,
+            warmup_per_thread: 8,
+            seed: 0xF1E7,
+        },
+    );
+    let wall = t0.elapsed();
+
+    let report = machine.report();
+    let ops = sim_ops(&report);
+    let wall_s = wall.as_secs_f64();
+    let ops_per_s = ops as f64 / wall_s;
+    let cycles_per_s = report.elapsed_cycles() as f64 / wall_s;
+
+    // One JSON object per line, ready to paste into BENCH_sched.json.
+    println!(
+        concat!(
+            "{{\"bench\": \"sched_16core_hashtable\", ",
+            "\"strict_lockstep\": {}, ",
+            "\"threads\": {}, \"txns_per_thread\": {}, ",
+            "\"committed\": {}, \"attempts\": {}, ",
+            "\"sim_ops\": {}, \"sim_cycles\": {}, ",
+            "\"fast_ops\": {}, \"slow_ops\": {}, \"grants\": {}, ",
+            "\"wall_s\": {:.3}, ",
+            "\"sim_ops_per_s\": {:.0}, \"sim_cycles_per_s\": {:.0}}}"
+        ),
+        strict,
+        threads,
+        txns,
+        result.committed,
+        result.attempts,
+        ops,
+        report.elapsed_cycles(),
+        report.sched.fast_ops,
+        report.sched.slow_ops,
+        report.sched.grants,
+        wall_s,
+        ops_per_s,
+        cycles_per_s,
+    );
+}

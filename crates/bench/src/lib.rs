@@ -63,9 +63,7 @@ impl RuntimeKind {
             RuntimeKind::FlexTmEager => {
                 Box::new(FlexTm::new(machine, FlexTmConfig::eager(threads)))
             }
-            RuntimeKind::FlexTmLazy => {
-                Box::new(FlexTm::new(machine, FlexTmConfig::lazy(threads)))
-            }
+            RuntimeKind::FlexTmLazy => Box::new(FlexTm::new(machine, FlexTmConfig::lazy(threads))),
             RuntimeKind::RtmF => Box::new(RtmF::new(machine, threads, CmKind::Polka)),
             RuntimeKind::Rstm => Box::new(Rstm::new(machine, threads, CmKind::Polka)),
             RuntimeKind::Tl2 => Box::new(Tl2::with_defaults(machine)),

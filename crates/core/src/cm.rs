@@ -309,7 +309,7 @@ mod tests {
         }
         let mut c = Polka::new(8);
         let diverges = (0..10).any(|_| Polka::new(7).on_abort() != c.on_abort());
-        assert!(diverges || true); // different seeds, different streams
+        assert!(diverges, "seeds 7 and 8 produced identical backoff");
     }
 
     #[test]

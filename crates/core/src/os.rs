@@ -82,7 +82,11 @@ impl Cmt {
     /// Unregisters `tid`, returning the saved state with the virtual
     /// CST bits merged in (what the OS restores into hardware).
     pub(crate) fn unregister(&self, tid: usize) -> Option<SavedTx> {
-        let entry = self.entries.lock().expect("CMT lock poisoned").remove(&tid)?;
+        let entry = self
+            .entries
+            .lock()
+            .expect("CMT lock poisoned")
+            .remove(&tid)?;
         let mut saved = entry.saved;
         saved.csts.0 |= entry.virtual_csts.0;
         saved.csts.1 |= entry.virtual_csts.1;
@@ -189,7 +193,11 @@ impl FlexTmThread<'_> {
     /// suspended, the hardware is cleaned instead and the caller must
     /// retry the transaction.
     pub fn reschedule(&mut self, token: SuspendToken) -> ResumeOutcome {
-        assert_eq!(token.tid, self.thread_id(), "token belongs to another thread");
+        assert_eq!(
+            token.tid,
+            self.thread_id(),
+            "token belongs to another thread"
+        );
         let proc = self.proc_handle().clone();
         let saved = proc
             .with_sync(|| self.runtime_cmt().unregister(token.tid))

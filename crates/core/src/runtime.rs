@@ -18,10 +18,8 @@
 use crate::cm::{CmContext, CmDecision, ContentionManager};
 use crate::os::Cmt;
 use crate::tsw::{tsw_tag, tsw_word, DescriptorTable, TSW_ABORTED, TSW_ACTIVE, TSW_COMMITTED};
-use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, Txn, TxRetry, TxnBody};
-use flextm_sim::{
-    procs_in_mask, Addr, AlertCause, Conflict, CstKind, Machine, ProcHandle,
-};
+use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, TxRetry, Txn, TxnBody};
+use flextm_sim::{procs_in_mask, Addr, AlertCause, Conflict, CstKind, Machine, ProcHandle};
 use flextm_sim::{AccessResult, CasCommitOutcome};
 
 /// Conflict-detection mode (the `E/L` descriptor field of Table 1).
@@ -321,8 +319,7 @@ impl<'r> FlexTmThread<'r> {
                         }
                     }
                     CmDecision::AbortEnemy => {
-                        self.proc
-                            .cas(edesc.tsw, etsw, (etsw & !3) | TSW_ABORTED);
+                        self.proc.cas(edesc.tsw, etsw, (etsw & !3) | TSW_ABORTED);
                         self.clear_enemy_bits(enemy);
                         break;
                     }
@@ -362,7 +359,7 @@ impl<'r> FlexTmThread<'r> {
                         }
                     }
                     Mode::Lazy => {
-                                        if !self.suspended_enemies.contains(&tid) {
+                        if !self.suspended_enemies.contains(&tid) {
                             self.suspended_enemies.push(tid);
                         }
                     }
@@ -374,7 +371,8 @@ impl<'r> FlexTmThread<'r> {
 
     fn attempt_result(&mut self, res: &AccessResult, addr: Addr, is_write: bool) -> bool {
         self.cm.on_open();
-        if !res.summary_hits.is_empty() && !self.handle_summary_hits(addr, is_write, &res.summary_hits)
+        if !res.summary_hits.is_empty()
+            && !self.handle_summary_hits(addr, is_write, &res.summary_hits)
         {
             return false;
         }

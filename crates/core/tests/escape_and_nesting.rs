@@ -1,7 +1,7 @@
 //! Escape actions and subsumption nesting (paper §3.5).
 
 use flextm::{FlexTm, FlexTmConfig};
-use flextm_sim::api::{nested, AttemptOutcome, TmRuntime, TmThread, TxRetry};
+use flextm_sim::api::{nested, AttemptOutcome, TmRuntime, TxRetry};
 use flextm_sim::{Addr, Machine, MachineConfig};
 
 fn machine() -> Machine {

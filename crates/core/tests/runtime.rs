@@ -3,7 +3,7 @@
 //! strong isolation, and overflow interaction.
 
 use flextm::{CmKind, FlexTm, FlexTmConfig, Mode, TSW_COMMITTED};
-use flextm_sim::api::{TmRuntime, TmThread};
+use flextm_sim::api::TmRuntime;
 use flextm_sim::{Addr, Machine, MachineConfig};
 
 fn machine(cores: usize) -> Machine {
@@ -21,7 +21,7 @@ fn counter_test(mode: Mode, threads: usize, per_thread: u64) {
             mode,
             cm: CmKind::Polka,
             threads,
-            serialized_commits: false
+            serialized_commits: false,
         },
     );
     m.run(threads, |proc| {
@@ -162,7 +162,7 @@ fn eager_mode_aborts_enemy_via_aou() {
             mode: Mode::Eager,
             cm: CmKind::Aggressive,
             threads: 2,
-            serialized_commits: false
+            serialized_commits: false,
         },
     );
     let x = Addr::new(0x80_000);
@@ -368,7 +368,7 @@ fn all_contention_managers_make_progress() {
                     mode,
                     cm,
                     threads: 2,
-            serialized_commits: false
+                    serialized_commits: false,
                 },
             );
             let x = Addr::new(0xc0_000);
@@ -385,11 +385,7 @@ fn all_contention_managers_make_progress() {
                 }
             });
             m.with_state(|st| {
-                assert_eq!(
-                    st.mem.read(x),
-                    20,
-                    "{cm:?}/{mode:?} lost increments"
-                );
+                assert_eq!(st.mem.read(x), 20, "{cm:?}/{mode:?} lost increments");
             });
         }
     }
@@ -407,7 +403,7 @@ fn aggressive_eager_livelocks_on_symmetric_conflicts() {
             mode: Mode::Eager,
             cm: CmKind::Aggressive,
             threads: 2,
-            serialized_commits: false
+            serialized_commits: false,
         },
     );
     let x = Addr::new(0xe0_000);

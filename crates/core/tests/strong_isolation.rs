@@ -4,7 +4,7 @@
 //! observe speculative state.
 
 use flextm::{FlexTm, FlexTmConfig, Mode};
-use flextm_sim::api::{TmRuntime, TmThread};
+use flextm_sim::api::TmRuntime;
 use flextm_sim::{Addr, Machine, MachineConfig};
 
 fn machine(cores: usize) -> Machine {
@@ -55,7 +55,7 @@ fn nontx_write_wins_against_writer_tx_in_both_modes() {
                 mode,
                 cm: flextm::CmKind::Polka,
                 threads: 2,
-            serialized_commits: false
+                serialized_commits: false,
             },
         );
         let x = Addr::new(0x20_000);

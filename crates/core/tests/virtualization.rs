@@ -4,7 +4,7 @@
 //! abort-on-migration policy.
 
 use flextm::{FlexTm, FlexTmConfig, Mode, ResumeOutcome, TSW_ABORTED, TSW_COMMITTED};
-use flextm_sim::api::{TmRuntime, TmThread, Txn, TxRetry};
+use flextm_sim::api::{TmRuntime, TmThread, TxRetry, Txn};
 use flextm_sim::{Addr, Machine, MachineConfig};
 
 fn machine(cores: usize) -> Machine {
@@ -168,10 +168,7 @@ fn suspended_writer_conflict_marks_running_reader() {
                     .expect("no alert");
                 // The hardware refuses while W-R is set; the software
                 // Commit() would abort enemies first. Reproduce that.
-                if matches!(
-                    out,
-                    flextm_sim::CasCommitOutcome::ConflictsPending { .. }
-                ) {
+                if matches!(out, flextm_sim::CasCommitOutcome::ConflictsPending { .. }) {
                     let wr = proc.copy_and_clear_cst(flextm_sim::CstKind::WR);
                     let ww = proc.copy_and_clear_cst(flextm_sim::CstKind::WW);
                     for enemy in flextm_sim::procs_in_mask(wr | ww) {
@@ -245,7 +242,7 @@ fn eager_running_writer_aborts_suspended_enemy_immediately() {
             mode: Mode::Eager,
             cm: flextm::CmKind::Polka,
             threads: 2,
-            serialized_commits: false
+            serialized_commits: false,
         },
     );
     let x = Addr::new(0x80_000);

@@ -33,6 +33,16 @@ pub struct LineHasher {
     /// For H3: `banks * index_bits` column vectors; index bit `j` of
     /// bank `b` is `parity(addr & matrix[b * index_bits + j])`.
     matrix: Vec<u64>,
+    /// Byte-sliced H3 tables (the standard software trick): H3 is
+    /// linear over XOR, so the packed indices of an address are the XOR
+    /// of eight per-byte table entries — 8 loads instead of
+    /// `banks * index_bits` mask-and-parity steps. `Some` only for H3
+    /// configurations whose indices fit in one `u64`
+    /// (`banks * index_bits <= 64`, true of every paper configuration).
+    /// Shared (`Arc`) between the clones a machine makes for its many
+    /// per-core signatures, so the 16 KiB table stays hot instead of
+    /// being replicated into every core's cache footprint.
+    packed: Option<std::sync::Arc<[[u64; 256]; 8]>>,
 }
 
 /// SplitMix64: tiny deterministic PRNG used only to derive the fixed H3
@@ -43,6 +53,37 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Builds (or fetches) the byte-sliced tables for an H3 matrix. Every
+/// signature on a machine uses the same configuration, so the tables are
+/// memoized process-wide by `(seed, matrix length)` — one 16 KiB table
+/// serves all of a machine's per-core signatures instead of bloating
+/// each core's cache footprint with a private copy. The table content
+/// is a pure function of the matrix, so memoization cannot change
+/// results.
+fn packed_tables(matrix: &[u64], seed: u64) -> std::sync::Arc<[[u64; 256]; 8]> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    type Memo = Mutex<HashMap<(u64, usize), Arc<[[u64; 256]; 8]>>>;
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    let memo = MEMO.get_or_init(Mutex::default);
+    let mut memo = memo.lock().expect("H3 table memo poisoned");
+    memo.entry((seed, matrix.len()))
+        .or_insert_with(|| {
+            let mut tables = Box::new([[0u64; 256]; 8]);
+            for (byte_pos, table) in tables.iter_mut().enumerate() {
+                for (val, entry) in table.iter_mut().enumerate() {
+                    let chunk = (val as u64) << (8 * byte_pos);
+                    for (col, &mask) in matrix.iter().enumerate() {
+                        let parity = u64::from((chunk & mask).count_ones() & 1);
+                        *entry |= parity << col;
+                    }
+                }
+            }
+            tables.into()
+        })
+        .clone()
 }
 
 impl LineHasher {
@@ -60,15 +101,32 @@ impl LineHasher {
             "bank index width must be in 1..=32 bits"
         );
         let mut state = seed ^ 0xF1EC_51C0_DE00_0001;
-        let matrix = (0..banks * index_bits as usize)
+        let matrix: Vec<u64> = (0..banks * index_bits as usize)
             .map(|_| splitmix64(&mut state))
             .collect();
+        let packed = (scheme == HashScheme::H3 && banks * index_bits as usize <= 64)
+            .then(|| packed_tables(&matrix, seed));
         LineHasher {
             scheme,
             banks,
             index_bits,
             matrix,
+            packed,
         }
+    }
+
+    /// All bank indices for `line` at once, packed contiguously
+    /// (`index_bits` apart, bank 0 in the low bits), or `None` when the
+    /// configuration has no byte-sliced tables. Produces exactly the
+    /// indices [`LineHasher::index`] would.
+    #[inline]
+    pub fn packed_indices(&self, line: u64) -> Option<u64> {
+        let tables = self.packed.as_deref()?;
+        let mut acc = 0u64;
+        for (byte_pos, table) in tables.iter().enumerate() {
+            acc ^= table[(line >> (8 * byte_pos)) as usize & 0xFF];
+        }
+        Some(acc)
     }
 
     /// Number of independent hash functions (= signature banks).

@@ -135,10 +135,19 @@ impl Signature {
 
     /// Adds a line address to the summarized set.
     pub fn insert(&mut self, line: LineAddr) {
-        for bank in 0..self.config.banks {
-            let idx = self.hasher.index(bank, line.index());
-            let pos = self.bit_pos(bank, idx);
-            self.set_bit(pos);
+        let ib = self.hasher.index_bits();
+        if let Some(packed) = self.hasher.packed_indices(line.index()) {
+            for bank in 0..self.config.banks {
+                let idx = (packed >> (bank as u32 * ib)) as u32 & ((1 << ib) - 1);
+                let pos = self.bit_pos(bank, idx);
+                self.set_bit(pos);
+            }
+        } else {
+            for bank in 0..self.config.banks {
+                let idx = self.hasher.index(bank, line.index());
+                let pos = self.bit_pos(bank, idx);
+                self.set_bit(pos);
+            }
         }
         self.inserted += 1;
     }
@@ -146,10 +155,18 @@ impl Signature {
     /// Tests (conservatively) whether `line` may be in the set. Never
     /// returns `false` for an address that was inserted.
     pub fn contains(&self, line: LineAddr) -> bool {
-        (0..self.config.banks).all(|bank| {
-            let idx = self.hasher.index(bank, line.index());
-            self.get_bit(self.bit_pos(bank, idx))
-        })
+        let ib = self.hasher.index_bits();
+        if let Some(packed) = self.hasher.packed_indices(line.index()) {
+            (0..self.config.banks).all(|bank| {
+                let idx = (packed >> (bank as u32 * ib)) as u32 & ((1 << ib) - 1);
+                self.get_bit(self.bit_pos(bank, idx))
+            })
+        } else {
+            (0..self.config.banks).all(|bank| {
+                let idx = self.hasher.index(bank, line.index());
+                self.get_bit(self.bit_pos(bank, idx))
+            })
+        }
     }
 
     /// Flash-clears the signature (the `clear Sig` instruction of the

@@ -4,6 +4,10 @@
 //! signature that misses a line that was actually accessed would let a
 //! conflicting transaction commit and break serializability.
 
+// Needs the external `proptest` crate: see the `proptests` feature
+// note in this package's Cargo.toml.
+#![cfg(feature = "proptests")]
+
 use flextm_sig::{HashScheme, LineAddr, Signature, SignatureConfig, SummarySignature};
 use proptest::prelude::*;
 

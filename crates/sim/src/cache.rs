@@ -89,7 +89,12 @@ impl LineEntry {
 /// buffer" ablation in which nothing ever overflows.
 #[derive(Debug)]
 pub struct L1Cache {
-    sets: Vec<Vec<LineEntry>>,
+    /// Main array, set-major: `nsets * ways` slots. One contiguous
+    /// allocation instead of a `Vec` per set — with 256 sets per core
+    /// and 16 cores, per-set `Vec`s scatter thousands of tiny
+    /// allocations across the host heap and thrash the host TLB.
+    slots: Vec<Option<LineEntry>>,
+    nsets: usize,
     ways: usize,
     victim: Vec<LineEntry>,
     victim_cap: usize,
@@ -98,13 +103,18 @@ pub struct L1Cache {
     /// lines still obey `victim_cap` so cache capacity is unchanged.
     unbounded_tmi: bool,
     tick: u64,
+    /// Lines that may currently be in a speculative state (TMI/TI).
+    /// Appended on every speculative fill or in-place transition
+    /// (entries may be stale or duplicated — flash operations re-check
+    /// the actual state) and consumed by flash commit/abort, so those
+    /// walk the handful of transactional lines instead of sweeping the
+    /// whole array on every transaction.
+    spec_touched: Vec<LineAddr>,
 }
 
 /// What fell out of the cache when room was made for a fill.
 #[derive(Debug, Clone)]
 pub enum Evicted {
-    /// Nothing was displaced.
-    None,
     /// A clean or shared line left silently (E, S, TI — the directory
     /// deliberately keeps stale sharer info; paper §4.1). The flag
     /// reports whether the line was ALoaded, so the machine can deliver
@@ -124,13 +134,23 @@ impl L1Cache {
     pub fn new(sets: usize, ways: usize, victim_cap: usize) -> Self {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         L1Cache {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            slots: (0..sets * ways).map(|_| None).collect(),
+            nsets: sets,
             ways,
             victim: Vec::new(),
             victim_cap,
             unbounded_tmi: false,
             tick: 0,
+            spec_touched: Vec::new(),
         }
+    }
+
+    /// Records that `line` may have entered a speculative state via an
+    /// in-place transition on a `&mut LineEntry` (speculative fills are
+    /// recorded automatically). Flash commit/abort only visit recorded
+    /// lines.
+    pub fn note_speculative(&mut self, line: LineAddr) {
+        self.spec_touched.push(line);
     }
 
     /// Enables the idealized unbounded-TMI victim buffer (§7.3
@@ -140,8 +160,9 @@ impl L1Cache {
         self.unbounded_tmi = enabled;
     }
 
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.index() as usize) & (self.sets.len() - 1)
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let si = (line.index() as usize) & (self.nsets - 1);
+        si * self.ways..(si + 1) * self.ways
     }
 
     fn bump(&mut self) -> u64 {
@@ -154,10 +175,14 @@ impl L1Cache {
     /// the entry if present, along with anything evicted by the swap.
     pub fn probe(&mut self, line: LineAddr) -> Option<&mut LineEntry> {
         let tick = self.bump();
-        let si = self.set_index(line);
-        if let Some(pos) = self.sets[si].iter().position(|e| e.line == line) {
-            self.sets[si][pos].lru = tick;
-            return Some(&mut self.sets[si][pos]);
+        let range = self.set_range(line);
+        if let Some(e) = self.slots[range]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.line == line)
+        {
+            e.lru = tick;
+            return Some(e);
         }
         if let Some(pos) = self.victim.iter().position(|e| e.line == line) {
             // Victim hit: serve in place (cheaper than modeling the
@@ -172,48 +197,61 @@ impl L1Cache {
     /// Read-only lookup without LRU update (used by responders and
     /// assertions).
     pub fn peek(&self, line: LineAddr) -> Option<&LineEntry> {
-        let si = self.set_index(line);
-        self.sets[si]
+        self.slots[self.set_range(line)]
             .iter()
+            .flatten()
             .find(|e| e.line == line)
             .or_else(|| self.victim.iter().find(|e| e.line == line))
     }
 
     /// Mutable lookup without LRU update.
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut LineEntry> {
-        let si = self.set_index(line);
-        if let Some(pos) = self.sets[si].iter().position(|e| e.line == line) {
-            return Some(&mut self.sets[si][pos]);
+        let range = self.set_range(line);
+        if let Some(e) = self.slots[range]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.line == line)
+        {
+            return Some(e);
         }
         self.victim.iter_mut().find(|e| e.line == line)
     }
 
-    /// Installs `line` in `state`, returning whatever had to be evicted
-    /// to make room (possibly cascading through the victim buffer).
+    /// Installs `line` in `state`, returning what (if anything) had to
+    /// be evicted to make room. At most one line ever leaves per fill:
+    /// either the set's LRU line goes straight out (no victim buffer),
+    /// or it parks in the victim buffer and at most one older resident
+    /// falls out of that.
     ///
     /// # Panics
     ///
     /// Panics if the line is already present (callers must transition
     /// existing entries in place).
-    pub fn fill(&mut self, line: LineAddr, state: L1State) -> Vec<Evicted> {
+    pub fn fill(&mut self, line: LineAddr, state: L1State) -> Option<Evicted> {
         assert!(
             self.peek(line).is_none(),
             "fill of already-present line {line}"
         );
         let tick = self.bump();
-        let si = self.set_index(line);
-        let mut evicted = Vec::new();
-        if self.sets[si].len() >= self.ways {
+        if state.is_speculative() {
+            self.spec_touched.push(line);
+        }
+        let range = self.set_range(line);
+        let base = range.start;
+        let mut evicted = None;
+        let free = self.slots[range.clone()].iter().position(Option::is_none);
+        let slot = if let Some(free) = free {
+            base + free
+        } else {
             // Evict LRU from the set into the victim buffer. ALoaded
             // lines are pinned (the simplified one-line AOU of §3.4
             // keeps the marked line resident); fall back to evicting a
             // marked line — with the conservative alert — only when the
             // whole set is marked.
-            let lru_pos = Self::pick_victim(&self.sets[si]);
-            let victim_line = self.sets[si].swap_remove(lru_pos);
-            if self.victim_cap == 0 && !(self.unbounded_tmi && victim_line.state == L1State::Tmi)
-            {
-                evicted.push(Self::classify_eviction(victim_line));
+            let lru_pos = base + Self::pick_victim(&self.slots[range]);
+            let victim_line = self.slots[lru_pos].take().expect("chosen victim occupied");
+            if self.victim_cap == 0 && !(self.unbounded_tmi && victim_line.state == L1State::Tmi) {
+                evicted = Some(Self::classify_eviction(victim_line));
             } else {
                 let non_tmi_resident = self
                     .victim
@@ -223,8 +261,7 @@ impl L1Cache {
                 let over_cap = if self.unbounded_tmi {
                     // Only non-speculative residents count against the
                     // capacity; TMI lines park for free (idealized).
-                    non_tmi_resident >= self.victim_cap.max(1)
-                        && victim_line.state != L1State::Tmi
+                    non_tmi_resident >= self.victim_cap.max(1) && victim_line.state != L1State::Tmi
                 } else {
                     self.victim.len() >= self.victim_cap
                 };
@@ -242,29 +279,32 @@ impl L1Cache {
                         .filter(|&i| !self.victim[i].a_bit)
                         .min_by_key(|&i| self.victim[i].lru)
                         .or_else(|| {
-                            candidates.iter().copied().min_by_key(|&i| self.victim[i].lru)
+                            candidates
+                                .iter()
+                                .copied()
+                                .min_by_key(|&i| self.victim[i].lru)
                         })
                         .expect("victim buffer over capacity implies a candidate");
                     let out = self.victim.swap_remove(vb_pos);
-                    evicted.push(Self::classify_eviction(out));
+                    evicted = Some(Self::classify_eviction(out));
                 }
                 self.victim.push(victim_line);
             }
-        }
-        self.sets[si].push(LineEntry::new(line, state, tick));
+            lru_pos
+        };
+        self.slots[slot] = Some(LineEntry::new(line, state, tick));
         evicted
     }
 
     /// LRU victim among unmarked lines; a marked (ALoaded) line only
-    /// when nothing else is available.
-    fn pick_victim(entries: &[LineEntry]) -> usize {
-        entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !e.a_bit)
-            .min_by_key(|(_, e)| e.lru)
-            .or_else(|| entries.iter().enumerate().min_by_key(|(_, e)| e.lru))
-            .map(|(i, _)| i)
+    /// when nothing else is available. Returns an offset within the
+    /// (fully occupied) set slice.
+    fn pick_victim(slots: &[Option<LineEntry>]) -> usize {
+        let entry = |i: usize| slots[i].as_ref().expect("victim selection on full set");
+        (0..slots.len())
+            .filter(|&i| !entry(i).a_bit)
+            .min_by_key(|&i| entry(i).lru)
+            .or_else(|| (0..slots.len()).min_by_key(|&i| entry(i).lru))
             .expect("victim selection on empty entry list")
     }
 
@@ -282,9 +322,11 @@ impl L1Cache {
     /// Removes `line` entirely (invalidation). Returns the removed
     /// entry, if any.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<LineEntry> {
-        let si = self.set_index(line);
-        if let Some(pos) = self.sets[si].iter().position(|e| e.line == line) {
-            return Some(self.sets[si].swap_remove(pos));
+        let range = self.set_range(line);
+        for slot in &mut self.slots[range] {
+            if slot.as_ref().is_some_and(|e| e.line == line) {
+                return slot.take();
+            }
         }
         if let Some(pos) = self.victim.iter().position(|e| e.line == line) {
             return Some(self.victim.swap_remove(pos));
@@ -297,16 +339,25 @@ impl L1Cache {
     /// all TMI lines so the machine can propagate it to memory, plus
     /// whether any A-bit line was touched.
     pub fn flash_commit(&mut self) -> Vec<(LineAddr, Box<[u64; WORDS_PER_LINE]>)> {
+        let spec = std::mem::take(&mut self.spec_touched);
         let mut committed = Vec::new();
-        for entry in self.iter_all_mut() {
-            if entry.state == L1State::Tmi {
-                let data = entry.data.take().expect("TMI line must carry data");
-                committed.push((entry.line, data));
-                entry.state = L1State::M;
+        for line in spec {
+            // Notes can be stale (evicted, overflowed, already visited
+            // through a duplicate) — only the current state decides.
+            match self.peek(line).map(|e| e.state) {
+                Some(L1State::Tmi) => {
+                    let e = self.peek_mut(line).expect("just peeked");
+                    let data = e.data.take().expect("TMI line must carry data");
+                    committed.push((line, data));
+                    e.state = L1State::M;
+                }
+                Some(L1State::Ti) => {
+                    self.invalidate(line);
+                }
+                _ => {}
             }
-            // TI entries are dropped below.
         }
-        self.drop_state(L1State::Ti);
+        self.debug_assert_no_speculative();
         committed.sort_by_key(|(l, _)| l.index());
         committed
     }
@@ -314,21 +365,28 @@ impl L1Cache {
     /// Flash abort (CAS-Commit failure or explicit abort): `TMI` and
     /// `TI` lines are dropped. Returns the number of lines discarded.
     pub fn flash_abort(&mut self) -> usize {
-        let tmi = self.drop_state(L1State::Tmi);
-        let ti = self.drop_state(L1State::Ti);
-        tmi + ti
+        let spec = std::mem::take(&mut self.spec_touched);
+        let mut n = 0;
+        for line in spec {
+            if self.peek(line).is_some_and(|e| e.state.is_speculative()) {
+                self.invalidate(line);
+                n += 1;
+            }
+        }
+        self.debug_assert_no_speculative();
+        n
     }
 
-    fn drop_state(&mut self, state: L1State) -> usize {
-        let mut n = 0;
-        for set in &mut self.sets {
-            let before = set.len();
-            set.retain(|e| e.state != state);
-            n += before - set.len();
-        }
-        let before = self.victim.len();
-        self.victim.retain(|e| e.state != state);
-        n + before - self.victim.len()
+    /// Every speculative transition must be on the `spec_touched` list;
+    /// a missed `note_speculative` would leave zombie TMI/TI lines
+    /// behind a flash operation. Debug builds sweep to prove the list
+    /// was complete.
+    fn debug_assert_no_speculative(&self) {
+        debug_assert_eq!(
+            self.count_state(L1State::Tmi) + self.count_state(L1State::Ti),
+            0,
+            "speculative line missed by the spec_touched list"
+        );
     }
 
     /// Drains every TMI line (cache and victim buffer) with its data —
@@ -336,32 +394,28 @@ impl L1Cache {
     /// overflow table (paper §5).
     pub fn drain_tmi(&mut self) -> Vec<(LineAddr, Box<[u64; WORDS_PER_LINE]>)> {
         let mut out = Vec::new();
-        let mut take = |set: &mut Vec<LineEntry>| {
-            let mut i = 0;
-            while i < set.len() {
-                if set[i].state == L1State::Tmi {
-                    let e = set.swap_remove(i);
-                    out.push((e.line, e.data.expect("TMI line must carry data")));
-                } else {
-                    i += 1;
-                }
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|e| e.state == L1State::Tmi) {
+                let e = slot.take().expect("just matched");
+                out.push((e.line, e.data.expect("TMI line must carry data")));
             }
-        };
-        for set in &mut self.sets {
-            take(set);
         }
-        take(&mut self.victim);
+        let mut i = 0;
+        while i < self.victim.len() {
+            if self.victim[i].state == L1State::Tmi {
+                let e = self.victim.swap_remove(i);
+                out.push((e.line, e.data.expect("TMI line must carry data")));
+            } else {
+                i += 1;
+            }
+        }
         out.sort_by_key(|(l, _)| l.index());
         out
     }
 
     /// Iterates over every resident entry (main array + victim buffer).
     pub fn iter_all(&self) -> impl Iterator<Item = &LineEntry> {
-        self.sets.iter().flatten().chain(self.victim.iter())
-    }
-
-    fn iter_all_mut(&mut self) -> impl Iterator<Item = &mut LineEntry> {
-        self.sets.iter_mut().flatten().chain(self.victim.iter_mut())
+        self.slots.iter().flatten().chain(self.victim.iter())
     }
 
     /// Number of resident lines in a given state.
@@ -371,7 +425,7 @@ impl L1Cache {
 
     /// Total resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum::<usize>() + self.victim.len()
+        self.slots.iter().flatten().count() + self.victim.len()
     }
 
     /// True if no lines are resident.
@@ -395,7 +449,7 @@ mod tests {
     #[test]
     fn fill_then_probe_hits() {
         let mut c = cache();
-        assert!(c.fill(line(1), L1State::S).is_empty());
+        assert!(c.fill(line(1), L1State::S).is_none());
         assert_eq!(c.probe(line(1)).unwrap().state, L1State::S);
         assert!(c.probe(line(2)).is_none());
     }
@@ -405,11 +459,10 @@ mod tests {
         let mut c = L1Cache::new(1, 1, 1);
         c.fill(line(0), L1State::S);
         let ev = c.fill(line(1), L1State::S); // 0 -> victim buffer
-        assert!(ev.is_empty());
+        assert!(ev.is_none());
         assert!(c.probe(line(0)).is_some(), "line 0 should be in the VB");
         let ev = c.fill(line(2), L1State::S); // 1 -> VB, 0 falls out
-        assert_eq!(ev.len(), 1);
-        assert!(matches!(ev[0], Evicted::Silent(l, L1State::S, false) if l == line(0)));
+        assert!(matches!(ev, Some(Evicted::Silent(l, L1State::S, false)) if l == line(0)));
     }
 
     #[test]
@@ -417,7 +470,7 @@ mod tests {
         let mut c = L1Cache::new(1, 1, 0);
         c.fill(line(0), L1State::M);
         let ev = c.fill(line(1), L1State::S);
-        assert!(matches!(ev[0], Evicted::WritebackM(l, false) if l == line(0)));
+        assert!(matches!(ev, Some(Evicted::WritebackM(l, false)) if l == line(0)));
     }
 
     #[test]
@@ -426,8 +479,8 @@ mod tests {
         c.fill(line(0), L1State::Tmi);
         c.peek_mut(line(0)).unwrap().data = Some(Box::new([7; WORDS_PER_LINE]));
         let ev = c.fill(line(1), L1State::S);
-        match &ev[0] {
-            Evicted::OverflowTmi(l, data) => {
+        match &ev {
+            Some(Evicted::OverflowTmi(l, data)) => {
                 assert_eq!(*l, line(0));
                 assert_eq!(data[0], 7);
             }
@@ -489,7 +542,7 @@ mod tests {
         let mut c = L1Cache::new(1, 1, usize::MAX);
         let mut evictions = 0;
         for i in 0..100 {
-            evictions += c.fill(line(i), L1State::Tmi).len();
+            evictions += usize::from(c.fill(line(i), L1State::Tmi).is_some());
             c.peek_mut(line(i)).unwrap().data = Some(Box::new([0; WORDS_PER_LINE]));
         }
         assert_eq!(evictions, 0);

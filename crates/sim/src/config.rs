@@ -57,6 +57,14 @@ pub struct MachineConfig {
     /// Record a detailed event log (tests use this; benchmarks leave it
     /// off).
     pub record_events: bool,
+    /// Disable the scheduler's lock-free local fast path and the
+    /// batched lease: every operation then goes through the full
+    /// posted-op rendezvous, one at a time, exactly like the original
+    /// conservative-lockstep engine. The schedule (and therefore every
+    /// event, counter, and clock) is identical either way — this knob
+    /// exists so the determinism suite can pin that equivalence and so
+    /// regressions can be bisected to scheduling vs. protocol changes.
+    pub strict_lockstep: bool,
 }
 
 impl MachineConfig {
@@ -81,6 +89,7 @@ impl MachineConfig {
             ot_alloc_trap_latency: 200,
             unbounded_tmi_victim: false,
             record_events: false,
+            strict_lockstep: false,
         }
     }
 

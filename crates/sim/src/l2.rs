@@ -14,8 +14,10 @@
 //! list by querying all L1 signatures — the analogue of LogTM's sticky
 //! bits (§4.1).
 
+use crate::mem::PageHasher;
 use flextm_sig::{LineAddr, SignatureConfig, SummarySignature};
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 
 /// Directory state for one line.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,10 +41,14 @@ impl DirEntry {
 /// context-switch summary state (§5).
 #[derive(Debug)]
 pub struct L2 {
-    sets: Vec<Vec<(LineAddr, u64)>>, // (line, lru)
+    /// Tag array, set-major: `nsets * ways` slots of `(line, lru)`.
+    /// One contiguous allocation — a 16K-set L2 as one `Vec` of tiny
+    /// `Vec`s costs a TLB walk per set visit.
+    slots: Vec<Option<(LineAddr, u64)>>,
+    nsets: usize,
     ways: usize,
     tick: u64,
-    dir: HashMap<LineAddr, DirEntry>,
+    dir: HashMap<LineAddr, DirEntry, BuildHasherDefault<PageHasher>>,
     /// Summary of descheduled transactions' read sets, keyed by
     /// software thread id.
     pub read_summary: SummarySignature,
@@ -68,20 +74,25 @@ pub enum L2Ref {
 impl L2 {
     /// Creates the L2 with `sets` sets of `ways`.
     pub fn new(sets: usize, ways: usize, sig_config: SignatureConfig) -> Self {
-        assert!(sets.is_power_of_two(), "L2 set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "L2 set count must be a power of two"
+        );
         L2 {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            slots: vec![None; sets * ways],
+            nsets: sets,
             ways,
             tick: 0,
-            dir: HashMap::new(),
+            dir: HashMap::default(),
             read_summary: SummarySignature::new(sig_config.clone()),
             write_summary: SummarySignature::new(sig_config),
             cores_summary: 0,
         }
     }
 
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.index() as usize) & (self.sets.len() - 1)
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let si = (line.index() as usize) & (self.nsets - 1);
+        si * self.ways..(si + 1) * self.ways
     }
 
     /// References `line` in the tag array, allocating on miss and
@@ -89,24 +100,30 @@ impl L2 {
     pub fn reference(&mut self, line: LineAddr) -> L2Ref {
         self.tick += 1;
         let tick = self.tick;
-        let si = self.set_index(line);
-        if let Some(e) = self.sets[si].iter_mut().find(|(l, _)| *l == line) {
+        let range = self.set_range(line);
+        let base = range.start;
+        let set = &mut self.slots[range];
+        if let Some(e) = set.iter_mut().flatten().find(|(l, _)| *l == line) {
             e.1 = tick;
             return L2Ref::Hit;
         }
-        if self.sets[si].len() >= self.ways {
-            let pos = self.sets[si]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, lru))| *lru)
-                .map(|(i, _)| i)
-                .expect("set non-empty");
-            let (victim, _) = self.sets[si].swap_remove(pos);
-            // Processor sharer information is lost on L2 eviction
-            // (paper §4.1); it will be recreated from signatures.
-            self.dir.remove(&victim);
-        }
-        self.sets[si].push((line, tick));
+        let slot = match set.iter().position(Option::is_none) {
+            Some(free) => free,
+            None => {
+                let pos = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.expect("full set").1)
+                    .map(|(i, _)| i)
+                    .expect("set non-empty");
+                let (victim, _) = set[pos].take().expect("chosen victim");
+                // Processor sharer information is lost on L2 eviction
+                // (paper §4.1); it will be recreated from signatures.
+                self.dir.remove(&victim);
+                pos
+            }
+        };
+        self.slots[base + slot] = Some((line, tick));
         L2Ref::Miss
     }
 
@@ -245,6 +262,10 @@ mod tests {
     #[test]
     fn dir_entry_idle() {
         assert!(DirEntry::default().is_idle());
-        assert!(!DirEntry { sharers: 1, owners: 0 }.is_idle());
+        assert!(!DirEntry {
+            sharers: 1,
+            owners: 0
+        }
+        .is_idle());
     }
 }

@@ -1,24 +1,128 @@
 //! The machine: shared simulator state plus the deterministic
-//! conservative-lockstep scheduler that worker threads synchronize
-//! through.
+//! mailbox/lease scheduler that worker threads synchronize through.
 //!
-//! Every simulated thread runs on its own OS thread, but each simulated
-//! operation (load, store, CAS-Commit, `work`, …) is a blocking call
-//! into the machine. The machine services exactly one operation at a
-//! time, always the one issued by the live core with the smallest local
-//! clock (ties broken by core id), and only once *every* live core has
-//! an operation posted. The result is a total order of operations that
-//! depends only on the program and its seeds — fully deterministic and
-//! repeatable, which the test suite relies on.
+//! # The deterministic order
+//!
+//! Every simulated thread runs on its own OS thread, and each simulated
+//! operation (load, store, CAS-Commit, `work`, …) is a call into the
+//! machine. Operations execute one at a time in a fixed total order:
+//! always the operation issued by the live core with the smallest
+//! `(local clock, core id)`, and only once *every* live core has an
+//! operation posted (conservative lockstep). The order therefore
+//! depends only on the program and its seeds — fully repeatable, which
+//! the test suite relies on.
+//!
+//! # How it is scheduled
+//!
+//! The original engine realized that order with a global
+//! `Mutex<SimState>` and a per-core `Condvar` ping-pong: one lock
+//! round-trip and usually one context switch *per simulated operation*.
+//! The current engine keeps the order bit-for-bit but decouples
+//! scheduling from the protocol state:
+//!
+//! * **Mailboxes.** Each core owns a slot in the scheduler table. To
+//!   run an operation it posts the op's issue clock there and parks
+//!   once. The operation itself (a closure over `&mut SimState`) stays
+//!   on the worker thread — only the timestamp travels.
+//! * **Driver decisions.** Whenever a post or a thread exit completes
+//!   the "all live cores posted" condition, the next core is picked by
+//!   min-`(clock, id)` and granted a *lease* on the state. The driver
+//!   is a migrating role played by whichever thread noticed the
+//!   condition; there is no extra scheduler thread to wake.
+//! * **Batching.** A grant carries a *horizon*: the smallest
+//!   `(clock, id)` posted by any other live core. While the holder's
+//!   next operation is issued strictly below the horizon, the
+//!   one-at-a-time scheduler would pick this core again anyway — all
+//!   other cores are parked with their posted timestamps frozen — so
+//!   the holder executes it immediately with **zero synchronization**.
+//!   Only when its clock crosses the horizon does it hand the lease
+//!   back (one lock round-trip for a whole batch). A single-threaded
+//!   run has horizon `(∞, ∞)`: after the first operation every call
+//!   degenerates to a plain function call.
+//! * **Lock-free local ops.** `work(n)` adds to the issuing core's
+//!   clock and `now()` reads it; neither touches protocol state,
+//!   produces events, or observes other cores, so they commute with
+//!   every remote operation and complete without the scheduler even
+//!   when the core does not hold the lease (see `work_op`).
+//!
+//! [`crate::MachineConfig::strict_lockstep`] disables the batching and
+//! the lock-free paths, forcing the original one-op-at-a-time
+//! rendezvous. The schedule — and therefore every event, counter and
+//! clock — is identical either way; `tests/determinism.rs` pins that
+//! equivalence.
+//!
+//! # Safety discipline
+//!
+//! `SimState` lives in an [`UnsafeCell`] next to (not inside) the
+//! scheduler mutex. It is touched only (a) by the unique lease holder,
+//! between two critical sections on the scheduler lock, or (b) through
+//! `Machine` methods that hold the lock and assert no run is live.
+//! Lease handoff always happens inside the lock, so the previous
+//! holder's writes are published to the next. Per-core clocks live in
+//! cache-line-padded atomics (`Lanes`) shared by `SimState` and the
+//! fast paths; each lane is written only by its owning worker (or by
+//! the machine between runs), so relaxed ordering suffices.
 
 use crate::config::MachineConfig;
 use crate::core_state::CoreState;
 use crate::l2::L2;
 use crate::mem::Memory;
-use crate::stats::{EventLog, MachineReport};
-use std::sync::{Arc, Condvar, Mutex};
+use crate::stats::{EventLog, MachineReport, SchedStats};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{
+    AtomicBool, AtomicU64, AtomicUsize,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::Thread;
+use std::time::Instant;
 
-/// All mutable simulator state, guarded by the machine's lock.
+/// One core's scheduler lane: the clock and fast-path bookkeeping that
+/// must be accessible without the scheduler lock. Padded so that
+/// neighbouring cores' lanes do not false-share a cache line.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct CoreLane {
+    /// The core's local clock, in cycles. Written only by the owning
+    /// worker thread (via `SimState::advance` or the `work` fast path)
+    /// or by the machine between runs (`align_clocks`).
+    clock: AtomicU64,
+    /// Cycles charged through `work` — kept here so the lock-free path
+    /// can account them without touching `SimState`; folded into
+    /// [`crate::CoreStats::work_cycles`] at report time.
+    work_cycles: AtomicU64,
+    /// Operations completed without a scheduler rendezvous.
+    fast_ops: AtomicU64,
+    /// Owner-thread cache: does this core currently hold the lease?
+    holds_lease: AtomicBool,
+    /// Grant flag: set (with the horizon below) by the granter inside
+    /// the scheduler's critical section, consumed by the parked owner.
+    granted: AtomicBool,
+    /// The lease horizon, written by the granter before `granted`. An
+    /// op issued at `(clock, id)` strictly below
+    /// `(horizon_clock, horizon_id)` may run on the fast path.
+    horizon_clock: AtomicU64,
+    horizon_id: AtomicUsize,
+}
+
+/// The per-core lanes, shared between [`SimState`] (the protocol
+/// charges time through [`SimState::advance`]) and the scheduler.
+#[derive(Debug, Clone)]
+struct Lanes(Arc<[CoreLane]>);
+
+impl Lanes {
+    fn new(cores: usize) -> Self {
+        Lanes((0..cores).map(|_| CoreLane::default()).collect())
+    }
+
+    fn clock(&self, core: usize) -> u64 {
+        self.0[core].clock.load(Relaxed)
+    }
+}
+
+/// All mutable simulator state. Exclusive access is enforced by the
+/// scheduler's lease discipline (see the module doc), not by a lock
+/// around this struct.
 #[derive(Debug)]
 pub struct SimState {
     /// Machine configuration (immutable after construction).
@@ -31,10 +135,7 @@ pub struct SimState {
     pub l2: L2,
     /// Optional protocol event log.
     pub log: EventLog,
-    /// Per-core local clocks, in cycles.
-    pub clocks: Vec<u64>,
-    pending: Vec<bool>,
-    live: Vec<bool>,
+    lanes: Lanes,
 }
 
 impl SimState {
@@ -42,39 +143,15 @@ impl SimState {
         let cores = (0..config.cores).map(|_| CoreState::new(&config)).collect();
         let l2 = L2::new(config.l2_sets(), config.l2_ways, config.signature.clone());
         let log = EventLog::new(config.record_events);
-        let clocks = vec![0; config.cores];
-        let pending = vec![false; config.cores];
-        let live = vec![false; config.cores];
+        let lanes = Lanes::new(config.cores);
         SimState {
             config,
             mem: Memory::new(),
             cores,
             l2,
             log,
-            clocks,
-            pending,
-            live,
+            lanes,
         }
-    }
-
-    /// The core whose posted operation should execute now: the minimum
-    /// (clock, id) among posted cores, but only when every live core
-    /// has posted (conservative lockstep).
-    fn runnable(&self) -> Option<usize> {
-        let mut best: Option<usize> = None;
-        for i in 0..self.live.len() {
-            if self.live[i] {
-                if !self.pending[i] {
-                    return None; // someone is still computing natively
-                }
-                match best {
-                    None => best = Some(i),
-                    Some(b) if self.clocks[i] < self.clocks[b] => best = Some(i),
-                    _ => {}
-                }
-            }
-        }
-        best
     }
 
     /// Builds a standalone state for unit tests that drive the protocol
@@ -86,18 +163,242 @@ impl SimState {
 
     /// Advances `core`'s clock by `cycles`.
     pub fn advance(&mut self, core: usize, cycles: u64) {
-        self.clocks[core] += cycles;
+        self.lanes.0[core].clock.fetch_add(cycles, Relaxed);
     }
 
     /// The current local time of `core`.
     pub fn now(&self, core: usize) -> u64 {
-        self.clocks[core]
+        self.lanes.clock(core)
+    }
+
+    /// Accounts `cycles` of computation to `core` (the slow-path `work`
+    /// uses this; the fast path bumps the lane directly).
+    pub(crate) fn charge_work(&mut self, core: usize, cycles: u64) {
+        self.lanes.0[core].work_cycles.fetch_add(cycles, Relaxed);
     }
 }
 
+/// The scheduler table: who is live, what each live core has posted,
+/// and who currently holds the lease on the state.
+#[derive(Debug)]
+struct Sched {
+    live: Vec<bool>,
+    /// Mailbox slots: the issue clock of each core's posted operation
+    /// (`None` while the core is computing natively).
+    posted: Vec<Option<u64>>,
+    /// Handles for waking parked workers (registered on first post).
+    threads: Vec<Option<std::thread::Thread>>,
+    /// The core holding the exclusive lease on `Shared::state`.
+    lease: Option<usize>,
+    /// Rendezvous counters, folded into [`MachineReport`].
+    stats: SchedStats,
+}
+
+/// State shared between the [`Machine`] handle and its worker threads.
 pub(crate) struct Shared {
-    state: Mutex<SimState>,
-    cvs: Vec<Condvar>,
+    state: UnsafeCell<SimState>,
+    sched: Mutex<Sched>,
+    lanes: Lanes,
+    /// A worker body panicked; everyone must bail out. Atomic (not in
+    /// `Sched`) so parked workers can check it without the lock.
+    poisoned: AtomicBool,
+    strict: bool,
+}
+
+// SAFETY: `state` is accessed only by the unique lease holder between
+// two critical sections on `sched`, or through `Machine` methods that
+// hold `sched` and assert no run is live; handoff through the lock
+// publishes the previous holder's writes (module doc, "Safety
+// discipline"). Everything else in `Shared` is Sync on its own.
+unsafe impl Sync for Shared {}
+
+/// Grants the lease to the next runnable core, if any: the minimum
+/// `(posted clock, id)` over live cores, but only when every live core
+/// has posted — the original engine's conservative-lockstep rule,
+/// verbatim.
+///
+/// The granter does the bookkeeping while it holds the lock: it
+/// consumes the grantee's mailbox slot, computes the grantee's horizon
+/// (the smallest `(clock, id)` among the *other* posted cores — frozen
+/// while they are parked, i.e. the second-smallest key overall), and
+/// publishes both through the grantee's lane. The woken core touches no
+/// lock at all. `caller` (if posting) skips its own wakeup: it
+/// re-checks its lane before parking.
+///
+/// Returns the thread to unpark, if any. The caller must drop the
+/// `sched` guard *before* unparking: waking the grantee while still
+/// holding the lock invites the OS to preempt the granter in favour of
+/// the grantee, which then blocks on this same lock at its next
+/// rendezvous — an extra futex round-trip on every handoff.
+#[must_use]
+fn try_grant(shared: &Shared, sched: &mut Sched, caller: Option<usize>) -> Option<Thread> {
+    if sched.lease.is_some() || shared.poisoned.load(Relaxed) {
+        return None;
+    }
+    let mut best: Option<(u64, usize)> = None;
+    let mut second = (u64::MAX, usize::MAX);
+    for i in 0..sched.live.len() {
+        if !sched.live[i] {
+            continue;
+        }
+        match sched.posted[i] {
+            None => return None, // someone is still computing natively
+            Some(clock) => {
+                let key = (clock, i);
+                match best {
+                    None => best = Some(key),
+                    Some(b) if key < b => {
+                        second = b;
+                        best = Some(key);
+                    }
+                    Some(_) => second = second.min(key),
+                }
+            }
+        }
+    }
+    let (_, next) = best?;
+    sched.lease = Some(next);
+    sched.posted[next] = None;
+    let lane = &shared.lanes.0[next];
+    lane.horizon_clock.store(second.0, Relaxed);
+    lane.horizon_id.store(second.1, Relaxed);
+    lane.granted.store(true, Release);
+    if caller != Some(next) {
+        sched.stats.grants += 1;
+        return sched.threads[next].clone();
+    }
+    None
+}
+
+/// Executes one simulated operation for `core`: `f` runs exactly when
+/// the deterministic order reaches the op's `(issue clock, core)`.
+///
+/// Fast path: while `core` holds the lease and the op is issued below
+/// the cached horizon, the one-at-a-time scheduler would pick `core`
+/// again anyway — run `f` directly, no synchronization at all.
+pub(crate) fn sync_op<R>(shared: &Shared, core: usize, f: impl FnOnce(&mut SimState) -> R) -> R {
+    if !shared.strict {
+        let lane = &shared.lanes.0[core];
+        if lane.holds_lease.load(Relaxed) {
+            let issue = lane.clock.load(Relaxed);
+            let horizon = (
+                lane.horizon_clock.load(Relaxed),
+                lane.horizon_id.load(Relaxed),
+            );
+            if (issue, core) < horizon {
+                lane.fast_ops.fetch_add(1, Relaxed);
+                // SAFETY: this thread holds the lease (only it sets and
+                // clears its own `holds_lease`), so it has exclusive
+                // access to the state.
+                let st = unsafe { &mut *shared.state.get() };
+                return f(st);
+            }
+        }
+    }
+    slow_op(shared, core, f)
+}
+
+/// The rendezvous path: post the issue clock in the mailbox, hand the
+/// lease back, park until granted, then run `f` under the horizon the
+/// granter computed.
+#[cold]
+fn slow_op<R>(shared: &Shared, core: usize, f: impl FnOnce(&mut SimState) -> R) -> R {
+    let lane = &shared.lanes.0[core];
+    let wake = {
+        let mut sched = shared.sched.lock().expect("scheduler lock poisoned");
+        if sched.threads[core].is_none() {
+            sched.threads[core] = Some(std::thread::current());
+        }
+        sched.posted[core] = Some(lane.clock.load(Relaxed));
+        sched.stats.slow_ops += 1;
+        if sched.lease == Some(core) {
+            sched.lease = None;
+            lane.holds_lease.store(false, Relaxed);
+        }
+        try_grant(shared, &mut sched, Some(core))
+    };
+    if let Some(t) = wake {
+        t.unpark();
+    }
+    // Park (lock dropped) until the grant flag shows up. An unpark can
+    // arrive before the park — the park token absorbs it.
+    while !lane.granted.load(Acquire) {
+        if shared.poisoned.load(Relaxed) {
+            panic!("a simulated thread panicked; the machine is poisoned");
+        }
+        std::thread::park();
+    }
+    lane.granted.store(false, Relaxed);
+    lane.holds_lease.store(true, Relaxed);
+    // SAFETY: the grant was published with release ordering from inside
+    // the scheduler's critical section, after the previous holder's
+    // release of the lease — its writes to the state happen-before
+    // ours.
+    let st = unsafe { &mut *shared.state.get() };
+    f(st)
+}
+
+/// `work`: charges `cycles` of local computation. Touches only the
+/// issuing core's lane — no protocol traffic, no events, no reads of
+/// shared state — so it commutes with every remote operation: removing
+/// it from the rendezvous changes no other core's issue clocks and
+/// therefore no scheduling decision.
+pub(crate) fn work_op(shared: &Shared, core: usize, cycles: u64) {
+    if !shared.strict {
+        let lane = &shared.lanes.0[core];
+        lane.clock.fetch_add(cycles, Relaxed);
+        lane.work_cycles.fetch_add(cycles, Relaxed);
+        lane.fast_ops.fetch_add(1, Relaxed);
+        return;
+    }
+    sync_op(shared, core, |st| {
+        st.advance(core, cycles);
+        st.charge_work(core, cycles);
+    });
+}
+
+/// `now`: reads the issuing core's clock, which only it writes — the
+/// lock-free read returns exactly what the rendezvous would.
+pub(crate) fn now_op(shared: &Shared, core: usize) -> u64 {
+    if !shared.strict {
+        let lane = &shared.lanes.0[core];
+        lane.fast_ops.fetch_add(1, Relaxed);
+        return lane.clock.load(Relaxed);
+    }
+    sync_op(shared, core, |st| st.now(core))
+}
+
+/// Removes an exiting worker from the schedule; its absence may make
+/// the remaining cores runnable (or, on panic, poisons the machine and
+/// unparks everyone so they can bail out).
+fn deregister(shared: &Shared, core: usize, panicked: bool) {
+    let mut wake_all = Vec::new();
+    let wake = {
+        let mut sched = shared.sched.lock().expect("scheduler lock poisoned");
+        if panicked {
+            shared.poisoned.store(true, Relaxed);
+        }
+        sched.live[core] = false;
+        sched.posted[core] = None;
+        sched.threads[core] = None;
+        if sched.lease == Some(core) {
+            sched.lease = None;
+            shared.lanes.0[core].holds_lease.store(false, Relaxed);
+        }
+        if shared.poisoned.load(Relaxed) {
+            // Unpark everyone; parked workers see the flag and bail.
+            wake_all = sched.threads.iter().flatten().cloned().collect();
+            None
+        } else {
+            try_grant(shared, &mut sched, None)
+        }
+    };
+    for t in wake_all {
+        t.unpark();
+    }
+    if let Some(t) = wake {
+        t.unpark();
+    }
 }
 
 /// The simulated chip multiprocessor.
@@ -128,13 +429,40 @@ impl std::fmt::Debug for Machine {
 impl Machine {
     /// Builds a machine per `config`.
     pub fn new(config: MachineConfig) -> Self {
-        let cvs = (0..config.cores).map(|_| Condvar::new()).collect();
+        let cores = config.cores;
+        let strict = config.strict_lockstep;
+        let state = SimState::new(config);
+        let lanes = state.lanes.clone();
         Machine {
             shared: Arc::new(Shared {
-                state: Mutex::new(SimState::new(config)),
-                cvs,
+                state: UnsafeCell::new(state),
+                sched: Mutex::new(Sched {
+                    live: vec![false; cores],
+                    posted: vec![None; cores],
+                    threads: vec![None; cores],
+                    lease: None,
+                    stats: SchedStats::default(),
+                }),
+                lanes,
+                poisoned: AtomicBool::new(false),
+                strict,
             }),
         }
+    }
+
+    /// Locks the scheduler after checking the machine is quiescent, so
+    /// the state may be borrowed through this handle.
+    fn quiesced(&self, caller: &str) -> MutexGuard<'_, Sched> {
+        let sched = self.shared.sched.lock().expect("scheduler lock poisoned");
+        assert!(
+            !self.shared.poisoned.load(Relaxed),
+            "{caller}: a simulated thread panicked; the machine is poisoned"
+        );
+        assert!(
+            sched.live.iter().all(|&l| !l),
+            "{caller} called while a run is in progress"
+        );
+        sched
     }
 
     /// Direct access to simulator state. Only valid while no `run` is
@@ -142,12 +470,11 @@ impl Machine {
     /// run and to inspect state afterwards. Accesses made here cost no
     /// simulated time and leave caches untouched.
     pub fn with_state<R>(&self, f: impl FnOnce(&mut SimState) -> R) -> R {
-        let mut st = self.shared.state.lock().expect("simulator lock poisoned");
-        assert!(
-            st.live.iter().all(|&l| !l),
-            "with_state called while a run is in progress"
-        );
-        f(&mut st)
+        let _sched = self.quiesced("with_state");
+        // SAFETY: no run is live and we hold the scheduler lock, so no
+        // worker thread can touch the state.
+        let st = unsafe { &mut *self.shared.state.get() };
+        f(st)
     }
 
     /// Runs `threads` simulated threads to completion; thread `i`
@@ -159,44 +486,47 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if `threads` exceeds the configured core count or a body
-    /// panics (the panic is propagated).
+    /// panics (the panic is propagated; the machine is then poisoned).
     pub fn run<R: Send>(
         &self,
         threads: usize,
         body: impl Fn(crate::proc::ProcHandle) -> R + Sync,
     ) -> Vec<R> {
+        let t0 = Instant::now();
         {
-            let mut st = self.shared.state.lock().expect("simulator lock poisoned");
+            let mut sched = self.quiesced("run");
+            let cores = self.shared.lanes.0.len();
             assert!(
-                threads <= st.config.cores,
-                "asked for {threads} threads on a {}-core machine",
-                st.config.cores
-            );
-            assert!(
-                st.live.iter().all(|&l| !l),
-                "Machine::run is not reentrant"
+                threads <= cores,
+                "asked for {threads} threads on a {cores}-core machine"
             );
             for i in 0..threads {
-                st.live[i] = true;
-                st.pending[i] = false;
+                sched.live[i] = true;
+                sched.posted[i] = None;
+            }
+            for lane in self.shared.lanes.0.iter() {
+                lane.holds_lease.store(false, Relaxed);
+                lane.granted.store(false, Relaxed);
+                lane.horizon_clock.store(0, Relaxed);
+                lane.horizon_id.store(0, Relaxed);
             }
         }
         let shared = &self.shared;
         let body = &body;
-        std::thread::scope(|scope| {
+        let results: Vec<R> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|i| {
                     scope.spawn(move || {
                         let proc = crate::proc::ProcHandle::new(Arc::clone(shared), i);
-                        let result = body(proc);
-                        // Deregister and wake whoever can now run.
-                        let mut st = shared.state.lock().expect("simulator lock poisoned");
-                        st.live[i] = false;
-                        st.pending[i] = false;
-                        if let Some(next) = st.runnable() {
-                            shared.cvs[next].notify_one();
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(proc)));
+                        // Deregister even on panic, or parked siblings
+                        // would wait forever on this core's mailbox.
+                        deregister(shared, i, result.is_err());
+                        match result {
+                            Ok(r) => r,
+                            Err(payload) => std::panic::resume_unwind(payload),
                         }
-                        result
                     })
                 })
                 .collect();
@@ -204,7 +534,11 @@ impl Machine {
                 .into_iter()
                 .map(|h| h.join().expect("simulated thread panicked"))
                 .collect()
-        })
+        });
+        let mut sched = self.shared.sched.lock().expect("scheduler lock poisoned");
+        sched.stats.host_nanos += t0.elapsed().as_nanos() as u64;
+        drop(sched);
+        results
     }
 
     /// Aligns every core's local clock to the current global maximum —
@@ -220,62 +554,39 @@ impl Machine {
     ///
     /// Panics if called while a run is in progress.
     pub fn align_clocks(&self) {
-        let mut st = self.shared.state.lock().expect("simulator lock poisoned");
-        assert!(
-            st.live.iter().all(|&l| !l),
-            "align_clocks called while a run is in progress"
-        );
-        let max = st.clocks.iter().copied().max().unwrap_or(0);
-        st.clocks.fill(max);
+        let _sched = self.quiesced("align_clocks");
+        let lanes = &self.shared.lanes;
+        let max = (0..lanes.0.len())
+            .map(|i| lanes.clock(i))
+            .max()
+            .unwrap_or(0);
+        for lane in lanes.0.iter() {
+            lane.clock.store(max, Relaxed);
+        }
     }
 
-    /// Snapshot of counters and clocks.
+    /// Snapshot of counters, clocks and scheduler statistics.
     pub fn report(&self) -> MachineReport {
-        let st = self.shared.state.lock().expect("simulator lock poisoned");
+        let sched = self.quiesced("report");
+        // SAFETY: no run is live and we hold the scheduler lock.
+        let st = unsafe { &*self.shared.state.get() };
+        let lanes = &self.shared.lanes;
+        let mut sched_stats = sched.stats;
+        sched_stats.fast_ops = lanes.0.iter().map(|l| l.fast_ops.load(Relaxed)).sum();
         MachineReport {
-            core_cycles: st.clocks.clone(),
-            cores: st.cores.iter().map(|c| c.stats).collect(),
+            core_cycles: (0..lanes.0.len()).map(|i| lanes.clock(i)).collect(),
+            cores: st
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let mut s = c.stats;
+                    s.work_cycles = lanes.0[i].work_cycles.load(Relaxed);
+                    s
+                })
+                .collect(),
+            sched: sched_stats,
         }
-    }
-}
-
-pub(crate) use gate::sync_op;
-
-mod gate {
-    use super::Shared;
-    use crate::machine::SimState;
-    use std::sync::Arc;
-
-    /// Executes one simulated operation for `core`: posts it, waits for
-    /// its turn under the lockstep rule, runs `f` atomically against the
-    /// state, then wakes the next runnable core.
-    pub(crate) fn sync_op<R>(
-        shared: &Arc<Shared>,
-        core: usize,
-        f: impl FnOnce(&mut SimState) -> R,
-    ) -> R {
-        let mut st = shared.state.lock().expect("simulator lock poisoned");
-        st.pending[core] = true;
-        // Posting may have completed the "all live cores posted"
-        // condition for someone else.
-        loop {
-            match st.runnable() {
-                Some(c) if c == core => break,
-                Some(c) => {
-                    shared.cvs[c].notify_one();
-                    st = shared.cvs[core].wait(st).expect("simulator lock poisoned");
-                }
-                None => {
-                    st = shared.cvs[core].wait(st).expect("simulator lock poisoned");
-                }
-            }
-        }
-        let r = f(&mut st);
-        st.pending[core] = false;
-        if let Some(next) = st.runnable() {
-            shared.cvs[next].notify_one();
-        }
-        r
     }
 }
 
@@ -348,5 +659,81 @@ mod tests {
         let r = m.report();
         assert_eq!(r.core_cycles[0], 12);
         assert_eq!(r.core_cycles[1], 7);
+    }
+
+    #[test]
+    fn strict_and_fast_schedules_match() {
+        // The knob must change scheduling mechanics only: same clocks,
+        // same counters, same event order.
+        let run = |strict: bool| {
+            let mut cfg = MachineConfig::small_test();
+            cfg.strict_lockstep = strict;
+            let m = Machine::new(cfg);
+            m.with_state(|st| st.mem.write(crate::mem::Addr::new(0x40), 1));
+            m.run(3, |p| {
+                let a = crate::mem::Addr::new(0x40);
+                for i in 0..8 {
+                    let v = p.load(a.offset((p.core() as u64 + i) % 5));
+                    p.store(a.offset(5 + v % 3), v + 1);
+                    p.work(1 + p.core() as u64);
+                }
+            });
+            let r = m.report();
+            let events = m.with_state(|st| st.log.take());
+            (r.core_cycles.clone(), r.cores.clone(), events)
+        };
+        let (fast_clocks, fast_cores, fast_events) = run(false);
+        let (strict_clocks, strict_cores, strict_events) = run(true);
+        assert_eq!(fast_clocks, strict_clocks);
+        assert_eq!(fast_cores, strict_cores);
+        assert_eq!(fast_events, strict_events);
+    }
+
+    #[test]
+    fn fast_path_is_used_and_counted() {
+        let m = Machine::new(MachineConfig::small_test());
+        m.run(1, |p| {
+            for _ in 0..100 {
+                p.work(1);
+            }
+            p.store(crate::mem::Addr::new(0x80), 9);
+        });
+        let r = m.report();
+        assert!(r.sched.fast_ops >= 100, "fast_ops = {}", r.sched.fast_ops);
+        assert!(r.sched.slow_ops >= 1);
+        assert_eq!(r.cores[0].work_cycles, 100);
+    }
+
+    #[test]
+    fn strict_mode_disables_fast_paths() {
+        let mut cfg = MachineConfig::small_test();
+        cfg.strict_lockstep = true;
+        let m = Machine::new(cfg);
+        m.run(2, |p| {
+            p.work(5);
+            p.now();
+        });
+        let r = m.report();
+        assert_eq!(r.sched.fast_ops, 0);
+        assert!(r.sched.slow_ops >= 4);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_poisons() {
+        let m = Machine::new(MachineConfig::small_test());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(2, |p| {
+                if p.core() == 1 {
+                    panic!("boom");
+                }
+                for _ in 0..4 {
+                    p.load(crate::mem::Addr::new(0x100));
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The machine must refuse further use rather than expose
+        // half-mutated state.
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.report())).is_err());
     }
 }

@@ -7,6 +7,7 @@
 
 use flextm_sig::{LineAddr, LINE_BYTES};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Words per 64-byte cache line.
 pub const WORDS_PER_LINE: usize = (LINE_BYTES / 8) as usize;
@@ -82,10 +83,37 @@ impl std::fmt::Display for Addr {
 
 const PAGE_WORDS: usize = 512; // 4 KiB pages
 
+/// Multiply-shift hasher for page numbers. Every simulated memory
+/// access hashes a page key; pages are small dense integers, and the
+/// default SipHash costs more than the table probe itself. Fixed
+/// multiplier (no random seed), so the map is deterministic across
+/// runs.
+#[derive(Debug, Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV fallback; only reached if a non-u64 key is ever hashed.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci multiply, then rotate so the table's low index bits
+        // come from the high (well-mixed) half of the product.
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(32);
+    }
+}
+
 /// Sparse simulated memory: committed word values, allocated on demand.
 #[derive(Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>, BuildHasherDefault<PageHasher>>,
 }
 
 impl Memory {
@@ -96,7 +124,10 @@ impl Memory {
 
     fn split(addr: Addr) -> (u64, usize) {
         let word = addr.raw() / 8;
-        (word / PAGE_WORDS as u64, (word % PAGE_WORDS as u64) as usize)
+        (
+            word / PAGE_WORDS as u64,
+            (word % PAGE_WORDS as u64) as usize,
+        )
     }
 
     /// Reads the committed value of the word at `addr` (0 if untouched).
@@ -108,22 +139,30 @@ impl Memory {
     /// Writes the committed value of the word at `addr`.
     pub fn write(&mut self, addr: Addr, value: u64) {
         let (page, off) = Self::split(addr);
-        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_WORDS]))[off] = value;
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[off] = value;
     }
 
     /// Reads a whole cache line (used to fill TI snapshots and TMI
-    /// buffers).
+    /// buffers). A line never straddles a page, so this is a single
+    /// page probe, not one per word.
     pub fn read_line(&self, line: LineAddr) -> [u64; WORDS_PER_LINE] {
-        let base = Addr::new(line.byte_addr());
-        std::array::from_fn(|i| self.read(base.offset(i as u64)))
+        let (page, off) = Self::split(Addr::new(line.byte_addr()));
+        match self.pages.get(&page) {
+            Some(p) => std::array::from_fn(|i| p[off + i]),
+            None => [0; WORDS_PER_LINE],
+        }
     }
 
     /// Writes a whole cache line (commit of a TMI line or OT copy-back).
     pub fn write_line(&mut self, line: LineAddr, data: &[u64; WORDS_PER_LINE]) {
-        let base = Addr::new(line.byte_addr());
-        for (i, &w) in data.iter().enumerate() {
-            self.write(base.offset(i as u64), w);
-        }
+        let (page, off) = Self::split(Addr::new(line.byte_addr()));
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]));
+        p[off..off + WORDS_PER_LINE].copy_from_slice(data);
     }
 
     /// Number of pages touched so far (test/diagnostic aid).

@@ -61,7 +61,13 @@ impl OverflowTable {
     pub fn insert(&mut self, line: LineAddr, data: Box<[u64; WORDS_PER_LINE]>) {
         debug_assert!(!self.committed, "insert into a committed OT");
         self.osig.insert(line);
-        self.entries.insert(line, OtEntry { data, logical: line });
+        self.entries.insert(
+            line,
+            OtEntry {
+                data,
+                logical: line,
+            },
+        );
         self.peak = self.peak.max(self.entries.len());
     }
 

@@ -1,16 +1,16 @@
 //! [`ProcHandle`]: the per-core "instruction set" worker threads use.
 //!
-//! Every method is one simulated operation: it blocks until the
-//! deterministic scheduler grants this core its turn, executes
-//! atomically against the machine, advances this core's clock, and
-//! returns. Methods mirror the paper's ISA additions: `TLoad`/`TStore`
-//! (PDI), `ALoad` (AOU), CAS-Commit, CST copy-and-clear, the signature
-//! instructions of Table 4(a), and the OS-level virtualization hooks of
-//! §5.
+//! Every method is one simulated operation, executed atomically against
+//! the machine at this core's position in the deterministic schedule
+//! (see the `machine` module doc): either immediately on the
+//! scheduler's fast path, or after a mailbox rendezvous. Methods mirror
+//! the paper's ISA additions: `TLoad`/`TStore` (PDI), `ALoad` (AOU),
+//! CAS-Commit, CST copy-and-clear, the signature instructions of
+//! Table 4(a), and the OS-level virtualization hooks of §5.
 
 use crate::core_state::AlertCause;
 use crate::cst::CstKind;
-use crate::machine::{sync_op, SharedMachine};
+use crate::machine::{now_op, sync_op, work_op, SharedMachine};
 use crate::mem::Addr;
 use crate::proto::{AccessKind, AccessResult, CasCommitOutcome};
 use crate::vm::SavedTx;
@@ -39,7 +39,9 @@ pub struct ProcHandle {
 
 impl std::fmt::Debug for ProcHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ProcHandle").field("core", &self.core).finish()
+        f.debug_struct("ProcHandle")
+            .field("core", &self.core)
+            .finish()
     }
 }
 
@@ -53,15 +55,13 @@ impl ProcHandle {
         self.core
     }
 
-    /// Models `cycles` of non-memory computation (IPC = 1).
+    /// Models `cycles` of non-memory computation (IPC = 1). Purely
+    /// local — completes lock-free without a scheduler rendezvous.
     pub fn work(&self, cycles: u64) {
         if cycles == 0 {
             return;
         }
-        sync_op(&self.shared, self.core, |st| {
-            st.advance(self.core, cycles);
-            st.cores[self.core].stats.work_cycles += cycles;
-        });
+        work_op(&self.shared, self.core, cycles);
     }
 
     /// Non-transactional load.
@@ -113,7 +113,9 @@ impl ProcHandle {
 
     /// Plain atomic compare-and-swap; returns the previous value.
     pub fn cas(&self, addr: Addr, expected: u64, new: u64) -> u64 {
-        sync_op(&self.shared, self.core, |st| st.cas(self.core, addr, expected, new).0)
+        sync_op(&self.shared, self.core, |st| {
+            st.cas(self.core, addr, expected, new).0
+        })
     }
 
     /// The CAS-Commit instruction (§3.6).
@@ -275,9 +277,9 @@ impl ProcHandle {
         });
     }
 
-    /// This core's current clock (diagnostic; zero cost).
+    /// This core's current clock (diagnostic; zero cost, lock-free).
     pub fn now(&self) -> u64 {
-        sync_op(&self.shared, self.core, |st| st.now(self.core))
+        now_op(&self.shared, self.core)
     }
 
     /// Executes a *software* side effect atomically at this core's

@@ -1,0 +1,141 @@
+//! The composite instructions layered on the access path: plain CAS,
+//! CAS-Commit (§3.6), the explicit abort, and ALoad (§3.4).
+
+use super::msg::{AccessKind, AccessResult, CasCommitOutcome};
+use crate::core_state::AlertCause;
+use crate::machine::SimState;
+use crate::mem::Addr;
+use crate::stats::Event;
+
+impl SimState {
+    /// Plain atomic compare-and-swap (the instruction transactions use
+    /// to abort each other's status words). Returns the old value.
+    pub fn cas(&mut self, me: usize, addr: Addr, expected: u64, new: u64) -> (u64, AccessResult) {
+        let old = self.peek_word(addr);
+        let store_val = if old == expected { new } else { old };
+        let result = self.access(me, addr, AccessKind::Store, store_val);
+        (old, result)
+    }
+
+    /// Reads a word with full architectural semantics but zero timing
+    /// (used inside composite instructions).
+    fn peek_word(&self, addr: Addr) -> u64 {
+        // The committed value is authoritative for non-speculative data
+        // such as TSWs; TSWs are never TStored.
+        self.mem.read(addr)
+    }
+
+    /// The CAS-Commit instruction (§3.6): atomically swap the TSW and
+    /// flash-commit or revert the speculative state.
+    ///
+    /// Protocol refinement (pinned by tests): on a failure because
+    /// `W-R|W-W != 0` the speculative state is *retained* (the lazy
+    /// `Commit()` loop of Fig. 3 re-runs and commits it); only a
+    /// failure due to a changed TSW (the transaction was aborted)
+    /// reverts speculative lines.
+    pub fn cas_commit(
+        &mut self,
+        me: usize,
+        tsw: Addr,
+        expected: u64,
+        new: u64,
+    ) -> CasCommitOutcome {
+        let old = self.peek_word(tsw);
+        if old != expected {
+            // Aborted remotely: revert speculative state.
+            let _ = self.access(me, tsw, AccessKind::Load, 0);
+            self.cores[me].stats.failed_commits += 1;
+            let dropped = self.cores[me].hardware_abort();
+            let _ = dropped;
+            self.clear_aou(me);
+            self.cores[me].stats.tx_aborts += 1;
+            self.log.push(Event::CasCommit {
+                core: me,
+                success: false,
+            });
+            return CasCommitOutcome::LostTsw(old);
+        }
+        if self.cores[me].csts.has_write_conflicts() {
+            let (_, wr, ww) = self.cores[me].csts.snapshot();
+            self.cores[me].stats.failed_commits += 1;
+            self.log.push(Event::CasCommit {
+                core: me,
+                success: false,
+            });
+            return CasCommitOutcome::ConflictsPending { wr, ww };
+        }
+
+        // Success: swap the TSW through the normal exclusive path…
+        let _ = self.access(me, tsw, AccessKind::Store, new);
+        // …then flash-commit all speculative state.
+        let committed = self.cores[me].l1.flash_commit();
+        let mut lines = committed.len();
+        for (l, data) in &committed {
+            self.mem.write_line(*l, data);
+        }
+        let now = self.now(me);
+        let per_line = self.config.ot_copyback_per_line;
+        if let Some(ot) = self.cores[me].ot.as_mut() {
+            if !ot.is_empty() {
+                let drained = ot.begin_commit(now, per_line);
+                lines += drained.len();
+                for (l, e) in drained {
+                    self.mem.write_line(l, &e.data);
+                }
+            }
+        }
+        self.cores[me].rsig.clear();
+        self.cores[me].wsig.clear();
+        self.cores[me].csts.clear_all();
+        self.clear_aou(me);
+        self.cores[me].stats.commits += 1;
+        self.log.push(Event::CasCommit {
+            core: me,
+            success: true,
+        });
+        CasCommitOutcome::Committed(lines)
+    }
+
+    /// The explicit abort instruction: revert TMI/TI, clear signatures,
+    /// CSTs and the AOU mark, discard a speculative OT.
+    pub fn abort_tx(&mut self, me: usize) -> usize {
+        let dropped = self.cores[me].hardware_abort();
+        self.clear_aou(me);
+        self.cores[me].stats.tx_aborts += 1;
+        self.cores[me].alert_pending = None;
+        self.log.push(Event::TxAbort { core: me });
+        self.advance(me, self.config.l1_latency);
+        dropped
+    }
+
+    fn clear_aou(&mut self, me: usize) {
+        if let Some(line) = self.cores[me].aloaded.take() {
+            if let Some(e) = self.cores[me].l1.peek_mut(line) {
+                e.a_bit = false;
+            }
+        }
+    }
+
+    /// The ALoad instruction (§3.4): cache the line and mark it so any
+    /// remote invalidation alerts this core.
+    pub fn aload(&mut self, me: usize, addr: Addr) -> u64 {
+        let line = addr.line();
+        self.clear_aou(me);
+        if self.cores[me].l1.peek(line).is_none() {
+            let _ = self.access(me, addr, AccessKind::Load, 0);
+        } else {
+            self.advance(me, self.config.l1_latency);
+        }
+        let value = self.local_value(me, addr);
+        if let Some(e) = self.cores[me].l1.peek_mut(line) {
+            e.a_bit = true;
+            self.cores[me].aloaded = Some(line);
+        } else {
+            // The line would not cache (e.g. threatened): fall back to
+            // an immediate alert so software revalidates — conservative
+            // but safe.
+            self.cores[me].post_alert(AlertCause::AouInvalidated(line));
+        }
+        value
+    }
+}

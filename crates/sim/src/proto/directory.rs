@@ -1,0 +1,342 @@
+//! The L2/directory side: GETS/GETX/TGETX handlers that walk the
+//! sharer/owner lists, collect responses, and rebuild directory state
+//! lost to L2 evictions (paper §4.1's sticky-bit analogue).
+
+use super::msg::{AccessKind, AccessResult, Conflict, ConflictKind};
+use crate::cache::L1State;
+use crate::cst::{procs_in_mask, CstKind};
+use crate::machine::SimState;
+use crate::mem::Addr;
+use flextm_sig::LineAddr;
+
+impl SimState {
+    /// Rebuilds a directory entry by querying every L1's signatures and
+    /// tags (the price of losing directory info to an L2 eviction).
+    pub(super) fn recreate_dir(&mut self, line: LineAddr) -> crate::l2::DirEntry {
+        let mut entry = crate::l2::DirEntry::default();
+        for (i, core) in self.cores.iter().enumerate() {
+            let l1_state = core.l1.peek(line).map(|e| e.state);
+            let owner = matches!(
+                l1_state,
+                Some(L1State::M) | Some(L1State::E) | Some(L1State::Tmi)
+            ) || core.wsig.contains(line)
+                || core
+                    .ot
+                    .as_ref()
+                    .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains(line));
+            let sharer = matches!(l1_state, Some(L1State::S) | Some(L1State::Ti))
+                || core.rsig.contains(line);
+            if owner {
+                entry.owners |= 1 << i;
+            }
+            if sharer {
+                entry.sharers |= 1 << i;
+            }
+        }
+        entry
+    }
+
+    pub(super) fn handle_gets(
+        &mut self,
+        me: usize,
+        addr: Addr,
+        kind: AccessKind,
+        result: &mut AccessResult,
+    ) -> u64 {
+        let line = addr.line();
+        let dir = self.l2.dir(line);
+        let mut latency = 0;
+        let mut forwarded = false;
+        let mut threatened = false;
+
+        for o in procs_in_mask(dir.owners & !Self::me_bit(me)) {
+            let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
+            if l1_state == Some(L1State::M) || l1_state == Some(L1State::E) {
+                // Exclusive owner downgrades to S (M additionally
+                // flushes); both end up sharers.
+                forwarded = true;
+                if l1_state == Some(L1State::M) {
+                    self.cores[o].stats.writebacks += 1;
+                }
+                self.cores[o].l1.peek_mut(line).expect("peeked").state = L1State::S;
+                let d = self.l2.dir_mut(line);
+                d.owners &= !(1 << o);
+                d.sharers |= 1 << o;
+            } else if self.threatens(o, line) {
+                forwarded = true;
+                threatened = true;
+                if kind.is_tx() {
+                    // Local read vs remote write: requester R-W,
+                    // responder W-R.
+                    self.record_conflict(
+                        me,
+                        o,
+                        CstKind::RW,
+                        CstKind::WR,
+                        ConflictKind::Threatened,
+                        line,
+                        result,
+                    );
+                } else {
+                    self.cores[me].stats.threatened_seen += 1;
+                    result.conflicts.push(Conflict {
+                        with: o,
+                        kind: ConflictKind::Threatened,
+                    });
+                }
+            } else {
+                // Stale owner bit (committed/aborted long ago).
+                self.l2.drop_owner(line, o);
+            }
+        }
+        if forwarded {
+            latency += self.config.forward_penalty();
+        }
+
+        // A write-summary hit means a *descheduled* transaction has
+        // speculatively written this line: the L2 responds Threatened on
+        // the hardware's behalf, so the reader caches in TI (never S) —
+        // otherwise a stale S copy would survive the suspended writer's
+        // eventual commit (§5).
+        let threatened = threatened || !result.summary_hits.is_empty();
+
+        result.value = self.mem.read(addr);
+        match kind {
+            AccessKind::TLoad => {
+                let fill_state = if threatened { L1State::Ti } else { L1State::S };
+                let data = if threatened {
+                    // Snapshot the committed value: it must stay
+                    // readable even if the remote writer commits first.
+                    Some(Box::new(self.mem.read_line(line)))
+                } else {
+                    None
+                };
+                // Upgrade-in-place never happens for TLoad misses (any
+                // cached state would have hit), so fill directly.
+                latency += self.fill_line(me, line, fill_state, data);
+                self.l2.dir_mut(line).sharers |= Self::me_bit(me);
+            }
+            AccessKind::Load => {
+                if !threatened && self.cores[me].l1.peek(line).is_none() {
+                    let dir_now = self.l2.dir(line);
+                    let alone = dir_now.sharers & !Self::me_bit(me) == 0
+                        && dir_now.owners & !Self::me_bit(me) == 0;
+                    if alone {
+                        // Exclusive grant: track as owner (E silently
+                        // upgrades to M).
+                        latency += self.fill_line(me, line, L1State::E, None);
+                        self.l2.dir_mut(line).owners |= Self::me_bit(me);
+                    } else {
+                        latency += self.fill_line(me, line, L1State::S, None);
+                        self.l2.dir_mut(line).sharers |= Self::me_bit(me);
+                    }
+                }
+                // Threatened ⇒ the non-transactional read stays
+                // uncached (§3.5): value comes from memory, no fill.
+            }
+            _ => unreachable!("handle_gets only serves loads"),
+        }
+        latency
+    }
+
+    pub(super) fn handle_getx(
+        &mut self,
+        me: usize,
+        addr: Addr,
+        store_val: u64,
+        result: &mut AccessResult,
+    ) -> u64 {
+        let line = addr.line();
+        let dir = self.l2.dir(line);
+        let mut latency = 0;
+        let mut forwarded = false;
+
+        for o in procs_in_mask((dir.owners | dir.sharers) & !Self::me_bit(me)) {
+            forwarded = true;
+            let transactional = self.threatens(o, line) || self.cores[o].reads_line(line);
+            if transactional {
+                // §3.5 strong isolation: a non-transactional write
+                // aborts every transactional reader/writer of the line.
+                self.strong_isolation_abort(o, me, line);
+            } else {
+                if matches!(
+                    self.cores[o].l1.peek(line).map(|e| e.state),
+                    Some(L1State::M)
+                ) {
+                    self.cores[o].stats.writebacks += 1;
+                }
+                self.invalidate_at(o, line);
+                self.l2.drop_sharer(line, o);
+                self.l2.drop_owner(line, o);
+            }
+        }
+        if forwarded {
+            latency += self.config.forward_penalty();
+        }
+
+        // Acquire M locally (upgrade in place if we held S/E/TI).
+        match self.cores[me].l1.peek_mut(line) {
+            Some(e) => {
+                e.state = L1State::M;
+                e.data = None;
+            }
+            None => latency += self.fill_line(me, line, L1State::M, None),
+        }
+        let d = self.l2.dir_mut(line);
+        d.owners |= Self::me_bit(me);
+        d.sharers &= !Self::me_bit(me);
+        self.mem.write(addr, store_val);
+        result.value = store_val;
+        latency
+    }
+
+    /// TGETX: a transactional write. Speculative co-writers keep their
+    /// TMI copies (multiple owners) and both sides record W-W.
+    ///
+    /// Protocol refinement (pinned by tests): a `Threatened` response
+    /// also reports an `Exposed-Read` hit when both of the responder's
+    /// signatures match, so both CST pairs get set in one round trip.
+    pub(super) fn handle_tgetx(
+        &mut self,
+        me: usize,
+        addr: Addr,
+        store_val: u64,
+        result: &mut AccessResult,
+    ) -> u64 {
+        let line = addr.line();
+        let dir = self.l2.dir(line);
+        let mut latency = 0;
+        let mut forwarded = false;
+
+        for o in procs_in_mask(dir.owners & !Self::me_bit(me)) {
+            let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
+            if self.threatens(o, line) {
+                // Speculative co-writer: both record W-W; owner retains
+                // its TMI copy (multiple owners).
+                forwarded = true;
+                self.record_conflict(
+                    me,
+                    o,
+                    CstKind::WW,
+                    CstKind::WW,
+                    ConflictKind::Threatened,
+                    line,
+                    result,
+                );
+                if self.cores[o].reads_line(line) {
+                    // Piggybacked Exposed-Read: they also read it.
+                    self.record_conflict(
+                        me,
+                        o,
+                        CstKind::WR,
+                        CstKind::RW,
+                        ConflictKind::ExposedRead,
+                        line,
+                        result,
+                    );
+                }
+            } else if l1_state == Some(L1State::M) || l1_state == Some(L1State::E) {
+                // Exclusive owner: flush (if dirty) + invalidate. If it
+                // also *read* the line transactionally, record the
+                // Exposed-Read and keep it sticky as a sharer so later
+                // requests (e.g. a strong-isolation store) still reach
+                // it.
+                forwarded = true;
+                if l1_state == Some(L1State::M) {
+                    self.cores[o].stats.writebacks += 1;
+                }
+                self.invalidate_at(o, line);
+                let d = self.l2.dir_mut(line);
+                d.owners &= !(1 << o);
+                if self.cores[o].reads_line(line) {
+                    self.l2.dir_mut(line).sharers |= 1 << o;
+                    self.record_conflict(
+                        me,
+                        o,
+                        CstKind::WR,
+                        CstKind::RW,
+                        ConflictKind::ExposedRead,
+                        line,
+                        result,
+                    );
+                }
+            } else if self.cores[o].reads_line(line) {
+                // Stale owner bit but a live transactional reader:
+                // conflict + sticky demotion to sharer.
+                forwarded = true;
+                let d = self.l2.dir_mut(line);
+                d.owners &= !(1 << o);
+                d.sharers |= 1 << o;
+                self.record_conflict(
+                    me,
+                    o,
+                    CstKind::WR,
+                    CstKind::RW,
+                    ConflictKind::ExposedRead,
+                    line,
+                    result,
+                );
+            } else {
+                self.l2.drop_owner(line, o);
+            }
+        }
+
+        for s in procs_in_mask(dir.sharers & !Self::me_bit(me)) {
+            forwarded = true;
+            if self.cores[s].reads_line(line) {
+                // Exposed-Read: requester W-R, responder R-W.
+                self.record_conflict(
+                    me,
+                    s,
+                    CstKind::WR,
+                    CstKind::RW,
+                    ConflictKind::ExposedRead,
+                    line,
+                    result,
+                );
+            }
+            if self.cores[s].writes_line(line) && !procs_in_mask(dir.owners).any(|o| o == s) {
+                // Writer whose line was silently displaced: still W-W.
+                self.record_conflict(
+                    me,
+                    s,
+                    CstKind::WW,
+                    CstKind::WW,
+                    ConflictKind::Threatened,
+                    line,
+                    result,
+                );
+            }
+            self.invalidate_at(s, line);
+            // Stickiness (§4.1 rationale): a transactional reader whose
+            // copy we just invalidated must keep receiving coherence
+            // requests for this line — a later non-transactional write
+            // still has to find and abort it. Only non-transactional
+            // sharers are dropped.
+            if !self.cores[s].reads_line(line) && !self.cores[s].writes_line(line) {
+                self.l2.drop_sharer(line, s);
+            }
+        }
+        if forwarded {
+            latency += self.config.forward_penalty();
+        }
+
+        // Become a (possibly additional) owner with speculative data.
+        let snapshot = self.mem.read_line(line);
+        let mut data = Box::new(snapshot);
+        data[addr.word_in_line()] = store_val;
+        match self.cores[me].l1.peek_mut(line) {
+            Some(e) => {
+                e.state = L1State::Tmi;
+                e.data = Some(data);
+                self.cores[me].l1.note_speculative(line);
+            }
+            None => latency += self.fill_line(me, line, L1State::Tmi, Some(data)),
+        }
+        let d = self.l2.dir_mut(line);
+        d.owners |= Self::me_bit(me);
+        d.sharers &= !Self::me_bit(me);
+        result.value = store_val;
+        latency
+    }
+}

@@ -1,0 +1,338 @@
+//! The TMESI coherence protocol engine (paper Fig. 1 and §3.3–§3.5).
+//!
+//! Each simulated operation executes atomically against
+//! [`crate::machine::SimState`]: the requester's L1 is probed; on a
+//! miss the request travels to the L2/directory, which forwards to
+//! remote L1s; responders test their signatures and answer `Shared` /
+//! `Threatened` / `Exposed-Read` / `Invalidated`; CSTs are updated on
+//! both sides; and the requester's clock is charged the whole round
+//! trip.
+//!
+//! Coherence transactions are atomic — no transient states. GEMS
+//! models the races; they do not change which accesses conflict. The
+//! other protocol refinements the tests pin down are documented next
+//! to the code that implements them: [`AccessKind`] (requests encode
+//! transactionality), `directory::handle_tgetx` (the piggybacked
+//! `Exposed-Read` response) and `commit::cas_commit` (failed commits
+//! retain speculative state unless the TSW was lost).
+//!
+//! Module map:
+//!
+//! * [`msg`] — the shared vocabulary: access kinds, conflict edges,
+//!   access results, CAS-Commit outcomes.
+//! * [`request`] — the requester side: L1 probe / in-place upgrades,
+//!   the overflow-table lookaside, and miss dispatch.
+//! * [`directory`] — the L2/directory handlers (GETS, GETX, TGETX) and
+//!   sharer-list recreation after tag evictions.
+//! * [`respond`] — remote-L1 responder actions: threat tests, CST
+//!   recording, invalidation, strong-isolation aborts.
+//! * [`commit`] — composite instructions: CAS, CAS-Commit, Abort,
+//!   ALoad.
+
+mod commit;
+mod directory;
+mod msg;
+mod request;
+mod respond;
+
+pub use msg::{AccessKind, AccessResult, CasCommitOutcome, Conflict, ConflictKind};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::L1State;
+    use crate::config::MachineConfig;
+    use crate::core_state::AlertCause;
+    use crate::cst::CstKind;
+    use crate::machine::SimState;
+    use crate::mem::Addr;
+
+    fn state() -> SimState {
+        SimState::for_tests(MachineConfig::small_test())
+    }
+
+    fn addr(x: u64) -> Addr {
+        Addr::new(x)
+    }
+
+    #[test]
+    fn load_miss_then_hit() {
+        let mut st = state();
+        st.mem.write(addr(0x1000), 42);
+        let r = st.access(0, addr(0x1000), AccessKind::Load, 0);
+        assert_eq!(r.value, 42);
+        assert_eq!(st.cores[0].stats.l1_misses, 1);
+        let r = st.access(0, addr(0x1008), AccessKind::Load, 0);
+        assert_eq!(r.value, 0);
+        assert_eq!(st.cores[0].stats.l1_hits, 1);
+        // First reader alone gets E.
+        assert_eq!(
+            st.cores[0].l1.peek(addr(0x1000).line()).unwrap().state,
+            L1State::E
+        );
+    }
+
+    #[test]
+    fn second_reader_shares() {
+        let mut st = state();
+        st.access(0, addr(0x1000), AccessKind::Load, 0);
+        st.access(1, addr(0x1000), AccessKind::Load, 0);
+        assert_eq!(
+            st.cores[1].l1.peek(addr(0x1000).line()).unwrap().state,
+            L1State::S
+        );
+    }
+
+    #[test]
+    fn store_invalidates_readers() {
+        let mut st = state();
+        st.access(0, addr(0x1000), AccessKind::Load, 0);
+        st.access(1, addr(0x1000), AccessKind::Store, 7);
+        assert!(st.cores[0].l1.peek(addr(0x1000).line()).is_none());
+        assert_eq!(st.mem.read(addr(0x1000)), 7);
+        assert_eq!(
+            st.cores[1].l1.peek(addr(0x1000).line()).unwrap().state,
+            L1State::M
+        );
+    }
+
+    #[test]
+    fn tstore_buffers_speculatively() {
+        let mut st = state();
+        st.mem.write(addr(0x2000), 1);
+        let r = st.access(0, addr(0x2000), AccessKind::TStore, 99);
+        assert_eq!(r.value, 99);
+        // Memory keeps the committed value.
+        assert_eq!(st.mem.read(addr(0x2000)), 1);
+        assert_eq!(
+            st.cores[0].l1.peek(addr(0x2000).line()).unwrap().state,
+            L1State::Tmi
+        );
+        // The writer reads its own speculation.
+        let r = st.access(0, addr(0x2000), AccessKind::TLoad, 0);
+        assert_eq!(r.value, 99);
+        // A remote committed read still sees 1 and is threatened.
+        let r = st.access(1, addr(0x2000), AccessKind::TLoad, 0);
+        assert_eq!(r.value, 1);
+        assert_eq!(r.conflicts.len(), 1);
+        assert_eq!(r.conflicts[0].kind, ConflictKind::Threatened);
+        assert_eq!(
+            st.cores[1].l1.peek(addr(0x2000).line()).unwrap().state,
+            L1State::Ti
+        );
+    }
+
+    #[test]
+    fn tload_vs_tstore_sets_cst_pairs() {
+        let mut st = state();
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        st.access(1, addr(0x2000), AccessKind::TLoad, 0);
+        // Requester 1 read a line writer 0 threatened: 1's R-W has 0,
+        // 0's W-R has 1.
+        assert_eq!(st.cores[1].csts.read(CstKind::RW), 1 << 0);
+        assert_eq!(st.cores[0].csts.read(CstKind::WR), 1 << 1);
+    }
+
+    #[test]
+    fn dueling_tstores_set_ww_both_sides_and_keep_both_owners() {
+        let mut st = state();
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        let r = st.access(1, addr(0x2000), AccessKind::TStore, 6);
+        assert_eq!(r.conflicts.len(), 1);
+        assert_eq!(st.cores[0].csts.read(CstKind::WW), 1 << 1);
+        assert_eq!(st.cores[1].csts.read(CstKind::WW), 1 << 0);
+        let line = addr(0x2000).line();
+        assert_eq!(st.cores[0].l1.peek(line).unwrap().state, L1State::Tmi);
+        assert_eq!(st.cores[1].l1.peek(line).unwrap().state, L1State::Tmi);
+        let dir = st.l2.dir(line);
+        assert_eq!(dir.owners, 0b11, "both speculative owners tracked");
+    }
+
+    #[test]
+    fn commit_makes_speculation_visible() {
+        let mut st = state();
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 1); // active
+        st.access(0, addr(0x2000), AccessKind::TStore, 99);
+        let out = st.cas_commit(0, tsw, 1, 2);
+        assert_eq!(out, CasCommitOutcome::Committed(1));
+        assert_eq!(st.mem.read(addr(0x2000)), 99);
+        assert_eq!(st.mem.read(tsw), 2);
+        assert_eq!(
+            st.cores[0].l1.peek(addr(0x2000).line()).unwrap().state,
+            L1State::M
+        );
+        assert!(st.cores[0].wsig.is_empty());
+    }
+
+    #[test]
+    fn commit_blocked_by_write_conflicts() {
+        let mut st = state();
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 1);
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        st.access(1, addr(0x2000), AccessKind::TStore, 6);
+        // Core 1 now has W-W with core 0; its CAS-Commit must fail but
+        // retain speculative state.
+        let out = st.cas_commit(1, tsw, 1, 2);
+        assert!(matches!(out, CasCommitOutcome::ConflictsPending { ww, .. } if ww == 1));
+        assert_eq!(
+            st.cores[1].l1.peek(addr(0x2000).line()).unwrap().state,
+            L1State::Tmi,
+            "speculative state must survive a CST-failed commit"
+        );
+    }
+
+    #[test]
+    fn lost_tsw_reverts_speculation() {
+        let mut st = state();
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 3); // already aborted by an enemy
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        let out = st.cas_commit(0, tsw, 1, 2);
+        assert_eq!(out, CasCommitOutcome::LostTsw(3));
+        assert!(st.cores[0].l1.peek(addr(0x2000).line()).is_none());
+        assert_eq!(st.mem.read(addr(0x2000)), 0);
+    }
+
+    #[test]
+    fn aou_alert_on_remote_cas() {
+        let mut st = state();
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 1);
+        st.aload(0, tsw);
+        assert_eq!(st.cores[0].aloaded, Some(tsw.line()));
+        // Enemy aborts core 0's transaction.
+        let (old, _) = st.cas(1, tsw, 1, 9);
+        assert_eq!(old, 1);
+        assert_eq!(st.mem.read(tsw), 9);
+        assert_eq!(
+            st.cores[0].alert_pending,
+            Some(AlertCause::AouInvalidated(tsw.line()))
+        );
+    }
+
+    #[test]
+    fn strong_isolation_store_aborts_transaction() {
+        let mut st = state();
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        st.access(1, addr(0x2000), AccessKind::Store, 7);
+        assert_eq!(st.mem.read(addr(0x2000)), 7);
+        assert!(st.cores[0].wsig.is_empty(), "victim was hardware-aborted");
+        assert_eq!(
+            st.cores[0].alert_pending,
+            Some(AlertCause::StrongIsolation(addr(0x2000).line()))
+        );
+    }
+
+    #[test]
+    fn nontx_read_of_threatened_line_stays_uncached() {
+        let mut st = state();
+        st.mem.write(addr(0x2000), 1);
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        let r = st.access(1, addr(0x2000), AccessKind::Load, 0);
+        assert_eq!(r.value, 1, "non-tx read sees committed value");
+        assert!(st.cores[1].l1.peek(addr(0x2000).line()).is_none());
+        // The writer's transaction survives a non-transactional read.
+        assert!(!st.cores[0].wsig.is_empty());
+    }
+
+    #[test]
+    fn abort_discards_speculation() {
+        let mut st = state();
+        st.mem.write(addr(0x2000), 1);
+        st.access(0, addr(0x2000), AccessKind::TStore, 5);
+        st.abort_tx(0);
+        assert_eq!(st.mem.read(addr(0x2000)), 1);
+        assert!(st.cores[0].l1.peek(addr(0x2000).line()).is_none());
+        let r = st.access(1, addr(0x2000), AccessKind::TLoad, 0);
+        assert!(r.conflicts.is_empty(), "no conflict after abort");
+    }
+
+    #[test]
+    fn overflow_spills_to_ot_and_refills() {
+        let mut st = {
+            let mut cfg = MachineConfig::small_test();
+            cfg.victim_entries = 0; // force overflow quickly
+            SimState::for_tests(cfg)
+        };
+        let sets = st.config.l1_sets() as u64;
+        // Three TStores mapping to the same L1 set (2 ways): the first
+        // line overflows.
+        let stride = sets * 64;
+        let a0 = addr(0x10000);
+        let a1 = addr(0x10000 + stride);
+        let a2 = addr(0x10000 + 2 * stride);
+        st.access(0, a0, AccessKind::TStore, 10);
+        st.access(0, a1, AccessKind::TStore, 11);
+        st.access(0, a2, AccessKind::TStore, 12);
+        assert_eq!(st.cores[0].stats.overflows, 1);
+        let ot = st.cores[0].ot.as_ref().expect("OT allocated");
+        assert_eq!(ot.len(), 1);
+        // Reading the overflowed line fetches it back as TMI.
+        let r = st.access(0, a0, AccessKind::TLoad, 0);
+        assert_eq!(r.value, 10);
+        assert_eq!(st.cores[0].stats.ot_hits, 1);
+        assert_eq!(st.cores[0].l1.peek(a0.line()).unwrap().state, L1State::Tmi);
+    }
+
+    #[test]
+    fn commit_with_overflow_publishes_ot_lines() {
+        let mut st = {
+            let mut cfg = MachineConfig::small_test();
+            cfg.victim_entries = 0;
+            SimState::for_tests(cfg)
+        };
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 1);
+        let stride = st.config.l1_sets() as u64 * 64;
+        let a0 = addr(0x10000);
+        let a1 = addr(0x10000 + stride);
+        let a2 = addr(0x10000 + 2 * stride);
+        st.access(0, a0, AccessKind::TStore, 10);
+        st.access(0, a1, AccessKind::TStore, 11);
+        st.access(0, a2, AccessKind::TStore, 12);
+        let out = st.cas_commit(0, tsw, 1, 2);
+        assert_eq!(out, CasCommitOutcome::Committed(3));
+        assert_eq!(st.mem.read(a0), 10);
+        assert_eq!(st.mem.read(a1), 11);
+        assert_eq!(st.mem.read(a2), 12);
+        // A prompt remote access to the overflowed line gets NACKed
+        // until copy-back completes.
+        let r = st.access(1, a0, AccessKind::Load, 0);
+        assert!(r.nacked);
+        assert_eq!(r.value, 10);
+    }
+
+    #[test]
+    fn eviction_then_conflict_still_detected_via_signature() {
+        // A reader whose line is silently evicted must still produce an
+        // Exposed-Read for a later transactional writer (the stale
+        // sharer bit keeps it on the forward list).
+        let mut st = state();
+        st.access(0, addr(0x3000), AccessKind::TLoad, 0);
+        st.cores[0].l1.invalidate(addr(0x3000).line()); // simulate silent eviction
+        let r = st.access(1, addr(0x3000), AccessKind::TStore, 1);
+        assert!(
+            r.conflicts
+                .iter()
+                .any(|c| c.with == 0 && c.kind == ConflictKind::ExposedRead),
+            "conflict lost after silent eviction: {:?}",
+            r.conflicts
+        );
+    }
+
+    #[test]
+    fn first_tstore_to_m_writes_back() {
+        let mut st = state();
+        st.access(0, addr(0x2000), AccessKind::Store, 7);
+        let wb = st.cores[0].stats.writebacks;
+        st.access(0, addr(0x2000), AccessKind::TStore, 8);
+        assert_eq!(st.cores[0].stats.writebacks, wb + 1);
+        assert_eq!(st.mem.read(addr(0x2000)), 7, "committed value preserved");
+        assert_eq!(
+            st.cores[0].l1.peek(addr(0x2000).line()).unwrap().state,
+            L1State::Tmi
+        );
+    }
+}

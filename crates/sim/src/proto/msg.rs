@@ -1,0 +1,81 @@
+//! Shared protocol vocabulary: access kinds, conflict edges, and the
+//! result/outcome types every handler speaks.
+
+/// The four access flavours of the simulator's "ISA".
+///
+/// Protocol refinement (pinned by tests): the request itself encodes
+/// transactionality (`TLoad` vs `Load`), so CSTs are only updated when
+/// the *requester* is transactional. Responder-side conflict detection
+/// is identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Non-transactional load.
+    Load,
+    /// Non-transactional store.
+    Store,
+    /// Transactional load (`TLoad`): updates `Rsig`, may cache in `TI`.
+    TLoad,
+    /// Transactional store (`TStore`): updates `Wsig`, buffers in `TMI`.
+    TStore,
+}
+
+impl AccessKind {
+    pub(super) fn is_tx(self) -> bool {
+        matches!(self, AccessKind::TLoad | AccessKind::TStore)
+    }
+    pub(super) fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store | AccessKind::TStore)
+    }
+}
+
+/// The kind of conflict a requester learned about from a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// The responder has speculatively written the line (`Wsig` hit).
+    Threatened,
+    /// The responder has speculatively read the line (`Rsig` hit).
+    ExposedRead,
+}
+
+/// One conflict edge reported to the requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict {
+    /// The remote processor involved.
+    pub with: usize,
+    /// What the response said.
+    pub kind: ConflictKind,
+}
+
+/// Result of a memory access.
+#[derive(Debug, Clone, Default)]
+pub struct AccessResult {
+    /// The value read (loads) or the value just written (stores).
+    pub value: u64,
+    /// Conflicts reported by responders, in processor order.
+    pub conflicts: Vec<Conflict>,
+    /// Descheduled thread ids whose summary signature hit — the
+    /// requester must trap to the software handler (§5).
+    pub summary_hits: Vec<usize>,
+    /// The request was NACKed at least once against a committing OT.
+    pub nacked: bool,
+}
+
+/// Outcome of the CAS-Commit instruction (§3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasCommitOutcome {
+    /// TSW swapped; all TMI lines flash-committed, TI dropped,
+    /// signatures and CSTs cleared. The payload is the number of lines
+    /// made globally visible (L1 + OT).
+    Committed(usize),
+    /// The TSW no longer held the expected value — the transaction was
+    /// aborted remotely. Speculative state has been reverted.
+    LostTsw(u64),
+    /// `W-R | W-W` was non-zero: new conflicts arrived. Speculative
+    /// state is retained; software re-runs the Commit() loop.
+    ConflictsPending {
+        /// Snapshot of `W-R` at the failed commit.
+        wr: u64,
+        /// Snapshot of `W-W` at the failed commit.
+        ww: u64,
+    },
+}

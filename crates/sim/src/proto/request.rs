@@ -1,0 +1,330 @@
+//! The requester side of every memory access: L1 probe and in-place
+//! transitions, the overflow-table lookaside, and dispatch of true
+//! misses to the L2/directory handlers.
+
+use super::msg::{AccessKind, AccessResult};
+use crate::cache::{Evicted, L1State};
+use crate::core_state::AlertCause;
+use crate::machine::SimState;
+use crate::mem::{Addr, WORDS_PER_LINE};
+use crate::ot::OverflowTable;
+use crate::stats::Event;
+use flextm_sig::LineAddr;
+
+impl SimState {
+    pub(super) fn me_bit(me: usize) -> u64 {
+        1 << me
+    }
+
+    /// Reads the architecturally-correct local value: private (TMI/TI)
+    /// data if the line carries any, committed memory otherwise.
+    pub(super) fn local_value(&self, me: usize, addr: Addr) -> u64 {
+        if let Some(e) = self.cores[me].l1.peek(addr.line()) {
+            if let Some(d) = &e.data {
+                return d[addr.word_in_line()];
+            }
+        }
+        self.mem.read(addr)
+    }
+
+    /// Installs `line` in `me`'s L1, spilling whatever gets displaced.
+    /// Returns extra latency incurred by write-backs / OT traps.
+    pub(super) fn fill_line(
+        &mut self,
+        me: usize,
+        line: LineAddr,
+        state: L1State,
+        data: Option<Box<[u64; WORDS_PER_LINE]>>,
+    ) -> u64 {
+        let mut extra = 0;
+        let evicted = self.cores[me].l1.fill(line, state);
+        if let Some(d) = data {
+            self.cores[me]
+                .l1
+                .peek_mut(line)
+                .expect("line was just filled")
+                .data = Some(d);
+        }
+        if let Some(ev) = evicted {
+            match ev {
+                Evicted::Silent(l, _, a_bit) => {
+                    if a_bit {
+                        // Conservative AOU: losing the marked line must
+                        // alert, or a remote write could go unnoticed.
+                        self.cores[me].post_alert(AlertCause::AouInvalidated(l));
+                    }
+                }
+                Evicted::WritebackM(l, a_bit) => {
+                    self.cores[me].stats.writebacks += 1;
+                    extra += self.config.l2_latency;
+                    if a_bit {
+                        self.cores[me].post_alert(AlertCause::AouInvalidated(l));
+                    }
+                }
+                Evicted::OverflowTmi(l, d) => {
+                    extra += self.overflow_tmi(me, l, d);
+                }
+            }
+        }
+        extra
+    }
+
+    /// Spills a TMI line to the overflow table, allocating one (via the
+    /// modelled software trap) if needed. Returns the latency charged.
+    fn overflow_tmi(&mut self, me: usize, line: LineAddr, data: Box<[u64; WORDS_PER_LINE]>) -> u64 {
+        let mut extra = 0;
+        let needs_alloc = match &self.cores[me].ot {
+            None => true,
+            Some(ot) => ot.is_committed(),
+        };
+        if needs_alloc {
+            self.cores[me].ot = Some(OverflowTable::new(self.config.signature.clone()));
+            extra += self.config.ot_alloc_trap_latency;
+        }
+        self.cores[me]
+            .ot
+            .as_mut()
+            .expect("OT allocated above")
+            .insert(line, data);
+        self.cores[me].stats.overflows += 1;
+        self.log.push(Event::Overflow { core: me, line });
+        extra + self.config.l2_latency // controller write-back to VM
+    }
+
+    /// Executes one memory access for core `me`. `store_val` is written
+    /// on `Store`/`TStore` and ignored otherwise.
+    pub fn access(
+        &mut self,
+        me: usize,
+        addr: Addr,
+        kind: AccessKind,
+        store_val: u64,
+    ) -> AccessResult {
+        let line = addr.line();
+        match kind {
+            AccessKind::Load => self.cores[me].stats.loads += 1,
+            AccessKind::Store => self.cores[me].stats.stores += 1,
+            AccessKind::TLoad => self.cores[me].stats.tloads += 1,
+            AccessKind::TStore => self.cores[me].stats.tstores += 1,
+        }
+
+        // FlexWatcher (§8): activated signatures screen local accesses.
+        if kind == AccessKind::Load
+            && self.cores[me].watch_reads
+            && self.cores[me].rsig.contains(line)
+        {
+            self.cores[me].post_alert(AlertCause::WatchRead(addr));
+        }
+        if kind == AccessKind::Store
+            && self.cores[me].watch_writes
+            && self.cores[me].wsig.contains(line)
+        {
+            self.cores[me].post_alert(AlertCause::WatchWrite(addr));
+        }
+
+        let mut latency = self.config.l1_latency;
+        let mut result = AccessResult::default();
+
+        // Transactional accesses update the access signatures up front.
+        if kind == AccessKind::TLoad {
+            self.cores[me].rsig.insert(line);
+        } else if kind == AccessKind::TStore {
+            self.cores[me].wsig.insert(line);
+        }
+
+        let state = self.cores[me].l1.probe(line).map(|e| e.state);
+        let served_locally = match (kind, state) {
+            // ------- local hits -------
+            (AccessKind::Load, Some(s)) if s.readable() => true,
+            (AccessKind::Load, Some(L1State::Tmi)) => true, // own speculative data
+            (AccessKind::TLoad, Some(_)) => true,           // every TMESI state serves TLoad
+            (AccessKind::Store, Some(L1State::M)) => {
+                self.mem.write(addr, store_val);
+                true
+            }
+            (AccessKind::Store, Some(L1State::E)) => {
+                // Silent E→M upgrade.
+                self.cores[me].l1.peek_mut(line).expect("probed").state = L1State::M;
+                self.mem.write(addr, store_val);
+                true
+            }
+            (AccessKind::Store, Some(L1State::Tmi)) => {
+                // A plain (escape) store to a locally speculative line
+                // updates both views: the speculative buffer (so the
+                // transaction keeps reading it) and committed memory
+                // (so the non-transactional write survives an abort).
+                // Unlike M/E hits it is NOT purely local: TMI coexists
+                // with remote transactional readers by design, and a
+                // non-transactional write must still abort them (§3.5).
+                latency += self.escape_store_tmi(me, addr, store_val);
+                true
+            }
+            (AccessKind::TStore, Some(L1State::Tmi)) => {
+                let e = self.cores[me].l1.peek_mut(line).expect("probed");
+                e.data.as_mut().expect("TMI carries data")[addr.word_in_line()] = store_val;
+                true
+            }
+            (AccessKind::TStore, Some(L1State::M)) => {
+                // First TStore to an M line: write the committed version
+                // back to L2 so later Loads elsewhere see it, then go
+                // speculative in place.
+                self.cores[me].stats.writebacks += 1;
+                latency += self.config.l2_latency;
+                let snapshot = self.mem.read_line(line);
+                let e = self.cores[me].l1.peek_mut(line).expect("probed");
+                e.state = L1State::Tmi;
+                let mut d = Box::new(snapshot);
+                d[addr.word_in_line()] = store_val;
+                e.data = Some(d);
+                self.cores[me].l1.note_speculative(line);
+                true
+            }
+            (AccessKind::TStore, Some(L1State::E)) => {
+                // E→TMI is silent: the directory already forwards all
+                // requests to the exclusive owner.
+                let snapshot = self.mem.read_line(line);
+                let e = self.cores[me].l1.peek_mut(line).expect("probed");
+                e.state = L1State::Tmi;
+                let mut d = Box::new(snapshot);
+                d[addr.word_in_line()] = store_val;
+                e.data = Some(d);
+                self.cores[me].l1.note_speculative(line);
+                true
+            }
+            _ => false,
+        };
+
+        if served_locally {
+            self.cores[me].stats.l1_hits += 1;
+            result.value = match kind {
+                AccessKind::Store | AccessKind::TStore => store_val,
+                _ => self.local_value(me, addr),
+            };
+            self.advance(me, latency);
+            self.cores[me].stats.mem_cycles += latency;
+            return result;
+        }
+
+        // ------- L1 miss path -------
+        self.cores[me].stats.l1_misses += 1;
+
+        // Local overflow-table lookaside (§4.1): an overflowed TMI line
+        // is still ours; fetch it back instead of asking the directory.
+        let ot_hit = self.cores[me]
+            .ot
+            .as_ref()
+            .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains(line));
+        if ot_hit {
+            if let Some(entry) = self.cores[me]
+                .ot
+                .as_mut()
+                .expect("checked above")
+                .lookup(line)
+            {
+                self.cores[me].stats.ot_hits += 1;
+                self.log.push(Event::OtFill { core: me, line });
+                latency += self.config.ot_lookup_latency;
+                latency += self.fill_line(me, line, L1State::Tmi, Some(entry.data));
+                let e = self.cores[me].l1.peek_mut(line).expect("just filled");
+                match kind {
+                    AccessKind::TStore => {
+                        e.data.as_mut().expect("TMI data")[addr.word_in_line()] = store_val;
+                        result.value = store_val;
+                    }
+                    AccessKind::Store => {
+                        e.data.as_mut().expect("TMI data")[addr.word_in_line()] = store_val;
+                        self.mem.write(addr, store_val);
+                        result.value = store_val;
+                    }
+                    _ => {
+                        result.value = e.data.as_ref().expect("TMI data")[addr.word_in_line()];
+                    }
+                }
+                self.advance(me, latency);
+                self.cores[me].stats.mem_cycles += latency;
+                return result;
+            }
+            // Osig false positive: charge the wasted tag walk and fall
+            // through to the directory.
+            latency += self.config.ot_lookup_latency;
+        }
+
+        latency += self.request(me, addr, kind, store_val, &mut result);
+        self.advance(me, latency);
+        self.cores[me].stats.mem_cycles += latency;
+        result
+    }
+
+    /// The directory request machinery shared by misses and upgrades.
+    /// Returns the latency of the request (beyond the L1 probe).
+    fn request(
+        &mut self,
+        me: usize,
+        addr: Addr,
+        kind: AccessKind,
+        store_val: u64,
+        result: &mut AccessResult,
+    ) -> u64 {
+        let line = addr.line();
+        let mut latency = self.config.l2_round_trip();
+
+        // L2 tag reference; a miss costs memory and may require
+        // directory recreation from L1 signatures (§4.1 sticky-style).
+        if self.l2.reference(line) == crate::l2::L2Ref::Miss {
+            self.cores[me].stats.l2_misses += 1;
+            latency += self.config.mem_latency;
+            if !self.l2.has_dir_info(line) {
+                latency += self.config.forward_penalty();
+                let entry = self.recreate_dir(line);
+                self.l2.install_dir(line, entry);
+                self.log.push(Event::DirRecreated { line });
+            }
+        }
+
+        // Summary-signature check for descheduled transactions (§5).
+        let summary_hits = self.l2.summary_check(line, kind.is_write());
+        if !summary_hits.is_empty() {
+            self.log.push(Event::SummaryHit {
+                core: me,
+                line,
+                threads: summary_hits.clone(),
+            });
+            result.summary_hits = summary_hits;
+        }
+
+        // NACK window: a committed OT still copying back holds off all
+        // requests for its lines (§4.1).
+        let now = self.now(me);
+        let mut nacks: Vec<(usize, u64)> = Vec::new();
+        for (o, core) in self.cores.iter().enumerate() {
+            if o == me {
+                continue;
+            }
+            if let Some(ot) = &core.ot {
+                if ot.nacks_at(now + latency, line) {
+                    nacks.push((o, ot.copyback_done_at()));
+                }
+            }
+        }
+        for (o, done) in nacks {
+            self.cores[me].stats.nacks += 1;
+            result.nacked = true;
+            self.log.push(Event::Nack {
+                requester: me,
+                owner: o,
+                line,
+            });
+            let wait = done.saturating_sub(now);
+            latency = latency.max(wait) + self.config.nack_retry_latency;
+        }
+
+        match kind {
+            AccessKind::Load | AccessKind::TLoad => {
+                latency += self.handle_gets(me, addr, kind, result)
+            }
+            AccessKind::Store => latency += self.handle_getx(me, addr, store_val, result),
+            AccessKind::TStore => latency += self.handle_tgetx(me, addr, store_val, result),
+        }
+        latency
+    }
+}

@@ -1,0 +1,123 @@
+//! Remote-L1 responder actions: threat tests against signatures and
+//! tags, CST updates on both ends of a conflict edge, invalidations
+//! (with alert-on-update delivery), and the strong-isolation abort
+//! sweep for non-transactional writes (§3.5).
+
+use super::msg::{AccessResult, Conflict, ConflictKind};
+use crate::cache::L1State;
+use crate::core_state::AlertCause;
+use crate::cst::{procs_in_mask, CstKind};
+use crate::machine::SimState;
+use crate::mem::Addr;
+use crate::stats::Event;
+use flextm_sig::LineAddr;
+
+impl SimState {
+    /// True if processor `o` must answer `Threatened` for `line`.
+    pub(super) fn threatens(&self, o: usize, line: LineAddr) -> bool {
+        matches!(
+            self.cores[o].l1.peek(line).map(|e| e.state),
+            Some(L1State::Tmi)
+        ) || self.cores[o].writes_line(line)
+            || self.cores[o]
+                .ot
+                .as_ref()
+                .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains(line))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn record_conflict(
+        &mut self,
+        me: usize,
+        other: usize,
+        requester_cst: CstKind,
+        responder_cst: CstKind,
+        kind: ConflictKind,
+        line: LineAddr,
+        result: &mut AccessResult,
+    ) {
+        self.cores[me].csts.set(requester_cst, other);
+        self.cores[other].csts.set(responder_cst, me);
+        match kind {
+            ConflictKind::Threatened => self.cores[me].stats.threatened_seen += 1,
+            ConflictKind::ExposedRead => self.cores[me].stats.exposed_seen += 1,
+        }
+        result.conflicts.push(Conflict { with: other, kind });
+        self.log.push(Event::Conflict {
+            requester: me,
+            responder: other,
+            requester_cst,
+            line,
+        });
+    }
+
+    /// Invalidates `line` at `s` if present, firing AOU if marked.
+    pub(super) fn invalidate_at(&mut self, s: usize, line: LineAddr) {
+        if let Some(entry) = self.cores[s].l1.invalidate(line) {
+            if entry.a_bit {
+                self.cores[s].post_alert(AlertCause::AouInvalidated(line));
+                self.log.push(Event::Alert { core: s, line });
+            }
+            if self.cores[s].aloaded == Some(line) {
+                self.cores[s].aloaded = None;
+            }
+        }
+    }
+
+    pub(super) fn strong_isolation_abort(
+        &mut self,
+        victim: usize,
+        requester: usize,
+        line: LineAddr,
+    ) {
+        // The write is about to take exclusive ownership: any
+        // non-speculative copy the victim holds must invalidate too.
+        self.invalidate_at(victim, line);
+        self.cores[victim].hardware_abort();
+        self.cores[victim].stats.tx_aborts += 1;
+        self.cores[victim].post_alert(AlertCause::StrongIsolation(line));
+        self.log.push(Event::StrongIsolationAbort {
+            victim,
+            requester,
+            line,
+        });
+        // The victim no longer holds any speculative claim on the line.
+        let d = self.l2.dir_mut(line);
+        d.owners &= !(1 << victim);
+        d.sharers &= !(1 << victim);
+    }
+
+    /// Plain store hitting the local TMI copy: sweep remote
+    /// transactional readers/writers (strong isolation) through the
+    /// directory, then update both the speculative and committed views.
+    pub(super) fn escape_store_tmi(&mut self, me: usize, addr: Addr, store_val: u64) -> u64 {
+        let line = addr.line();
+        let dir = self.l2.dir(line);
+        let mut latency = self.config.l2_round_trip();
+        let mut forwarded = false;
+        for o in procs_in_mask((dir.owners | dir.sharers) & !Self::me_bit(me)) {
+            forwarded = true;
+            let transactional = self.threatens(o, line) || self.cores[o].reads_line(line);
+            if transactional {
+                self.strong_isolation_abort(o, me, line);
+            } else {
+                if matches!(
+                    self.cores[o].l1.peek(line).map(|e| e.state),
+                    Some(L1State::M)
+                ) {
+                    self.cores[o].stats.writebacks += 1;
+                }
+                self.invalidate_at(o, line);
+                self.l2.drop_sharer(line, o);
+                self.l2.drop_owner(line, o);
+            }
+        }
+        if forwarded {
+            latency += self.config.forward_penalty();
+        }
+        let e = self.cores[me].l1.peek_mut(line).expect("TMI hit");
+        e.data.as_mut().expect("TMI carries data")[addr.word_in_line()] = store_val;
+        self.mem.write(addr, store_val);
+        latency
+    }
+}

@@ -11,7 +11,7 @@ use crate::cst::CstKind;
 use flextm_sig::LineAddr;
 
 /// Per-core counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Plain loads executed.
     pub loads: u64,
@@ -53,13 +53,86 @@ pub struct CoreStats {
     pub mem_cycles: u64,
 }
 
+impl CoreStats {
+    /// Counter-wise difference against an `earlier` snapshot of the
+    /// same core (all counters are monotone).
+    pub fn minus(&self, earlier: &CoreStats) -> CoreStats {
+        CoreStats {
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+            tloads: self.tloads - earlier.tloads,
+            tstores: self.tstores - earlier.tstores,
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            l1_misses: self.l1_misses - earlier.l1_misses,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            ot_hits: self.ot_hits - earlier.ot_hits,
+            threatened_seen: self.threatened_seen - earlier.threatened_seen,
+            exposed_seen: self.exposed_seen - earlier.exposed_seen,
+            alerts: self.alerts - earlier.alerts,
+            overflows: self.overflows - earlier.overflows,
+            nacks: self.nacks - earlier.nacks,
+            commits: self.commits - earlier.commits,
+            failed_commits: self.failed_commits - earlier.failed_commits,
+            tx_aborts: self.tx_aborts - earlier.tx_aborts,
+            writebacks: self.writebacks - earlier.writebacks,
+            work_cycles: self.work_cycles - earlier.work_cycles,
+            mem_cycles: self.mem_cycles - earlier.mem_cycles,
+        }
+    }
+}
+
+/// Execution-engine counters: how the scheduler serviced a run's
+/// operations. Host-side observability — these have no simulated-time
+/// meaning, but every benchmark gets a built-in before/after
+/// measurement of the engine itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedStats {
+    /// Operations completed on a fast path (lease batching or the
+    /// lock-free `work`/`now` paths) — no scheduler rendezvous.
+    pub fast_ops: u64,
+    /// Operations that went through the full mailbox rendezvous.
+    pub slow_ops: u64,
+    /// Driver wakeups: lease grants that unparked a waiting worker
+    /// (grants a core gave itself while posting are not counted).
+    pub grants: u64,
+    /// Host wall-clock nanoseconds spent inside [`crate::Machine::run`].
+    pub host_nanos: u64,
+}
+
+impl SchedStats {
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn minus(&self, earlier: &SchedStats) -> SchedStats {
+        SchedStats {
+            fast_ops: self.fast_ops - earlier.fast_ops,
+            slow_ops: self.slow_ops - earlier.slow_ops,
+            grants: self.grants - earlier.grants,
+            host_nanos: self.host_nanos - earlier.host_nanos,
+        }
+    }
+}
+
+/// Equality ignores `host_nanos`: wall-clock is noise, while the op and
+/// grant counts are functions of the deterministic schedule — the
+/// determinism suite compares whole reports across runs.
+impl PartialEq for SchedStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.fast_ops == other.fast_ops
+            && self.slow_ops == other.slow_ops
+            && self.grants == other.grants
+    }
+}
+
+impl Eq for SchedStats {}
+
 /// Whole-machine report returned by [`crate::Machine::report`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineReport {
     /// Final per-core cycle counts.
     pub core_cycles: Vec<u64>,
     /// Per-core counters.
     pub cores: Vec<CoreStats>,
+    /// Scheduler counters (equality ignores the wall-clock part).
+    pub sched: SchedStats,
 }
 
 impl MachineReport {
@@ -91,6 +164,45 @@ impl MachineReport {
             1.0
         } else {
             hits as f64 / total as f64
+        }
+    }
+
+    /// Executed simulated operations: memory operations plus
+    /// commit-path instructions. The scheduler-throughput metric.
+    pub fn sim_ops(&self) -> u64 {
+        self.total(|c| c.loads + c.stores + c.tloads + c.tstores)
+            + self.total(|c| c.commits + c.failed_commits + c.tx_aborts)
+    }
+
+    /// Simulator-side throughput: simulated operations per host
+    /// wall-clock second (0.0 when no time was recorded).
+    pub fn sim_ops_per_sec(&self) -> f64 {
+        if self.sched.host_nanos == 0 {
+            0.0
+        } else {
+            self.sim_ops() as f64 * 1e9 / self.sched.host_nanos as f64
+        }
+    }
+
+    /// The difference between this report and an earlier snapshot of
+    /// the same machine — the counters attributable to the runs in
+    /// between. Used by the workload harness to separate a measured
+    /// phase from its warm-up.
+    pub fn delta(&self, earlier: &MachineReport) -> MachineReport {
+        MachineReport {
+            core_cycles: self
+                .core_cycles
+                .iter()
+                .zip(&earlier.core_cycles)
+                .map(|(now, then)| now - then)
+                .collect(),
+            cores: self
+                .cores
+                .iter()
+                .zip(&earlier.cores)
+                .map(|(now, then)| now.minus(then))
+                .collect(),
+            sched: self.sched.minus(&earlier.sched),
         }
     }
 }
@@ -223,17 +335,65 @@ mod tests {
         let r = MachineReport {
             core_cycles: vec![10, 99, 5],
             cores: vec![CoreStats::default(); 3],
+            sched: SchedStats::default(),
         };
         assert_eq!(r.elapsed_cycles(), 99);
     }
 
     #[test]
     fn hit_rate_handles_no_accesses() {
-        let r = MachineReport {
-            core_cycles: vec![],
-            cores: vec![],
-        };
+        let r = MachineReport::default();
         assert_eq!(r.l1_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn report_equality_ignores_wall_clock() {
+        let mut a = MachineReport {
+            core_cycles: vec![7],
+            cores: vec![CoreStats::default()],
+            sched: SchedStats {
+                fast_ops: 3,
+                slow_ops: 2,
+                grants: 1,
+                host_nanos: 123,
+            },
+        };
+        let mut b = a.clone();
+        b.sched.host_nanos = 456_789;
+        assert_eq!(a, b);
+        b.sched.fast_ops = 4;
+        assert_ne!(a, b);
+        b.sched.fast_ops = 3;
+        a.cores[0].commits = 1;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn delta_subtracts_counters() {
+        let mut before = MachineReport {
+            core_cycles: vec![100, 50],
+            cores: vec![CoreStats::default(); 2],
+            sched: SchedStats {
+                fast_ops: 10,
+                slow_ops: 5,
+                grants: 2,
+                host_nanos: 1_000,
+            },
+        };
+        before.cores[0].loads = 8;
+        let mut after = before.clone();
+        after.core_cycles = vec![160, 90];
+        after.cores[0].loads = 20;
+        after.cores[1].commits = 3;
+        after.sched.fast_ops = 25;
+        after.sched.host_nanos = 4_000;
+        let d = after.delta(&before);
+        assert_eq!(d.core_cycles, vec![60, 40]);
+        assert_eq!(d.cores[0].loads, 12);
+        assert_eq!(d.cores[1].commits, 3);
+        assert_eq!(d.sched.fast_ops, 15);
+        assert_eq!(d.sched.host_nanos, 3_000);
+        assert_eq!(d.sim_ops(), 15); // 12 loads + 3 commits
     }
 
     #[test]

@@ -70,10 +70,7 @@ impl SimState {
         let saved = SavedTx {
             rsig: self.cores[me].rsig.words().to_vec(),
             wsig: self.cores[me].wsig.words().to_vec(),
-            csts: {
-                
-                self.cores[me].csts.snapshot()
-            },
+            csts: { self.cores[me].csts.snapshot() },
             ot: self.cores[me].ot.take(),
         };
         self.cores[me].rsig.clear();
@@ -168,7 +165,9 @@ mod tests {
         // Saved signatures still know the footprint.
         let cfg = st.config.signature.clone();
         assert!(saved.write_signature(&cfg).contains(a.line()));
-        assert!(saved.read_signature(&cfg).contains(Addr::new(0x3000).line()));
+        assert!(saved
+            .read_signature(&cfg)
+            .contains(Addr::new(0x3000).line()));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! driven through the real threaded machine (not `SimState::for_tests`),
 //! including the deterministic scheduler's cross-core interleavings.
 
-use flextm_sim::{
-    Addr, AlertCause, CasCommitOutcome, CstKind, Machine, MachineConfig, SigKind,
-};
+use flextm_sim::{Addr, AlertCause, CasCommitOutcome, CstKind, Machine, MachineConfig, SigKind};
 
 fn machine(cores: usize) -> Machine {
     Machine::new(MachineConfig::small_test().with_cores(cores))
@@ -113,7 +111,10 @@ fn aou_alert_on_remote_write() {
             None
         }
     });
-    assert_eq!(alerted[0], Some(AlertCause::AouInvalidated(Addr::new(0x5000).line())));
+    assert_eq!(
+        alerted[0],
+        Some(AlertCause::AouInvalidated(Addr::new(0x5000).line()))
+    );
 }
 
 #[test]
@@ -169,7 +170,7 @@ fn with_sync_orders_cross_thread_side_effects() {
 fn deterministic_interleaving_under_contention() {
     let run = || {
         let m = machine(4);
-        
+
         m.run(4, |proc| {
             let a = Addr::new(0x8000);
             let mut wins = 0;

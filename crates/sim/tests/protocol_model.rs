@@ -15,9 +15,11 @@
 //!    (or its OT) has it in `Wsig`; a `TI` holder has it in `Rsig`.
 //! 4. **Own-reads** — a core always reads its own speculative writes.
 
-use flextm_sim::{
-    AccessKind, Addr, CasCommitOutcome, L1State, MachineConfig, SimState,
-};
+// Needs the external `proptest` crate: see the `proptests` feature
+// note in this package's Cargo.toml.
+#![cfg(feature = "proptests")]
+
+use flextm_sim::{AccessKind, Addr, CasCommitOutcome, L1State, MachineConfig, SimState};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -39,11 +41,17 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     let word = 0..LINES * 2; // two words per line exercised
     prop_oneof![
         (core.clone(), word.clone()).prop_map(|(core, word)| Op::Load { core, word }),
-        (core.clone(), word.clone(), 1..1000u64)
-            .prop_map(|(core, word, value)| Op::Store { core, word, value }),
+        (core.clone(), word.clone(), 1..1000u64).prop_map(|(core, word, value)| Op::Store {
+            core,
+            word,
+            value
+        }),
         (core.clone(), word.clone()).prop_map(|(core, word)| Op::TLoad { core, word }),
-        (core.clone(), word.clone(), 1..1000u64)
-            .prop_map(|(core, word, value)| Op::TStore { core, word, value }),
+        (core.clone(), word.clone(), 1..1000u64).prop_map(|(core, word, value)| Op::TStore {
+            core,
+            word,
+            value
+        }),
         core.clone().prop_map(|core| Op::Commit { core }),
         core.prop_map(|core| Op::Abort { core }),
     ]
@@ -139,7 +147,10 @@ fn run_sequence(ops: &[Op]) {
         match *op {
             Op::Load { core, word } => {
                 let holds_tmi = matches!(
-                    st.cores[core].l1.peek(addr_of(word).line()).map(|e| e.state),
+                    st.cores[core]
+                        .l1
+                        .peek(addr_of(word).line())
+                        .map(|e| e.state),
                     Some(L1State::Tmi)
                 );
                 let r = st.access(core, addr_of(word), AccessKind::Load, 0);
@@ -160,15 +171,14 @@ fn run_sequence(ops: &[Op]) {
                 st.access(core, addr_of(word), AccessKind::Store, value);
                 // Strong isolation: every *other* transactional
                 // reader/writer of the line dies.
-                let line_words: Vec<u64> =
-                    (0..LINES * 2).filter(|w| w % LINES == word % LINES).collect();
+                let line_words: Vec<u64> = (0..LINES * 2)
+                    .filter(|w| w % LINES == word % LINES)
+                    .collect();
                 for other in 0..CORES {
                     if other == core {
                         continue;
                     }
-                    let touches = model.spec[other]
-                        .keys()
-                        .any(|w| line_words.contains(w))
+                    let touches = model.spec[other].keys().any(|w| line_words.contains(w))
                         || model.reads[other].contains(&(word % LINES));
                     if touches {
                         model.doomed[other] = true;
@@ -176,9 +186,7 @@ fn run_sequence(ops: &[Op]) {
                         model.reads[other].clear();
                     }
                 }
-                let own_spec_line = model.spec[core]
-                    .keys()
-                    .any(|w| w % LINES == word % LINES);
+                let own_spec_line = model.spec[core].keys().any(|w| w % LINES == word % LINES);
                 if own_spec_line {
                     // Plain (escape) store into an own-TMI line updates
                     // both views.
@@ -214,10 +222,7 @@ fn run_sequence(ops: &[Op]) {
                     Some(L1State::Ti)
                 );
                 if !holds_ti {
-                    assert_eq!(
-                        r.value, expect,
-                        "step {step}: core {core} tload w{word}"
-                    );
+                    assert_eq!(r.value, expect, "step {step}: core {core} tload w{word}");
                 }
             }
             Op::TStore { core, word, value } => {
@@ -324,7 +329,11 @@ fn targeted_interleavings() {
     use Op::*;
     // Writer commits over a reader's head.
     run_sequence(&[
-        TStore { core: 0, word: 3, value: 7 },
+        TStore {
+            core: 0,
+            word: 3,
+            value: 7,
+        },
         TLoad { core: 1, word: 3 },
         Commit { core: 0 },
         Commit { core: 1 },
@@ -332,16 +341,32 @@ fn targeted_interleavings() {
     ]);
     // Dueling writers, one commits, one aborts.
     run_sequence(&[
-        TStore { core: 0, word: 5, value: 1 },
-        TStore { core: 1, word: 5, value: 2 },
+        TStore {
+            core: 0,
+            word: 5,
+            value: 1,
+        },
+        TStore {
+            core: 1,
+            word: 5,
+            value: 2,
+        },
         Commit { core: 1 },
         Commit { core: 0 },
     ]);
     // Strong isolation storm.
     run_sequence(&[
-        TStore { core: 0, word: 1, value: 9 },
+        TStore {
+            core: 0,
+            word: 1,
+            value: 9,
+        },
         TLoad { core: 1, word: 1 },
-        Store { core: 2, word: 1, value: 4 },
+        Store {
+            core: 2,
+            word: 1,
+            value: 4,
+        },
         Commit { core: 0 },
         Commit { core: 1 },
         Load { core: 3, word: 1 },

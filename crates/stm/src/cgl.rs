@@ -3,7 +3,7 @@
 //! "transaction"; at a single thread this is within noise of sequential
 //! code, which is why Fig. 4 normalizes to 1-thread CGL.
 
-use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, Txn, TxRetry, TxnBody};
+use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, TxRetry, Txn, TxnBody};
 use flextm_sim::{Addr, Machine, ProcHandle, WORDS_PER_LINE};
 
 /// The coarse-grain-lock runtime.

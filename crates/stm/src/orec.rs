@@ -120,7 +120,11 @@ mod tests {
         let distinct: std::collections::HashSet<u64> = (0..1024u64)
             .map(|i| t.orec_for(Addr::new(0x20_000 + i * 8)).raw())
             .collect();
-        assert!(distinct.len() > 300, "hash spreads poorly: {}", distinct.len());
+        assert!(
+            distinct.len() > 300,
+            "hash spreads poorly: {}",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::orec::{lockword, OrecTable};
 use flextm::cm::{CmContext, CmDecision, CmKind, ContentionManager};
 use flextm::{DescriptorTable, TSW_ABORTED, TSW_ACTIVE, TSW_COMMITTED};
-use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, Txn, TxRetry, TxnBody};
+use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, TxRetry, Txn, TxnBody};
 use flextm_sim::{Addr, Machine, ProcHandle};
 
 /// Cycle charges for thread-local bookkeeping.
@@ -109,8 +109,7 @@ impl RstmTxn<'_, '_> {
         }
         for &(orec, seen) in &self.read_set {
             let o = self.th.proc.load(orec);
-            let still_mine =
-                lockword::is_locked(o) && lockword::owner(o) == self.th.tid;
+            let still_mine = lockword::is_locked(o) && lockword::owner(o) == self.th.tid;
             if o != seen && !still_mine {
                 return false;
             }
@@ -236,8 +235,10 @@ impl TmThread for RstmThread<'_> {
     fn txn_once(&mut self, body: &mut TxnBody<'_>) -> AttemptOutcome {
         let status = self.rt.descriptors.descriptor(self.tid).tsw;
         self.proc.store(status, TSW_ACTIVE);
-        self.proc
-            .store(self.rt.descriptors.descriptor(self.tid).priority, self.cm.priority());
+        self.proc.store(
+            self.rt.descriptors.descriptor(self.tid).priority,
+            self.cm.priority(),
+        );
         self.cm.on_begin();
         let mut txn = RstmTxn {
             th: self,
@@ -359,7 +360,7 @@ mod tests {
                     Err(flextm_sim::api::TxRetry)
                 });
             } else {
-                proc_sleep(&th, 2000);
+                proc_sleep(th.as_ref(), 2000);
                 th.txn(&mut |tx| {
                     tx.write(x, 2)?;
                     Ok(())
@@ -369,7 +370,7 @@ mod tests {
         m.with_state(|st| assert_eq!(st.mem.read(x), 2));
     }
 
-    fn proc_sleep(th: &Box<dyn TmThread + '_>, cycles: u64) {
+    fn proc_sleep(th: &(dyn TmThread + '_), cycles: u64) {
         th.proc().work(cycles);
     }
 }

@@ -21,7 +21,7 @@
 
 use crate::orec::{lockword, OrecTable};
 use flextm::{FlexTm, FlexTmConfig, FlexTmThread, Mode};
-use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, Txn, TxRetry, TxnBody};
+use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, TxRetry, Txn, TxnBody};
 use flextm_sim::{Addr, Machine, ProcHandle};
 
 /// Per-access software bookkeeping charges (open_RO / open_RW paths of
@@ -54,7 +54,7 @@ impl RtmF {
                 mode: Mode::Eager,
                 cm,
                 threads,
-            serialized_commits: false
+                serialized_commits: false,
             },
         );
         RtmF { inner, orecs }
@@ -147,7 +147,8 @@ impl Txn for RtmFTxn<'_, '_> {
             // machinery, so we do not arbitrate here.
             let o = self.proc.load(orec);
             if !lockword::is_locked(o) {
-                self.proc.cas(orec, o, lockword::locked(lockword::version(o), self.tid));
+                self.proc
+                    .cas(orec, o, lockword::locked(lockword::version(o), self.tid));
             }
             self.acquired.push(orec);
             self.proc.work(costs::OPEN_RW);

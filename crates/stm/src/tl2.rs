@@ -15,7 +15,7 @@
 //! every access to shared metadata is a real simulated memory access.
 
 use crate::orec::{lockword, OrecTable};
-use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, Txn, TxRetry, TxnBody};
+use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, TxRetry, Txn, TxnBody};
 use flextm_sim::{Addr, Machine, ProcHandle};
 
 /// Cycle charges for thread-local bookkeeping (no shared-memory
@@ -210,8 +210,7 @@ impl TmThread for Tl2Thread<'_> {
             if wv != rv + 1 {
                 for &orec in &read_set {
                     let o = self.proc.load(orec);
-                    let locked_by_other = lockword::is_locked(o)
-                        && lockword::owner(o) != self.tid;
+                    let locked_by_other = lockword::is_locked(o) && lockword::owner(o) != self.tid;
                     if locked_by_other || lockword::version(o) > rv {
                         ok = false;
                         break;

@@ -219,7 +219,11 @@ pub fn gzip_iv(proc: &ProcHandle, monitor: Monitor) -> ProgramReport {
         }
         // …occasional header updates; round 150 writes a bad length.
         if round % 10 == 0 {
-            let len = if round == 150 { MAX_LEN + 7 } else { round % MAX_LEN };
+            let len = if round == 150 {
+                MAX_LEN + 7
+            } else {
+                round % MAX_LEN
+            };
             acc.store(header, len);
             if let Some(w) = acc.watcher.as_deref_mut() {
                 for _hit in w.take_hits() {

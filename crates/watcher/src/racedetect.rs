@@ -129,8 +129,10 @@ mod tests {
             reports[0].any() || reports[1].any(),
             "racing increments went undetected: {reports:?}"
         );
-        let ww = reports[0].write_write | reports[1].write_write
-            | reports[0].read_write | reports[1].read_write;
+        let ww = reports[0].write_write
+            | reports[1].write_write
+            | reports[0].read_write
+            | reports[1].read_write;
         assert_ne!(ww, 0, "conflict kind should implicate a write");
     }
 

@@ -34,12 +34,18 @@ impl NodeAlloc {
 
     /// Allocates `words` words (line-aligned; see `flextm_sim::Arena`).
     pub fn alloc(&self, words: u64) -> Addr {
-        self.arena.lock().expect("allocator lock poisoned").alloc(words)
+        self.arena
+            .lock()
+            .expect("allocator lock poisoned")
+            .alloc(words)
     }
 
     /// Allocates a whole number of cache lines.
     pub fn alloc_lines(&self, lines: u64) -> Addr {
-        self.arena.lock().expect("allocator lock poisoned").alloc_lines(lines)
+        self.arena
+            .lock()
+            .expect("allocator lock poisoned")
+            .alloc_lines(lines)
     }
 }
 

@@ -138,43 +138,6 @@ impl RunResult {
     }
 }
 
-fn report_delta(before: &MachineReport, after: &MachineReport) -> MachineReport {
-    use flextm_sim::CoreStats;
-    let cores = after
-        .cores
-        .iter()
-        .zip(&before.cores)
-        .map(|(a, b)| CoreStats {
-            loads: a.loads - b.loads,
-            stores: a.stores - b.stores,
-            tloads: a.tloads - b.tloads,
-            tstores: a.tstores - b.tstores,
-            l1_hits: a.l1_hits - b.l1_hits,
-            l1_misses: a.l1_misses - b.l1_misses,
-            l2_misses: a.l2_misses - b.l2_misses,
-            ot_hits: a.ot_hits - b.ot_hits,
-            threatened_seen: a.threatened_seen - b.threatened_seen,
-            exposed_seen: a.exposed_seen - b.exposed_seen,
-            alerts: a.alerts - b.alerts,
-            overflows: a.overflows - b.overflows,
-            nacks: a.nacks - b.nacks,
-            commits: a.commits - b.commits,
-            failed_commits: a.failed_commits - b.failed_commits,
-            tx_aborts: a.tx_aborts - b.tx_aborts,
-            writebacks: a.writebacks - b.writebacks,
-            work_cycles: a.work_cycles - b.work_cycles,
-            mem_cycles: a.mem_cycles - b.mem_cycles,
-        })
-        .collect();
-    let core_cycles = after
-        .core_cycles
-        .iter()
-        .zip(&before.core_cycles)
-        .map(|(a, b)| a - b)
-        .collect();
-    MachineReport { core_cycles, cores }
-}
-
 /// Runs `workload` on `runtime` with `config`, returning the timed
 /// measurements. The workload's `setup` must already have run, and
 /// each machine should host exactly one measured run (worker arenas
@@ -239,7 +202,7 @@ pub fn run_measured(
         (committed, attempts)
     });
     let after = machine.report();
-    let report = report_delta(&before, &after);
+    let report = after.delta(&before);
     let committed = per_thread.iter().map(|(c, _)| c).sum();
     let attempts = per_thread.iter().map(|(_, a)| a).sum();
     RunResult {

@@ -4,7 +4,7 @@
 //! rare and the benchmark measures pure per-access overhead.
 
 use crate::harness::{ThreadCtx, Workload};
-use flextm_sim::api::{TmThread, Txn, TxRetry};
+use flextm_sim::api::{TmThread, TxRetry, Txn};
 use flextm_sim::{Addr, Machine, WORDS_PER_LINE};
 
 const BUCKETS: u64 = 256;
@@ -63,12 +63,7 @@ impl HashTable {
     }
 
     /// Transactional insert; returns `false` if already present.
-    pub fn insert(
-        &self,
-        tx: &mut dyn Txn,
-        key: u64,
-        ctx: &ThreadCtx,
-    ) -> Result<bool, TxRetry> {
+    pub fn insert(&self, tx: &mut dyn Txn, key: u64, ctx: &ThreadCtx) -> Result<bool, TxRetry> {
         let head_addr = self.bucket_addr(key);
         tx.work(Self::NODE_WORK)?; // hash
         let head = Addr::new(tx.read(head_addr)?);

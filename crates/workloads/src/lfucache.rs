@@ -8,7 +8,7 @@
 
 use crate::harness::{ThreadCtx, Workload};
 use crate::rng::Zipf;
-use flextm_sim::api::{TmThread, Txn, TxRetry};
+use flextm_sim::api::{TmThread, TxRetry, Txn};
 use flextm_sim::{Addr, Machine, WORDS_PER_LINE};
 
 const PAGES: u64 = 2048;

@@ -88,9 +88,9 @@ impl Workload for Prime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flextm_stm::Cgl;
     use flextm_sim::api::TmRuntime;
     use flextm_sim::MachineConfig;
+    use flextm_stm::Cgl;
 
     #[test]
     fn factor_counts_are_correct() {
@@ -101,8 +101,8 @@ mod tests {
         let counts = m.run(1, |proc| {
             let th = cgl.thread(0, proc);
             [
-                wl.factor(th.as_ref(), 0, 12), // 2,2,3
-                wl.factor(th.as_ref(), 0, 97), // prime
+                wl.factor(th.as_ref(), 0, 12),   // 2,2,3
+                wl.factor(th.as_ref(), 0, 97),   // prime
                 wl.factor(th.as_ref(), 0, 1024), // 2^10
             ]
         });

@@ -7,7 +7,7 @@
 //! at high thread counts (Fig. 4(d), Fig. 5(d)).
 
 use crate::harness::{ThreadCtx, Workload};
-use flextm_sim::api::{TmThread, Txn, TxRetry};
+use flextm_sim::api::{TmThread, TxRetry, Txn};
 use flextm_sim::{Addr, Machine, WORDS_PER_LINE};
 
 // Vertex node: [id, next_vertex, adj_head, _pad…] — one line.
@@ -48,11 +48,7 @@ impl RandomGraph {
 
     /// Finds the insertion point for `id`: returns `(prev, cur)` where
     /// `cur` is the first vertex with `id_cur >= id` (or null).
-    fn locate(
-        &self,
-        tx: &mut dyn Txn,
-        id: u64,
-    ) -> Result<(Option<Addr>, Addr), TxRetry> {
+    fn locate(&self, tx: &mut dyn Txn, id: u64) -> Result<(Option<Addr>, Addr), TxRetry> {
         let mut prev = None;
         let mut cur = Addr::new(tx.read(self.head)?);
         while !cur.is_null() {
@@ -186,8 +182,7 @@ impl RandomGraph {
             let mut e = Addr::new(st.mem.read(v.offset(V_ADJ)));
             while !e.is_null() {
                 let peer_id = st.mem.read(e.offset(E_PEER));
-                let peer = find(peer_id)
-                    .unwrap_or_else(|| panic!("edge {id}→{peer_id} dangles"));
+                let peer = find(peer_id).unwrap_or_else(|| panic!("edge {id}→{peer_id} dangles"));
                 // Reciprocal edge must exist.
                 let mut back = Addr::new(st.mem.read(peer.offset(V_ADJ)));
                 let mut found = false;
@@ -218,10 +213,7 @@ impl Workload for RandomGraph {
         });
         // Prefill with the same transactional code over a DirectTxn.
         let head = self.head;
-        let wl = RandomGraph {
-            head,
-            prefill: 0,
-        };
+        let wl = RandomGraph { head, prefill: 0 };
         let prefill = self.prefill;
         machine.with_state(|st| {
             let mut tx = crate::harness::DirectTxn::new(st);

@@ -136,8 +136,7 @@ mod tests {
         m.with_state(|st| {
             map.check_invariants_direct(st);
             let contents = map.collect_direct(st);
-            let model_contents: Vec<(u64, u64)> =
-                model.iter().map(|(&k, &v)| (k, v)).collect();
+            let model_contents: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
             assert_eq!(contents, model_contents);
         });
     }

@@ -8,7 +8,7 @@
 //! paper's benchmark. Node layout uses the paper's 256-byte nodes.
 
 use crate::alloc::NodeAlloc;
-use flextm_sim::api::{Txn, TxRetry};
+use flextm_sim::api::{TxRetry, Txn};
 use flextm_sim::{Addr, WORDS_PER_LINE};
 
 // 256-byte nodes (4 lines), fields in the first line.
@@ -413,13 +413,7 @@ impl TMap {
     /// Walks `k` keys starting at `key` in ascending wrap-around order
     /// (Vacation's "stream them through an RBTree" read pattern);
     /// returns how many were present.
-    pub fn scan(
-        &self,
-        tx: &mut dyn Txn,
-        key: u64,
-        k: u64,
-        key_range: u64,
-    ) -> Result<u64, TxRetry> {
+    pub fn scan(&self, tx: &mut dyn Txn, key: u64, k: u64, key_range: u64) -> Result<u64, TxRetry> {
         let mut found = 0;
         for i in 0..k {
             if self.get(tx, (key + i) % key_range)?.is_some() {

@@ -11,7 +11,7 @@
 
 use crate::harness::{ThreadCtx, Workload};
 use crate::tmap::TMap;
-use flextm_sim::api::{TmThread, Txn, TxRetry};
+use flextm_sim::api::{TmThread, TxRetry, Txn};
 use flextm_sim::{Addr, Machine};
 
 /// Entries per table.
@@ -157,7 +157,8 @@ impl Workload for Vacation {
                 // Shuffled insertion order for a balanced tree shape.
                 let mut id = 17u64;
                 for _ in 0..RELATIONS {
-                    map.put(&mut tx, id, INITIAL_FREE, &alloc).expect("direct put");
+                    map.put(&mut tx, id, INITIAL_FREE, &alloc)
+                        .expect("direct put");
                     id = (id + 211) % RELATIONS;
                 }
                 self.tables[t] = map;
@@ -212,9 +213,7 @@ mod tests {
             // customer reservation record; with 3 tables one
             // reservation task decrements ≤ 3 units.
             let initial = RELATIONS * INITIAL_FREE;
-            let consumed: u64 = (0..3)
-                .map(|t| initial - wl.table_free_direct(st, t))
-                .sum();
+            let consumed: u64 = (0..3).map(|t| initial - wl.table_free_direct(st, t)).sum();
             let reservations = wl.reservations_direct(st);
             assert!(consumed >= reservations, "{consumed} < {reservations}");
             assert!(

@@ -1,0 +1,97 @@
+//! Determinism regression suite for the execution engine.
+//!
+//! The mailbox scheduler must replay the exact op interleaving of the
+//! original lockstep engine no matter how the host schedules its
+//! threads: ops retire in min-(clock, id) order, so two runs of the
+//! same workload produce the same protocol events, the same counters
+//! and the same simulated cycle counts. These tests pin that down:
+//!
+//! * the same workload run twice yields bit-identical event logs and
+//!   machine reports (scheduler wall-clock excluded by `SchedStats`'s
+//!   `PartialEq`), and
+//! * a `strict_lockstep` run — every fast path disabled, every op
+//!   through the full mailbox rendezvous — yields the same protocol
+//!   events and simulated state as the default engine, proving the
+//!   fast paths are pure performance, not semantics.
+
+use flextm::{FlexTm, FlexTmConfig};
+use flextm_sim::{Event, Machine, MachineConfig, MachineReport};
+use flextm_workloads::harness::{run_measured, RunConfig, Workload};
+use flextm_workloads::{HashTable, RbTree};
+
+const THREADS: usize = 8;
+
+fn small_run() -> RunConfig {
+    RunConfig {
+        threads: THREADS,
+        txns_per_thread: 24,
+        warmup_per_thread: 4,
+        seed: 0xF1E7,
+    }
+}
+
+/// One complete measured run on a fresh machine; returns every
+/// recorded protocol event plus the final whole-machine report.
+fn run_once(mut workload: Box<dyn Workload>, strict: bool) -> (Vec<Event>, MachineReport) {
+    let mut config = MachineConfig::paper_default().with_cores(THREADS);
+    config.record_events = true;
+    config.strict_lockstep = strict;
+    let machine = Machine::new(config);
+    workload.setup(&machine);
+    let tm = FlexTm::new(&machine, FlexTmConfig::lazy(THREADS));
+    run_measured(&machine, &tm, workload.as_ref(), small_run());
+    let events = machine.with_state(|st| st.log.take());
+    (events, machine.report())
+}
+
+fn assert_identical(name: &str, make: fn() -> Box<dyn Workload>) {
+    let (events_a, report_a) = run_once(make(), false);
+    let (events_b, report_b) = run_once(make(), false);
+    assert!(
+        !events_a.is_empty(),
+        "{name}: no protocol events recorded — the comparison is vacuous"
+    );
+    assert_eq!(
+        events_a, events_b,
+        "{name}: two identical runs diverged in protocol events"
+    );
+    assert_eq!(
+        report_a, report_b,
+        "{name}: two identical runs diverged in machine counters"
+    );
+}
+
+#[test]
+fn hashtable_replays_identically() {
+    assert_identical("HashTable", || Box::new(HashTable::paper()));
+}
+
+#[test]
+fn rbtree_replays_identically() {
+    assert_identical("RBTree", || Box::new(RbTree::paper()));
+}
+
+/// Strict lockstep (all scheduler fast paths off) must be an exact
+/// semantic no-op: same events, same per-core counters, same simulated
+/// cycles. Only the host-side fast/slow split may differ.
+#[test]
+fn strict_lockstep_is_semantically_identical() {
+    let (events_fast, report_fast) = run_once(Box::new(HashTable::paper()), false);
+    let (events_strict, report_strict) = run_once(Box::new(HashTable::paper()), true);
+    assert_eq!(
+        events_fast, events_strict,
+        "strict_lockstep changed the protocol event stream"
+    );
+    assert_eq!(
+        report_fast.cores, report_strict.cores,
+        "strict_lockstep changed simulated per-core counters"
+    );
+    assert_eq!(
+        report_fast.core_cycles, report_strict.core_cycles,
+        "strict_lockstep changed simulated time"
+    );
+    assert_eq!(
+        report_strict.sched.fast_ops, 0,
+        "strict_lockstep left a fast path enabled"
+    );
+}

@@ -20,7 +20,7 @@ fn measure(mode: Mode, threads: usize) -> (f64, f64) {
             mode,
             cm: flextm::CmKind::Polka,
             threads,
-            serialized_commits: false
+            serialized_commits: false,
         },
     );
     let result = run_measured(

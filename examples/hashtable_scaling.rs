@@ -31,7 +31,10 @@ fn measure(use_flextm: bool, threads: usize) -> f64 {
 
 fn main() {
     println!("HashTable throughput (transactions / million cycles)");
-    println!("{:<10} {:>12} {:>12} {:>10}", "threads", "CGL", "FlexTM", "ratio");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "threads", "CGL", "FlexTM", "ratio"
+    );
     let base_cgl = measure(false, 1);
     for threads in [1usize, 2, 4, 8] {
         let cgl = measure(false, threads);

@@ -42,7 +42,9 @@ fn main() {
         };
         println!(
             "  {:<10} detected={:<5} FlexWatcher {:>5.2}x   Discover {dis}",
-            row.name, row.detected, row.flexwatcher_slowdown()
+            row.name,
+            row.detected,
+            row.flexwatcher_slowdown()
         );
     }
 }

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use flextm::{FlexTm, FlexTmConfig};
-use flextm_sim::api::{TmRuntime, TmThread};
+use flextm_sim::api::TmRuntime;
 use flextm_sim::{Addr, Machine, MachineConfig};
 
 const ACCOUNTS: u64 = 16;
@@ -57,7 +57,10 @@ fn main() {
     let report = machine.report();
     machine.with_state(|st| {
         let total: u64 = (0..ACCOUNTS).map(|i| st.mem.read(account(i))).sum();
-        println!("accounts: {ACCOUNTS}, transfers: {}", 4 * transfers_per_thread);
+        println!(
+            "accounts: {ACCOUNTS}, transfers: {}",
+            4 * transfers_per_thread
+        );
         println!("total balance: {total} (expected {})", ACCOUNTS * INITIAL);
         assert_eq!(total, ACCOUNTS * INITIAL, "money was created or destroyed!");
     });

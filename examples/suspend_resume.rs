@@ -21,15 +21,14 @@ fn main() {
         proc.store(tsw, TSW_ACTIVE);
         proc.aload(tsw);
         for i in 0..24u64 {
-            proc.tstore(ledger.offset(i * 8), 1000 + i).expect("no alert");
+            proc.tstore(ledger.offset(i * 8), 1000 + i)
+                .expect("no alert");
         }
         println!("transaction open: 24 speculative lines buffered");
 
         // The OS preempts us.
         let token = th.deschedule();
-        println!(
-            "descheduled: speculative lines now live in the overflow table,"
-        );
+        println!("descheduled: speculative lines now live in the overflow table,");
         println!("summary signatures installed at the directory");
         machine_pressure(&proc);
 

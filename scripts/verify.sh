@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo verification gate: tier-1 (build + tests) plus lints.
+#
+# Runs everything CI would:
+#   1. tier-1 from ROADMAP.md: cargo build --release && cargo test -q
+#   2. cargo clippy --workspace -- -D warnings
+#   3. cargo fmt --check
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all --check
+
+echo "verify: all checks passed"

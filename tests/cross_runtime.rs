@@ -3,6 +3,10 @@
 //! (property-based). With one thread there is exactly one serial order,
 //! so any divergence is a runtime bug.
 
+// Needs the external `proptest` crate: see the `proptests` feature
+// note in this package's Cargo.toml.
+#![cfg(feature = "proptests")]
+
 use flextm::{FlexTm, FlexTmConfig};
 use flextm_repro::*;
 use flextm_sim::api::TmRuntime;
@@ -92,9 +96,7 @@ fn all_runtimes_agree_on_partitioned_counters() {
         });
         m.with_state(|st| {
             (0..4u64)
-                .flat_map(|c| {
-                    (0..8u64).map(move |s| (c, s))
-                })
+                .flat_map(|c| (0..8u64).map(move |s| (c, s)))
                 .map(|(c, s)| {
                     st.mem
                         .read(flextm_sim::Addr::new(0x100_000 + c * 0x1000 + s * 64))

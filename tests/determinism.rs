@@ -18,7 +18,7 @@ fn fingerprint(mode: Mode, seed: u64) -> (u64, u64, u64, Vec<u64>) {
             mode,
             cm: flextm::CmKind::Polka,
             threads: 4,
-            serialized_commits: false
+            serialized_commits: false,
         },
     );
     let r = run_measured(

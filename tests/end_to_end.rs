@@ -104,17 +104,30 @@ fn rtmf_runs_every_workload() {
 #[test]
 fn rbtree_invariants_hold_under_every_runtime() {
     #[allow(clippy::type_complexity)]
-    let builders: Vec<(&str, Box<dyn Fn(&Machine, usize) -> Box<dyn TmRuntime + '_>>)> = vec![
-        ("flextm", Box::new(|m: &Machine, t| {
-            Box::new(FlexTm::new(m, FlexTmConfig::lazy(t))) as Box<dyn TmRuntime>
-        })),
-        ("cgl", Box::new(|m: &Machine, _| Box::new(Cgl::new(m)) as Box<dyn TmRuntime>)),
-        ("tl2", Box::new(|m: &Machine, _| {
-            Box::new(Tl2::with_defaults(m)) as Box<dyn TmRuntime>
-        })),
-        ("rstm", Box::new(|m: &Machine, t| {
-            Box::new(Rstm::new(m, t, flextm::CmKind::Polka)) as Box<dyn TmRuntime>
-        })),
+    let builders: Vec<(
+        &str,
+        Box<dyn Fn(&Machine, usize) -> Box<dyn TmRuntime + '_>>,
+    )> = vec![
+        (
+            "flextm",
+            Box::new(|m: &Machine, t| {
+                Box::new(FlexTm::new(m, FlexTmConfig::lazy(t))) as Box<dyn TmRuntime>
+            }),
+        ),
+        (
+            "cgl",
+            Box::new(|m: &Machine, _| Box::new(Cgl::new(m)) as Box<dyn TmRuntime>),
+        ),
+        (
+            "tl2",
+            Box::new(|m: &Machine, _| Box::new(Tl2::with_defaults(m)) as Box<dyn TmRuntime>),
+        ),
+        (
+            "rstm",
+            Box::new(|m: &Machine, t| {
+                Box::new(Rstm::new(m, t, flextm::CmKind::Polka)) as Box<dyn TmRuntime>
+            }),
+        ),
     ];
     for (label, build) in builders {
         let m = machine();

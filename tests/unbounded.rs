@@ -60,7 +60,8 @@ fn suspended_overflowed_transaction_resumes_and_commits() {
         proc.store(tm.descriptors().descriptor(0).tsw, flextm::TSW_ACTIVE);
         proc.aload(tm.descriptors().descriptor(0).tsw);
         for i in 0..16u64 {
-            proc.tstore(base.offset(i * 8 * 8), 1000 + i).expect("no alert");
+            proc.tstore(base.offset(i * 8 * 8), 1000 + i)
+                .expect("no alert");
         }
         let token = th.deschedule();
         proc.work(500);
@@ -99,7 +100,8 @@ fn paging_remap_preserves_overflowed_data() {
         proc.store(tm.descriptors().descriptor(0).tsw, flextm::TSW_ACTIVE);
         proc.aload(tm.descriptors().descriptor(0).tsw);
         for i in 0..16u64 {
-            proc.tstore(old_page.offset(i * 8 * 8), 7 + i).expect("no alert");
+            proc.tstore(old_page.offset(i * 8 * 8), 7 + i)
+                .expect("no alert");
         }
         // Force everything out of the L1 into the OT via deschedule.
         let token = th.deschedule();
@@ -113,9 +115,7 @@ fn paging_remap_preserves_overflowed_data() {
     m.with_state(|st| {
         st.remap_page(old_page.line(), new_page.line(), 64);
     });
-    let ot_len = m.with_state(|st| {
-        st.cores[0].ot.as_ref().map(|o| o.len()).unwrap_or(0)
-    });
+    let ot_len = m.with_state(|st| st.cores[0].ot.as_ref().map(|o| o.len()).unwrap_or(0));
     // The OT was saved into the CMT by deschedule, so core OT is empty;
     // this asserts the machine-level remap API ran without touching it.
     assert_eq!(ot_len, 0);
