@@ -51,6 +51,61 @@ fn bench_signature() {
         other.insert(LineAddr(i * 7));
     }
     bench("union", |_| a.union_with(black_box(&other)));
+
+    // Hash-once vs hash-per-test: the protocol hot path builds one
+    // `SigKey` per access and reuses it at every signature it meets.
+    // These two cases quantify what that memoization buys — four tests
+    // of the same line against four signatures, hashing each time vs
+    // hashing once.
+    let mut sigs = Vec::new();
+    for b in 0..4u64 {
+        let mut s = Signature::new(SignatureConfig::paper_default());
+        for i in 0..64 {
+            s.insert(LineAddr(i * 31 + b));
+        }
+        sigs.push(s);
+    }
+    bench("4tests_hash_per_test", |i| {
+        let line = LineAddr(black_box(i.wrapping_mul(0x9E37)));
+        for s in &sigs {
+            black_box(s.contains(line));
+        }
+    });
+    bench("4tests_hash_once", |i| {
+        let line = LineAddr(black_box(i.wrapping_mul(0x9E37)));
+        let key = sigs[0].key(line);
+        for s in &sigs {
+            black_box(s.contains_key(key));
+        }
+    });
+}
+
+fn bench_line_fill() {
+    use flextm_sim::{L1Cache, L1State, LineAddr, WORDS_PER_LINE};
+    println!("# line fill");
+    // Fill-with-data then invalidate, over and over. The boxed variant
+    // allocates a fresh line buffer per fill (the old hot path); the
+    // pooled variant recycles buffers through the cache's free list.
+    let mut c = L1Cache::new(64, 4, 8);
+    bench("fill_boxed", |i| {
+        let line = LineAddr(i % 512);
+        let (slot, _) = c.fill_slot(line, L1State::Tmi);
+        c.slot_mut(slot).data = Some(Box::new([i; WORDS_PER_LINE]));
+        let entry = c.invalidate(line).expect("just filled");
+        black_box(entry.data);
+    });
+    let mut c = L1Cache::new(64, 4, 8);
+    bench("fill_pooled", |i| {
+        let line = LineAddr(i % 512);
+        let (slot, _) = c.fill_slot(line, L1State::Tmi);
+        let mut d = c.alloc_data();
+        *d = [i; WORDS_PER_LINE];
+        c.slot_mut(slot).data = Some(d);
+        let mut entry = c.invalidate(line).expect("just filled");
+        if let Some(d) = entry.data.take() {
+            c.retire_data(d);
+        }
+    });
 }
 
 fn bench_protocol() {
@@ -86,5 +141,6 @@ fn bench_protocol() {
 
 fn main() {
     bench_signature();
+    bench_line_fill();
     bench_protocol();
 }

@@ -15,7 +15,10 @@
 //! fast paths (`MachineConfig::strict_lockstep`) to measure the
 //! conservative engine; `FLEXTM_SCHED_THREADS` overrides the thread
 //! count (diagnostic — a 1-thread run isolates raw protocol cost from
-//! scheduling cost).
+//! scheduling cost). Passing `--protocol` forces the 1-thread
+//! diagnostic (reported as `protocol_1thread_hashtable`, see
+//! `BENCH_protocol.json`); `FLEXTM_SCHED_THREADS` still wins if both
+//! are given.
 
 use flextm::{FlexTm, FlexTmConfig};
 use flextm_sim::{Machine, MachineConfig, MachineReport};
@@ -37,10 +40,16 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(96);
     let strict = std::env::var("FLEXTM_SCHED_STRICT").as_deref() == Ok("1");
+    let protocol_mode = std::env::args().any(|a| a == "--protocol");
     let threads: usize = std::env::var("FLEXTM_SCHED_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(16);
+        .unwrap_or(if protocol_mode { 1 } else { 16 });
+    let bench_name = if protocol_mode {
+        "protocol_1thread_hashtable"
+    } else {
+        "sched_16core_hashtable"
+    };
 
     let mut config = MachineConfig::paper_default();
     config.strict_lockstep = strict;
@@ -69,10 +78,11 @@ fn main() {
     let ops_per_s = ops as f64 / wall_s;
     let cycles_per_s = report.elapsed_cycles() as f64 / wall_s;
 
-    // One JSON object per line, ready to paste into BENCH_sched.json.
+    // One JSON object per line, ready to paste into BENCH_sched.json
+    // or BENCH_protocol.json.
     println!(
         concat!(
-            "{{\"bench\": \"sched_16core_hashtable\", ",
+            "{{\"bench\": \"{}\", ",
             "\"strict_lockstep\": {}, ",
             "\"threads\": {}, \"txns_per_thread\": {}, ",
             "\"committed\": {}, \"attempts\": {}, ",
@@ -81,6 +91,7 @@ fn main() {
             "\"wall_s\": {:.3}, ",
             "\"sim_ops_per_s\": {:.0}, \"sim_cycles_per_s\": {:.0}}}"
         ),
+        bench_name,
         strict,
         threads,
         txns,

@@ -22,6 +22,40 @@ pub enum HashScheme {
     H3,
 }
 
+/// A line address bundled with its signature bank indices, computed
+/// once by [`LineHasher::key`] and reusable against every signature
+/// built from the same configuration (`Rsig`/`Wsig` of all cores, the
+/// summary signatures, the overflow tables' `Osig`).
+///
+/// The protocol hot path makes one key per memory access and threads it
+/// through every membership test that access performs, instead of
+/// re-hashing the same line through the H3 matrices at each test.
+/// Key-based operations are bit-for-bit identical to the address-based
+/// API: the packed indices are exactly the ones [`LineHasher::index`]
+/// produces, and configurations whose indices do not fit in one `u64`
+/// fall back to per-test hashing of the carried address.
+#[derive(Debug, Clone, Copy)]
+pub struct SigKey {
+    line: crate::LineAddr,
+    /// All bank indices packed contiguously (`index_bits` apart, bank 0
+    /// in the low bits), or `None` when `banks * index_bits > 64`.
+    packed: Option<u64>,
+}
+
+impl SigKey {
+    /// The line address this key was derived from.
+    #[inline]
+    pub fn line(self) -> crate::LineAddr {
+        self.line
+    }
+
+    /// The packed bank indices, if the configuration packs.
+    #[inline]
+    pub(crate) fn packed(self) -> Option<u64> {
+        self.packed
+    }
+}
+
 /// A concrete, deterministic hasher for one signature configuration:
 /// `banks` independent hash functions, each producing an index in
 /// `[0, bank_bits)`.
@@ -129,6 +163,34 @@ impl LineHasher {
         Some(acc)
     }
 
+    /// Computes the hash-once key for `line`: every bank index, packed
+    /// into one word when the configuration allows it (always true for
+    /// the paper's configurations). For H3 the packed byte-sliced
+    /// tables are used; BitSelect and unpacked H3 fall back to
+    /// [`LineHasher::index`], so the key carries exactly the indices
+    /// the address-based API would compute.
+    #[inline]
+    pub fn key(&self, line: crate::LineAddr) -> SigKey {
+        let packed = self
+            .packed_indices(line.index())
+            .or_else(|| self.pack_slow(line.index()));
+        SigKey { line, packed }
+    }
+
+    /// Packs per-bank [`LineHasher::index`] results into the
+    /// [`LineHasher::packed_indices`] layout, for configurations
+    /// without byte-sliced tables (BitSelect, or small-seeded H3 used
+    /// in tests). `None` when the indices do not fit in 64 bits.
+    fn pack_slow(&self, line: u64) -> Option<u64> {
+        (self.banks * self.index_bits as usize <= 64).then(|| {
+            let mut acc = 0u64;
+            for bank in 0..self.banks {
+                acc |= u64::from(self.index(bank, line)) << (bank as u32 * self.index_bits);
+            }
+            acc
+        })
+    }
+
     /// Number of independent hash functions (= signature banks).
     pub fn banks(&self) -> usize {
         self.banks
@@ -225,6 +287,30 @@ mod tests {
     fn rejects_out_of_range_bank() {
         let h = LineHasher::new(HashScheme::H3, 2, 8, 0);
         let _ = h.index(2, 0);
+    }
+
+    #[test]
+    fn key_matches_per_bank_indices() {
+        for scheme in [HashScheme::BitSelect, HashScheme::H3] {
+            let h = LineHasher::new(scheme, 4, 9, 11);
+            for line in [0u64, 1, 63, 0xdead_beef, u64::MAX] {
+                let key = h.key(crate::LineAddr(line));
+                assert_eq!(key.line(), crate::LineAddr(line));
+                let packed = key.packed().expect("4x9 bits pack");
+                for bank in 0..4 {
+                    let idx = (packed >> (bank * 9)) as u32 & 0x1FF;
+                    assert_eq!(idx, h.index(bank, line), "{scheme:?} bank {bank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_configurations_do_not_pack() {
+        // 4 banks x 20 bits = 80 bits: no packed form; key falls back
+        // to carrying only the address.
+        let h = LineHasher::new(HashScheme::H3, 4, 20, 5);
+        assert!(h.key(crate::LineAddr(42)).packed().is_none());
     }
 
     #[test]

@@ -30,7 +30,7 @@ mod hasher;
 mod signature;
 mod summary;
 
-pub use hasher::{HashScheme, LineHasher};
+pub use hasher::{HashScheme, LineHasher, SigKey};
 pub use signature::{Signature, SignatureConfig};
 pub use summary::SummarySignature;
 

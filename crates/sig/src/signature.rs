@@ -1,6 +1,6 @@
 //! The banked Bloom-filter signature itself.
 
-use crate::hasher::{HashScheme, LineHasher};
+use crate::hasher::{HashScheme, LineHasher, SigKey};
 use crate::LineAddr;
 
 /// Configuration of a banked Bloom-filter signature.
@@ -42,6 +42,18 @@ impl SignatureConfig {
             scheme: HashScheme::H3,
             seed: 0x5167_5167,
         }
+    }
+
+    /// Builds the [`LineHasher`] this configuration implies. Every
+    /// signature (and [`SigKey`]) derived from the same configuration
+    /// uses an identical hasher, which is what makes keys portable
+    /// across the per-core `Rsig`/`Wsig`, the OT's `Osig`, and the
+    /// directory summaries.
+    pub fn hasher(&self) -> LineHasher {
+        self.validate();
+        let per_bank = self.total_bits / self.banks;
+        let index_bits = per_bank.trailing_zeros();
+        LineHasher::new(self.scheme, self.banks, index_bits, self.seed)
     }
 
     fn validate(&self) {
@@ -87,7 +99,12 @@ pub struct Signature {
     config: SignatureConfig,
     hasher: LineHasher,
     bits: Vec<u64>,
+    /// `total_bits / banks`, precomputed: `bit_pos` sits on the
+    /// protocol's per-access path and a runtime division there is
+    /// measurable (4 divides per insert/test at 4 banks).
+    bank_bits: usize,
     inserted: u64,
+    nonempty: bool,
 }
 
 impl Signature {
@@ -98,16 +115,16 @@ impl Signature {
     /// Panics if the configuration is malformed (non-power-of-two size,
     /// zero banks, bits not divisible by banks).
     pub fn new(config: SignatureConfig) -> Self {
-        config.validate();
-        let per_bank = config.total_bits / config.banks;
-        let index_bits = per_bank.trailing_zeros();
-        let hasher = LineHasher::new(config.scheme, config.banks, index_bits, config.seed);
+        let hasher = config.hasher();
         let words = config.total_bits / 64;
+        let bank_bits = config.total_bits / config.banks;
         Signature {
             config,
             hasher,
             bits: vec![0u64; words.max(1)],
+            bank_bits,
             inserted: 0,
+            nonempty: false,
         }
     }
 
@@ -117,7 +134,7 @@ impl Signature {
     }
 
     fn bank_bits(&self) -> usize {
-        self.config.total_bits / self.config.banks
+        self.bank_bits
     }
 
     /// Global bit position for (bank, index).
@@ -133,10 +150,9 @@ impl Signature {
         self.bits[pos / 64] >> (pos % 64) & 1 == 1
     }
 
-    /// Adds a line address to the summarized set.
-    pub fn insert(&mut self, line: LineAddr) {
+    fn set_banks(&mut self, line: LineAddr, packed: Option<u64>) {
         let ib = self.hasher.index_bits();
-        if let Some(packed) = self.hasher.packed_indices(line.index()) {
+        if let Some(packed) = packed {
             for bank in 0..self.config.banks {
                 let idx = (packed >> (bank as u32 * ib)) as u32 & ((1 << ib) - 1);
                 let pos = self.bit_pos(bank, idx);
@@ -150,13 +166,12 @@ impl Signature {
             }
         }
         self.inserted += 1;
+        self.nonempty = true;
     }
 
-    /// Tests (conservatively) whether `line` may be in the set. Never
-    /// returns `false` for an address that was inserted.
-    pub fn contains(&self, line: LineAddr) -> bool {
+    fn test_banks(&self, line: LineAddr, packed: Option<u64>) -> bool {
         let ib = self.hasher.index_bits();
-        if let Some(packed) = self.hasher.packed_indices(line.index()) {
+        if let Some(packed) = packed {
             (0..self.config.banks).all(|bank| {
                 let idx = (packed >> (bank as u32 * ib)) as u32 & ((1 << ib) - 1);
                 self.get_bit(self.bit_pos(bank, idx))
@@ -169,17 +184,70 @@ impl Signature {
         }
     }
 
+    /// Adds a line address to the summarized set.
+    #[inline]
+    pub fn insert(&mut self, line: LineAddr) {
+        let packed = self.hasher.packed_indices(line.index());
+        self.set_banks(line, packed);
+    }
+
+    /// Tests (conservatively) whether `line` may be in the set. Never
+    /// returns `false` for an address that was inserted.
+    #[inline]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.test_banks(line, self.hasher.packed_indices(line.index()))
+    }
+
+    /// Pre-hashes `line` into a [`SigKey`] usable against any signature
+    /// built from the same configuration.
+    #[inline]
+    pub fn key(&self, line: LineAddr) -> SigKey {
+        self.hasher.key(line)
+    }
+
+    /// [`Signature::insert`] with a pre-hashed key. Bit-for-bit
+    /// equivalent to `insert(key.line())`.
+    #[inline]
+    pub fn insert_key(&mut self, key: SigKey) {
+        debug_assert_eq!(
+            key.packed(),
+            self.hasher.key(key.line()).packed(),
+            "SigKey built from a different configuration"
+        );
+        self.set_banks(key.line(), key.packed());
+    }
+
+    /// [`Signature::contains`] with a pre-hashed key.
+    #[inline]
+    pub fn contains_key(&self, key: SigKey) -> bool {
+        debug_assert_eq!(
+            key.packed(),
+            self.hasher.key(key.line()).packed(),
+            "SigKey built from a different configuration"
+        );
+        self.test_banks(key.line(), key.packed())
+    }
+
     /// Flash-clears the signature (the `clear Sig` instruction of the
     /// FlexWatcher API extension, Table 4(a), and part of the abort /
     /// context-switch sequence).
+    #[inline]
     pub fn clear(&mut self) {
-        self.bits.fill(0);
+        // `nonempty == false` guarantees every bit word is already zero
+        // (inserts set it; `load_words` recomputes it exactly), so the
+        // memset can be skipped for signatures that saw no inserts.
+        if self.nonempty {
+            self.bits.fill(0);
+        }
         self.inserted = 0;
+        self.nonempty = false;
     }
 
     /// True if no address has been inserted since the last clear/load.
+    /// O(1): tracked by a flag rather than scanning the bit words.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.bits.iter().all(|&w| w == 0)
+        !self.nonempty
     }
 
     /// Number of `insert` calls since the last clear (not the number of
@@ -212,6 +280,7 @@ impl Signature {
             *dst |= *src;
         }
         self.inserted += other.inserted;
+        self.nonempty |= other.nonempty;
     }
 
     /// Tests whether the *sets of signature bits* of `self` and `other`
@@ -263,6 +332,7 @@ impl Signature {
         );
         self.bits.copy_from_slice(words);
         self.inserted = 0;
+        self.nonempty = words.iter().any(|&w| w != 0);
     }
 }
 
@@ -347,6 +417,42 @@ mod tests {
         for i in 0..64 {
             assert!(b.contains(LineAddr(i * 17)));
         }
+    }
+
+    #[test]
+    fn key_api_matches_address_api() {
+        let mut by_addr = sig();
+        let mut by_key = sig();
+        for i in 0..500u64 {
+            let line = LineAddr(i * 13 + 1);
+            by_addr.insert(line);
+            by_key.insert_key(by_key.key(line));
+        }
+        assert_eq!(by_addr, by_key);
+        for i in 0..2000u64 {
+            let line = LineAddr(i);
+            assert_eq!(
+                by_addr.contains(line),
+                by_key.contains_key(by_key.key(line)),
+                "divergence at line {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_empty_tracks_loads_and_unions() {
+        let mut s = sig();
+        assert!(s.is_empty());
+        let mut other = sig();
+        other.insert(LineAddr(9));
+        s.union_with(&other);
+        assert!(!s.is_empty());
+        s.clear();
+        let words = other.words().to_vec();
+        s.load_words(&words);
+        assert!(!s.is_empty());
+        s.load_words(&vec![0u64; words.len()]);
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! exactly that when rescheduling a thread, so [`SummarySignature`]
 //! keeps the per-contributor signatures around.
 
+use crate::hasher::SigKey;
 use crate::{LineAddr, Signature, SignatureConfig};
 use std::collections::BTreeMap;
 
@@ -96,6 +97,20 @@ impl SummarySignature {
         self.contributors
             .iter()
             .filter(|(_, sig)| sig.contains(line))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// [`SummarySignature::contains`] with a pre-hashed key.
+    pub fn contains_key(&self, key: SigKey) -> bool {
+        !self.contributors.is_empty() && self.union.contains_key(key)
+    }
+
+    /// [`SummarySignature::hit_contributors`] with a pre-hashed key.
+    pub fn hit_contributors_key(&self, key: SigKey) -> Vec<usize> {
+        self.contributors
+            .iter()
+            .filter(|(_, sig)| sig.contains_key(key))
             .map(|(&id, _)| id)
             .collect()
     }

@@ -3,135 +3,231 @@
 //! The single safety-critical property is **no false negatives**: a
 //! signature that misses a line that was actually accessed would let a
 //! conflicting transaction commit and break serializability.
-
-// Needs the external `proptest` crate: see the `proptests` feature
-// note in this package's Cargo.toml.
-#![cfg(feature = "proptests")]
+//!
+//! The `key_api` module runs in every `cargo test`: it drives its own
+//! deterministic pseudo-random generator, so it needs no external
+//! crate. The `proptests` module needs the external `proptest` crate
+//! (see the `proptests` feature note in this package's Cargo.toml) and
+//! is compiled only when that feature is enabled.
 
 use flextm_sig::{HashScheme, LineAddr, Signature, SignatureConfig, SummarySignature};
-use proptest::prelude::*;
 
-fn any_config() -> impl Strategy<Value = SignatureConfig> {
-    (
-        prop_oneof![Just(64usize), Just(256), Just(1024), Just(2048)],
-        prop_oneof![Just(1usize), Just(2), Just(4)],
-        prop_oneof![Just(HashScheme::BitSelect), Just(HashScheme::H3)],
-        any::<u64>(),
-    )
-        .prop_map(|(total_bits, banks, scheme, seed)| SignatureConfig {
-            total_bits,
-            banks,
-            scheme,
-            seed,
-        })
-}
+/// The hash-once key API must be observationally identical to the
+/// address API: `key(l)` then `insert_key`/`contains_key` answers
+/// exactly as `insert`/`contains` on `l`, for every configuration.
+/// This is what makes the protocol hot path's memoized `SigKey`
+/// bit-identical to the per-test hashing it replaced.
+mod key_api {
+    use super::*;
 
-proptest! {
-    /// No false negatives, for every configuration and address set.
-    #[test]
-    fn no_false_negatives(cfg in any_config(), lines in prop::collection::vec(any::<u64>(), 0..300)) {
-        let mut s = Signature::new(cfg);
-        for &l in &lines {
-            s.insert(LineAddr(l));
-        }
-        for &l in &lines {
-            prop_assert!(s.contains(LineAddr(l)));
+    /// splitmix64 — deterministic, seedable, no external crates.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
         }
     }
 
-    /// Union contains everything either operand contained.
+    fn configs(rng: &mut Rng) -> Vec<SignatureConfig> {
+        let mut out = Vec::new();
+        for &total_bits in &[64usize, 256, 1024, 2048] {
+            for &banks in &[1usize, 2, 4] {
+                for &scheme in &[HashScheme::BitSelect, HashScheme::H3] {
+                    out.push(SignatureConfig {
+                        total_bits,
+                        banks,
+                        scheme,
+                        seed: rng.next(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
     #[test]
-    fn union_is_monotone(
-        cfg in any_config(),
-        a_lines in prop::collection::vec(any::<u64>(), 0..100),
-        b_lines in prop::collection::vec(any::<u64>(), 0..100),
-    ) {
-        let mut a = Signature::new(cfg.clone());
-        let mut b = Signature::new(cfg);
-        for &l in &a_lines { a.insert(LineAddr(l)); }
-        for &l in &b_lines { b.insert(LineAddr(l)); }
-        let mut u = a.clone();
-        u.union_with(&b);
-        for &l in a_lines.iter().chain(&b_lines) {
-            prop_assert!(u.contains(LineAddr(l)));
+    fn key_api_is_identical_to_address_api() {
+        let mut rng = Rng(0x5EED_F1E7);
+        for cfg in configs(&mut rng) {
+            let mut by_addr = Signature::new(cfg.clone());
+            let mut by_key = Signature::new(cfg.clone());
+            let lines: Vec<LineAddr> = (0..300).map(|_| LineAddr(rng.next())).collect();
+            for &l in &lines {
+                by_addr.insert(l);
+                let k = by_key.key(l);
+                assert_eq!(k.line(), l);
+                by_key.insert_key(k);
+            }
+            assert_eq!(by_addr, by_key, "inserts diverged for {cfg:?}");
+            // Membership answers match for inserted lines and probes.
+            for &l in &lines {
+                assert!(by_key.contains_key(by_key.key(l)));
+            }
+            for _ in 0..300 {
+                let probe = LineAddr(rng.next());
+                assert_eq!(
+                    by_addr.contains(probe),
+                    by_key.contains_key(by_key.key(probe)),
+                    "probe diverged for {cfg:?}"
+                );
+            }
         }
     }
 
-    /// A signature round-tripped through its raw words is identical —
-    /// the property the OS context-switch path relies on.
     #[test]
-    fn words_roundtrip_preserves_membership(
-        cfg in any_config(),
-        lines in prop::collection::vec(any::<u64>(), 0..200),
-    ) {
-        let mut a = Signature::new(cfg.clone());
-        for &l in &lines { a.insert(LineAddr(l)); }
-        let words = a.words().to_vec();
-        let mut b = Signature::new(cfg);
-        b.load_words(&words);
-        prop_assert_eq!(&a, &b);
-        for &l in &lines {
-            prop_assert!(b.contains(LineAddr(l)));
-        }
-    }
-
-    /// contains(x) after inserting a superset is still monotone: adding
-    /// more elements never un-members an element (no deletion artifacts).
-    #[test]
-    fn insertion_is_monotone(
-        cfg in any_config(),
-        first in any::<u64>(),
-        rest in prop::collection::vec(any::<u64>(), 0..200),
-    ) {
-        let mut s = Signature::new(cfg);
-        s.insert(LineAddr(first));
-        for &l in &rest {
-            s.insert(LineAddr(l));
-            prop_assert!(s.contains(LineAddr(first)));
-        }
-    }
-
-    /// Summary signatures never produce a false negative for any
-    /// installed contributor, and removal only ever shrinks membership.
-    #[test]
-    fn summary_covers_contributors(
-        sets in prop::collection::vec(prop::collection::vec(any::<u64>(), 1..50), 1..6),
-    ) {
+    fn summary_key_api_is_identical_to_address_api() {
+        let mut rng = Rng(0xD1CE_F00D);
         let cfg = SignatureConfig::paper_default();
         let mut ss = SummarySignature::new(cfg.clone());
-        for (id, set) in sets.iter().enumerate() {
+        let probe_sig = Signature::new(cfg.clone());
+        for id in 0..5 {
             let mut s = Signature::new(cfg.clone());
-            for &l in set { s.insert(LineAddr(l)); }
+            for _ in 0..40 {
+                s.insert(LineAddr(rng.next() & 0xFFFF));
+            }
             ss.install(id, s);
         }
-        for set in &sets {
-            for &l in set {
-                prop_assert!(ss.contains(LineAddr(l)));
-            }
-        }
-        // Removing contributor 0 must keep all other contributors covered.
-        ss.remove(0);
-        for set in sets.iter().skip(1) {
-            for &l in set {
-                prop_assert!(ss.contains(LineAddr(l)));
-            }
+        for _ in 0..2000 {
+            let probe = LineAddr(rng.next() & 0xFFFF);
+            let key = probe_sig.key(probe);
+            assert_eq!(ss.contains(probe), ss.contains_key(key));
+            assert_eq!(ss.hit_contributors(probe), ss.hit_contributors_key(key));
         }
     }
+}
 
-    /// If two signatures share an inserted line, `intersects` reports it.
-    #[test]
-    fn intersects_has_no_false_negatives(
-        cfg in any_config(),
-        shared in any::<u64>(),
-        a_extra in prop::collection::vec(any::<u64>(), 0..50),
-        b_extra in prop::collection::vec(any::<u64>(), 0..50),
-    ) {
-        let mut a = Signature::new(cfg.clone());
-        let mut b = Signature::new(cfg);
-        a.insert(LineAddr(shared));
-        b.insert(LineAddr(shared));
-        for &l in &a_extra { a.insert(LineAddr(l)); }
-        for &l in &b_extra { b.insert(LineAddr(l)); }
-        prop_assert!(a.intersects(&b));
+#[cfg(feature = "proptests")]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn any_config() -> impl Strategy<Value = SignatureConfig> {
+        (
+            prop_oneof![Just(64usize), Just(256), Just(1024), Just(2048)],
+            prop_oneof![Just(1usize), Just(2), Just(4)],
+            prop_oneof![Just(HashScheme::BitSelect), Just(HashScheme::H3)],
+            any::<u64>(),
+        )
+            .prop_map(|(total_bits, banks, scheme, seed)| SignatureConfig {
+                total_bits,
+                banks,
+                scheme,
+                seed,
+            })
+    }
+
+    proptest! {
+        /// No false negatives, for every configuration and address set.
+        #[test]
+        fn no_false_negatives(cfg in any_config(), lines in prop::collection::vec(any::<u64>(), 0..300)) {
+            let mut s = Signature::new(cfg);
+            for &l in &lines {
+                s.insert(LineAddr(l));
+            }
+            for &l in &lines {
+                prop_assert!(s.contains(LineAddr(l)));
+            }
+        }
+
+        /// Union contains everything either operand contained.
+        #[test]
+        fn union_is_monotone(
+            cfg in any_config(),
+            a_lines in prop::collection::vec(any::<u64>(), 0..100),
+            b_lines in prop::collection::vec(any::<u64>(), 0..100),
+        ) {
+            let mut a = Signature::new(cfg.clone());
+            let mut b = Signature::new(cfg);
+            for &l in &a_lines { a.insert(LineAddr(l)); }
+            for &l in &b_lines { b.insert(LineAddr(l)); }
+            let mut u = a.clone();
+            u.union_with(&b);
+            for &l in a_lines.iter().chain(&b_lines) {
+                prop_assert!(u.contains(LineAddr(l)));
+            }
+        }
+
+        /// A signature round-tripped through its raw words is identical —
+        /// the property the OS context-switch path relies on.
+        #[test]
+        fn words_roundtrip_preserves_membership(
+            cfg in any_config(),
+            lines in prop::collection::vec(any::<u64>(), 0..200),
+        ) {
+            let mut a = Signature::new(cfg.clone());
+            for &l in &lines { a.insert(LineAddr(l)); }
+            let words = a.words().to_vec();
+            let mut b = Signature::new(cfg);
+            b.load_words(&words);
+            prop_assert_eq!(&a, &b);
+            for &l in &lines {
+                prop_assert!(b.contains(LineAddr(l)));
+            }
+        }
+
+        /// contains(x) after inserting a superset is still monotone: adding
+        /// more elements never un-members an element (no deletion artifacts).
+        #[test]
+        fn insertion_is_monotone(
+            cfg in any_config(),
+            first in any::<u64>(),
+            rest in prop::collection::vec(any::<u64>(), 0..200),
+        ) {
+            let mut s = Signature::new(cfg);
+            s.insert(LineAddr(first));
+            for &l in &rest {
+                s.insert(LineAddr(l));
+                prop_assert!(s.contains(LineAddr(first)));
+            }
+        }
+
+        /// Summary signatures never produce a false negative for any
+        /// installed contributor, and removal only ever shrinks membership.
+        #[test]
+        fn summary_covers_contributors(
+            sets in prop::collection::vec(prop::collection::vec(any::<u64>(), 1..50), 1..6),
+        ) {
+            let cfg = SignatureConfig::paper_default();
+            let mut ss = SummarySignature::new(cfg.clone());
+            for (id, set) in sets.iter().enumerate() {
+                let mut s = Signature::new(cfg.clone());
+                for &l in set { s.insert(LineAddr(l)); }
+                ss.install(id, s);
+            }
+            for set in &sets {
+                for &l in set {
+                    prop_assert!(ss.contains(LineAddr(l)));
+                }
+            }
+            // Removing contributor 0 must keep all other contributors covered.
+            ss.remove(0);
+            for set in sets.iter().skip(1) {
+                for &l in set {
+                    prop_assert!(ss.contains(LineAddr(l)));
+                }
+            }
+        }
+
+        /// If two signatures share an inserted line, `intersects` reports it.
+        #[test]
+        fn intersects_has_no_false_negatives(
+            cfg in any_config(),
+            shared in any::<u64>(),
+            a_extra in prop::collection::vec(any::<u64>(), 0..50),
+            b_extra in prop::collection::vec(any::<u64>(), 0..50),
+        ) {
+            let mut a = Signature::new(cfg.clone());
+            let mut b = Signature::new(cfg);
+            a.insert(LineAddr(shared));
+            b.insert(LineAddr(shared));
+            for &l in &a_extra { a.insert(LineAddr(l)); }
+            for &l in &b_extra { b.insert(LineAddr(l)); }
+            prop_assert!(a.intersects(&b));
+        }
     }
 }

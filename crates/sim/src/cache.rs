@@ -80,6 +80,31 @@ impl LineEntry {
     }
 }
 
+/// Opaque handle to a resident L1 line, returned by
+/// [`L1Cache::probe_slot`] / [`L1Cache::fill_slot`] so hot paths that
+/// probe and then mutate the same entry pay one associative lookup
+/// instead of two.
+///
+/// The handle is positional: it stays valid only until the next
+/// structural change to the cache (any fill, invalidate, or flash
+/// operation). Debug builds verify the tag on every dereference.
+#[derive(Debug, Clone, Copy)]
+pub struct L1Slot {
+    loc: SlotLoc,
+    line: LineAddr,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SlotLoc {
+    Main(usize),
+    Victim(usize),
+}
+
+/// Capacity of the per-cache line-buffer free list. Beyond this the
+/// buffers go back to the allocator; 64 comfortably covers a
+/// transaction's working set of speculative lines.
+const DATA_POOL_CAP: usize = 64;
+
 /// A set-associative L1 with a small fully-associative victim buffer.
 ///
 /// The victim buffer (Table 3(a): 32 entries) holds lines evicted from
@@ -110,6 +135,12 @@ pub struct L1Cache {
     /// walk the handful of transactional lines instead of sweeping the
     /// whole array on every transaction.
     spec_touched: Vec<LineAddr>,
+    /// Free list of line data buffers, recycled between speculative
+    /// fills so steady-state transactions never touch the allocator.
+    /// The boxes are the point: entries move between the pool and
+    /// `L1Entry::data`/OT slots without copying the 64-byte payload.
+    #[allow(clippy::vec_box)]
+    data_pool: Vec<Box<[u64; WORDS_PER_LINE]>>,
 }
 
 /// What fell out of the cache when room was made for a fill.
@@ -142,6 +173,23 @@ impl L1Cache {
             unbounded_tmi: false,
             tick: 0,
             spec_touched: Vec::new(),
+            data_pool: Vec::new(),
+        }
+    }
+
+    /// Hands out a line data buffer from the free list (or the
+    /// allocator when it is dry). Contents are **unspecified** — every
+    /// caller fully overwrites the line before it becomes visible.
+    pub fn alloc_data(&mut self) -> Box<[u64; WORDS_PER_LINE]> {
+        self.data_pool
+            .pop()
+            .unwrap_or_else(|| Box::new([0; WORDS_PER_LINE]))
+    }
+
+    /// Returns a no-longer-needed line buffer to the free list.
+    pub fn retire_data(&mut self, data: Box<[u64; WORDS_PER_LINE]>) {
+        if self.data_pool.len() < DATA_POOL_CAP {
+            self.data_pool.push(data);
         }
     }
 
@@ -174,24 +222,83 @@ impl L1Cache {
     /// array (which may displace another line). Returns a reference to
     /// the entry if present, along with anything evicted by the swap.
     pub fn probe(&mut self, line: LineAddr) -> Option<&mut LineEntry> {
+        let slot = self.probe_slot(line)?;
+        Some(self.slot_mut(slot))
+    }
+
+    /// [`L1Cache::probe`], but returning a positional [`L1Slot`] handle
+    /// so the caller can come back to the entry without a second
+    /// associative search. Bumps the LRU clock exactly as `probe` does.
+    pub fn probe_slot(&mut self, line: LineAddr) -> Option<L1Slot> {
         let tick = self.bump();
         let range = self.set_range(line);
-        if let Some(e) = self.slots[range]
-            .iter_mut()
-            .flatten()
-            .find(|e| e.line == line)
+        let base = range.start;
+        if let Some(i) = self.slots[range]
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|e| e.line == line))
         {
+            let e = self.slots[base + i].as_mut().expect("just matched");
             e.lru = tick;
-            return Some(e);
+            return Some(L1Slot {
+                loc: SlotLoc::Main(base + i),
+                line,
+            });
         }
         if let Some(pos) = self.victim.iter().position(|e| e.line == line) {
             // Victim hit: serve in place (cheaper than modeling the
             // swap; the hit latency difference is charged by the
             // machine).
             self.victim[pos].lru = tick;
-            return Some(&mut self.victim[pos]);
+            return Some(L1Slot {
+                loc: SlotLoc::Victim(pos),
+                line,
+            });
         }
         None
+    }
+
+    /// Dereferences a slot handle.
+    pub fn slot(&self, s: L1Slot) -> &LineEntry {
+        let e = match s.loc {
+            SlotLoc::Main(i) => self.slots[i].as_ref().expect("stale L1 slot handle"),
+            SlotLoc::Victim(i) => &self.victim[i],
+        };
+        debug_assert_eq!(e.line, s.line, "L1 slot handle went stale");
+        e
+    }
+
+    /// Mutably dereferences a slot handle.
+    pub fn slot_mut(&mut self, s: L1Slot) -> &mut LineEntry {
+        let e = match s.loc {
+            SlotLoc::Main(i) => self.slots[i].as_mut().expect("stale L1 slot handle"),
+            SlotLoc::Victim(i) => &mut self.victim[i],
+        };
+        debug_assert_eq!(e.line, s.line, "L1 slot handle went stale");
+        e
+    }
+
+    /// [`L1Cache::peek`], but returning a positional handle so a
+    /// responder that tests the state and then mutates the same entry
+    /// searches the set once. Does **not** bump the LRU clock.
+    pub fn peek_slot(&self, line: LineAddr) -> Option<L1Slot> {
+        let range = self.set_range(line);
+        let base = range.start;
+        if let Some(i) = self.slots[range]
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|e| e.line == line))
+        {
+            return Some(L1Slot {
+                loc: SlotLoc::Main(base + i),
+                line,
+            });
+        }
+        self.victim
+            .iter()
+            .position(|e| e.line == line)
+            .map(|pos| L1Slot {
+                loc: SlotLoc::Victim(pos),
+                line,
+            })
     }
 
     /// Read-only lookup without LRU update (used by responders and
@@ -228,6 +335,13 @@ impl L1Cache {
     /// Panics if the line is already present (callers must transition
     /// existing entries in place).
     pub fn fill(&mut self, line: LineAddr, state: L1State) -> Option<Evicted> {
+        self.fill_slot(line, state).1
+    }
+
+    /// [`L1Cache::fill`], additionally returning a handle to the
+    /// freshly installed entry (always in the main array) so callers
+    /// that immediately attach data avoid re-searching the set.
+    pub fn fill_slot(&mut self, line: LineAddr, state: L1State) -> (L1Slot, Option<Evicted>) {
         assert!(
             self.peek(line).is_none(),
             "fill of already-present line {line}"
@@ -251,7 +365,7 @@ impl L1Cache {
             let lru_pos = base + Self::pick_victim(&self.slots[range]);
             let victim_line = self.slots[lru_pos].take().expect("chosen victim occupied");
             if self.victim_cap == 0 && !(self.unbounded_tmi && victim_line.state == L1State::Tmi) {
-                evicted = Some(Self::classify_eviction(victim_line));
+                evicted = Some(self.classify_eviction(victim_line));
             } else {
                 let non_tmi_resident = self
                     .victim
@@ -286,14 +400,20 @@ impl L1Cache {
                         })
                         .expect("victim buffer over capacity implies a candidate");
                     let out = self.victim.swap_remove(vb_pos);
-                    evicted = Some(Self::classify_eviction(out));
+                    evicted = Some(self.classify_eviction(out));
                 }
                 self.victim.push(victim_line);
             }
             lru_pos
         };
         self.slots[slot] = Some(LineEntry::new(line, state, tick));
-        evicted
+        (
+            L1Slot {
+                loc: SlotLoc::Main(slot),
+                line,
+            },
+            evicted,
+        )
     }
 
     /// LRU victim among unmarked lines; a marked (ALoaded) line only
@@ -308,14 +428,21 @@ impl L1Cache {
             .expect("victim selection on empty entry list")
     }
 
-    fn classify_eviction(e: LineEntry) -> Evicted {
+    fn classify_eviction(&mut self, e: LineEntry) -> Evicted {
         match e.state {
             L1State::M => Evicted::WritebackM(e.line, e.a_bit),
             L1State::Tmi => Evicted::OverflowTmi(
                 e.line,
                 e.data.expect("TMI line must carry speculative data"),
             ),
-            s => Evicted::Silent(e.line, s, e.a_bit),
+            s => {
+                // A silently dropped TI line gives its snapshot buffer
+                // back to the pool.
+                if let Some(d) = e.data {
+                    self.retire_data(d);
+                }
+                Evicted::Silent(e.line, s, e.a_bit)
+            }
         }
     }
 
@@ -339,41 +466,60 @@ impl L1Cache {
     /// all TMI lines so the machine can propagate it to memory, plus
     /// whether any A-bit line was touched.
     pub fn flash_commit(&mut self) -> Vec<(LineAddr, Box<[u64; WORDS_PER_LINE]>)> {
-        let spec = std::mem::take(&mut self.spec_touched);
         let mut committed = Vec::new();
-        for line in spec {
+        self.flash_commit_into(&mut committed);
+        committed
+    }
+
+    /// [`L1Cache::flash_commit`] appending into a caller-provided (and
+    /// caller-recycled) buffer, so steady-state commits allocate
+    /// nothing. `out` is not cleared first.
+    pub fn flash_commit_into(&mut self, out: &mut Vec<(LineAddr, Box<[u64; WORDS_PER_LINE]>)>) {
+        let mut spec = std::mem::take(&mut self.spec_touched);
+        let first = out.len();
+        for &line in &spec {
             // Notes can be stale (evicted, overflowed, already visited
             // through a duplicate) — only the current state decides.
-            match self.peek(line).map(|e| e.state) {
+            // One slot lookup serves both the state test and the drain.
+            let slot = self.peek_slot(line);
+            match slot.map(|s| self.slot(s).state) {
                 Some(L1State::Tmi) => {
-                    let e = self.peek_mut(line).expect("just peeked");
+                    let e = self.slot_mut(slot.expect("just peeked"));
                     let data = e.data.take().expect("TMI line must carry data");
-                    committed.push((line, data));
+                    out.push((line, data));
                     e.state = L1State::M;
                 }
                 Some(L1State::Ti) => {
-                    self.invalidate(line);
+                    if let Some(d) = self.invalidate(line).and_then(|e| e.data) {
+                        self.retire_data(d);
+                    }
                 }
                 _ => {}
             }
         }
         self.debug_assert_no_speculative();
-        committed.sort_by_key(|(l, _)| l.index());
-        committed
+        out[first..].sort_by_key(|(l, _)| l.index());
+        // Keep the note list's allocation for the next transaction.
+        spec.clear();
+        self.spec_touched = spec;
     }
 
     /// Flash abort (CAS-Commit failure or explicit abort): `TMI` and
     /// `TI` lines are dropped. Returns the number of lines discarded.
     pub fn flash_abort(&mut self) -> usize {
-        let spec = std::mem::take(&mut self.spec_touched);
+        let mut spec = std::mem::take(&mut self.spec_touched);
         let mut n = 0;
-        for line in spec {
+        for &line in &spec {
             if self.peek(line).is_some_and(|e| e.state.is_speculative()) {
-                self.invalidate(line);
+                if let Some(d) = self.invalidate(line).and_then(|e| e.data) {
+                    self.retire_data(d);
+                }
                 n += 1;
             }
         }
         self.debug_assert_no_speculative();
+        spec.clear();
+        self.spec_touched = spec;
         n
     }
 
@@ -547,6 +693,60 @@ mod tests {
         }
         assert_eq!(evictions, 0);
         assert_eq!(c.count_state(L1State::Tmi), 100);
+    }
+
+    #[test]
+    fn slot_handles_reach_the_same_entry_as_probe() {
+        let mut c = L1Cache::new(1, 1, 2);
+        c.fill(line(0), L1State::S);
+        c.fill(line(1), L1State::S); // 0 -> victim buffer
+        let main = c.probe_slot(line(1)).expect("main-array hit");
+        assert_eq!(c.slot(main).state, L1State::S);
+        c.slot_mut(main).state = L1State::M;
+        assert_eq!(c.peek(line(1)).unwrap().state, L1State::M);
+        let vb = c.probe_slot(line(0)).expect("victim-buffer hit");
+        c.slot_mut(vb).a_bit = true;
+        assert!(c.peek(line(0)).unwrap().a_bit);
+        assert!(c.probe_slot(line(9)).is_none());
+    }
+
+    #[test]
+    fn probe_slot_and_probe_tick_identically() {
+        // Two caches driven by the same call sequence through the two
+        // APIs must end with identical LRU ordering (and thus identical
+        // eviction choices).
+        let mut a = L1Cache::new(1, 2, 0);
+        let mut b = L1Cache::new(1, 2, 0);
+        for l in [0u64, 1, 0, 2] {
+            let _ = a.probe(line(l));
+            let _ = b.probe_slot(line(l));
+            if a.peek(line(l)).is_none() {
+                a.fill(line(l), L1State::S);
+                b.fill_slot(line(l), L1State::S);
+            }
+        }
+        // fill(2) already displaced line 1 (the LRU at that point), so
+        // both sets now hold {0, 2} with line 0 older; the next fill
+        // must evict line 0 from both.
+        let ev_a = a.fill(line(7), L1State::S);
+        let (_, ev_b) = b.fill_slot(line(8), L1State::S);
+        assert!(matches!(ev_a, Some(Evicted::Silent(l, _, _)) if l == line(0)));
+        assert!(matches!(ev_b, Some(Evicted::Silent(l, _, _)) if l == line(0)));
+    }
+
+    #[test]
+    fn data_pool_recycles_buffers() {
+        let mut c = cache();
+        let mut d = c.alloc_data();
+        d[0] = 77;
+        c.retire_data(d);
+        let d2 = c.alloc_data();
+        assert_eq!(d2[0], 77, "expected the recycled buffer back");
+        // Ti invalidation on flash_commit feeds the pool too.
+        c.fill(line(2), L1State::Ti);
+        c.peek_mut(line(2)).unwrap().data = Some(d2);
+        c.flash_commit();
+        assert_eq!(c.alloc_data()[0], 77);
     }
 
     #[test]

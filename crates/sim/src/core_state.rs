@@ -7,7 +7,7 @@ use crate::cst::CstSet;
 use crate::mem::Addr;
 use crate::ot::OverflowTable;
 use crate::stats::CoreStats;
-use flextm_sig::{LineAddr, Signature};
+use flextm_sig::{LineAddr, SigKey, Signature};
 
 /// Why an alert was delivered to a core (the trap payload).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +115,16 @@ impl CoreState {
     /// transactionally.
     pub fn reads_line(&self, line: LineAddr) -> bool {
         self.rsig.contains(line)
+    }
+
+    /// [`CoreState::writes_line`] with a pre-hashed key.
+    pub fn writes_line_key(&self, key: SigKey) -> bool {
+        self.wsig.contains_key(key)
+    }
+
+    /// [`CoreState::reads_line`] with a pre-hashed key.
+    pub fn reads_line_key(&self, key: SigKey) -> bool {
+        self.rsig.contains_key(key)
     }
 
     /// True if a transaction appears to be in flight (any transactional

@@ -15,7 +15,7 @@
 //! bits (§4.1).
 
 use crate::mem::PageHasher;
-use flextm_sig::{LineAddr, SignatureConfig, SummarySignature};
+use flextm_sig::{LineAddr, SigKey, SignatureConfig, SummarySignature};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 
@@ -165,6 +165,18 @@ impl L2 {
         }
     }
 
+    /// [`L2::drop_sharer`] with a pre-hashed key.
+    pub fn drop_sharer_key(&mut self, key: SigKey, proc: usize) {
+        let retained = self.cores_summary >> proc & 1 == 1
+            && (self.read_summary.contains_key(key) || self.write_summary.contains_key(key));
+        if retained {
+            return;
+        }
+        if let Some(e) = self.dir.get_mut(&key.line()) {
+            e.sharers &= !(1 << proc);
+        }
+    }
+
     /// Removes `proc` from `line`'s owners (same retention rule).
     pub fn drop_owner(&mut self, line: LineAddr, proc: usize) {
         let retained = self.cores_summary >> proc & 1 == 1
@@ -177,6 +189,25 @@ impl L2 {
         }
     }
 
+    /// [`L2::drop_owner`] with a pre-hashed key.
+    pub fn drop_owner_key(&mut self, key: SigKey, proc: usize) {
+        let retained = self.cores_summary >> proc & 1 == 1
+            && (self.read_summary.contains_key(key) || self.write_summary.contains_key(key));
+        if retained {
+            return;
+        }
+        if let Some(e) = self.dir.get_mut(&key.line()) {
+            e.owners &= !(1 << proc);
+        }
+    }
+
+    /// True if any thread currently contributes to either summary.
+    /// Derived (never cached) so direct installs through the public
+    /// summary fields cannot make it stale; both sides are O(1).
+    pub fn any_summary(&self) -> bool {
+        !(self.read_summary.is_empty() && self.write_summary.is_empty())
+    }
+
     /// Tests an L1 miss against the summary signatures; returns the
     /// descheduled thread ids whose saved read or write signature hits
     /// (the requesting processor traps to software when non-empty).
@@ -185,6 +216,20 @@ impl L2 {
         if is_write {
             // A write conflicts with suspended readers too.
             for t in self.read_summary.hit_contributors(line) {
+                if !hits.contains(&t) {
+                    hits.push(t);
+                }
+            }
+        }
+        hits.sort_unstable();
+        hits
+    }
+
+    /// [`L2::summary_check`] with a pre-hashed key.
+    pub fn summary_check_key(&self, key: SigKey, is_write: bool) -> Vec<usize> {
+        let mut hits = self.write_summary.hit_contributors_key(key);
+        if is_write {
+            for t in self.read_summary.hit_contributors_key(key) {
                 if !hits.contains(&t) {
                     hits.push(t);
                 }

@@ -55,7 +55,7 @@ mod proto;
 mod stats;
 mod vm;
 
-pub use cache::{Evicted, L1Cache, L1State, LineEntry};
+pub use cache::{Evicted, L1Cache, L1Slot, L1State, LineEntry};
 pub use config::MachineConfig;
 pub use core_state::{AlertCause, CoreState};
 pub use cst::{procs_in_mask, CstKind, CstSet};
@@ -68,4 +68,4 @@ pub use proto::{AccessKind, AccessResult, CasCommitOutcome, Conflict, ConflictKi
 pub use stats::{CoreStats, Event, EventLog, MachineReport, SchedStats};
 pub use vm::SavedTx;
 
-pub use flextm_sig::{LineAddr, LINE_BYTES, LINE_SHIFT};
+pub use flextm_sig::{LineAddr, SigKey, LINE_BYTES, LINE_SHIFT};

@@ -68,6 +68,7 @@ use crate::core_state::CoreState;
 use crate::l2::L2;
 use crate::mem::Memory;
 use crate::stats::{EventLog, MachineReport, SchedStats};
+use flextm_sig::{LineAddr, LineHasher, SigKey};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{
     AtomicBool, AtomicU64, AtomicUsize,
@@ -120,6 +121,20 @@ impl Lanes {
     }
 }
 
+/// Adds to a single-writer atomic counter without a locked RMW.
+///
+/// Every `CoreLane` counter (`clock`, `work_cycles`, `fast_ops`) is
+/// written only by the lane's owning worker thread — the protocol only
+/// ever advances the *requesting* core, and the lock-free `work`/`now`
+/// paths touch only the issuing core's lane — so a plain load + store
+/// cannot lose an update. `fetch_add` would compile to a full fence on
+/// x86 and sits on the per-operation fast path; this is the cheap
+/// equivalent for the one-writer case.
+#[inline]
+fn lane_add(counter: &AtomicU64, delta: u64) {
+    counter.store(counter.load(Relaxed).wrapping_add(delta), Relaxed);
+}
+
 /// All mutable simulator state. Exclusive access is enforced by the
 /// scheduler's lease discipline (see the module doc), not by a lock
 /// around this struct.
@@ -136,6 +151,20 @@ pub struct SimState {
     /// Optional protocol event log.
     pub log: EventLog,
     lanes: Lanes,
+    /// The signature hasher every core shares (same configuration), so
+    /// one access hashes its line exactly once into a [`SigKey`].
+    hasher: LineHasher,
+    /// Bitmask of cores with a non-empty `Rsig` or `Wsig`. A **superset**
+    /// of the truth: bits are set eagerly on every insert but may linger
+    /// after clears until the owner's next [`SimState::sync_core_masks`];
+    /// consumers re-check the signatures, so staleness costs only a
+    /// wasted test, never a missed one.
+    sig_live: u64,
+    /// Bitmask of cores with an allocated OT. Same superset discipline.
+    ot_present: u64,
+    /// Reusable buffer for commit-time TMI drains, so steady-state
+    /// commits never allocate. Always empty between commits.
+    pub(crate) commit_scratch: Vec<(LineAddr, Box<[u64; crate::mem::WORDS_PER_LINE]>)>,
 }
 
 impl SimState {
@@ -144,6 +173,7 @@ impl SimState {
         let l2 = L2::new(config.l2_sets(), config.l2_ways, config.signature.clone());
         let log = EventLog::new(config.record_events);
         let lanes = Lanes::new(config.cores);
+        let hasher = config.signature.hasher();
         SimState {
             config,
             mem: Memory::new(),
@@ -151,6 +181,61 @@ impl SimState {
             l2,
             log,
             lanes,
+            hasher,
+            sig_live: 0,
+            ot_present: 0,
+            commit_scratch: Vec::new(),
+        }
+    }
+
+    /// Hashes `line` once; the resulting key works against every
+    /// signature in the machine (all share one configuration).
+    #[inline]
+    pub fn sig_key(&self, line: LineAddr) -> SigKey {
+        self.hasher.key(line)
+    }
+
+    /// Bitmask of cores whose `Rsig`/`Wsig` may be non-empty (superset).
+    #[inline]
+    pub(crate) fn sig_live_mask(&self) -> u64 {
+        self.sig_live
+    }
+
+    /// Bitmask of cores that may have an OT allocated (superset).
+    #[inline]
+    pub(crate) fn ot_present_mask(&self) -> u64 {
+        self.ot_present
+    }
+
+    /// Marks `core` as having live signature state (insert sites call
+    /// this eagerly to preserve the superset invariant).
+    #[inline]
+    pub(crate) fn mark_sig_live(&mut self, core: usize) {
+        self.sig_live |= 1 << core;
+    }
+
+    /// Marks `core` as having an OT.
+    #[inline]
+    pub(crate) fn mark_ot_present(&mut self, core: usize) {
+        self.ot_present |= 1 << core;
+    }
+
+    /// Recomputes `core`'s bits in the activity masks from its actual
+    /// state. Called after clears (abort, commit, context switch) to
+    /// shed stale bits; everything stays correct if a call is missed,
+    /// just slower.
+    pub(crate) fn sync_core_masks(&mut self, core: usize) {
+        let bit = 1u64 << core;
+        let c = &self.cores[core];
+        if c.rsig.is_empty() && c.wsig.is_empty() {
+            self.sig_live &= !bit;
+        } else {
+            self.sig_live |= bit;
+        }
+        if c.ot.is_some() {
+            self.ot_present |= bit;
+        } else {
+            self.ot_present &= !bit;
         }
     }
 
@@ -163,7 +248,7 @@ impl SimState {
 
     /// Advances `core`'s clock by `cycles`.
     pub fn advance(&mut self, core: usize, cycles: u64) {
-        self.lanes.0[core].clock.fetch_add(cycles, Relaxed);
+        lane_add(&self.lanes.0[core].clock, cycles);
     }
 
     /// The current local time of `core`.
@@ -174,7 +259,7 @@ impl SimState {
     /// Accounts `cycles` of computation to `core` (the slow-path `work`
     /// uses this; the fast path bumps the lane directly).
     pub(crate) fn charge_work(&mut self, core: usize, cycles: u64) {
-        self.lanes.0[core].work_cycles.fetch_add(cycles, Relaxed);
+        lane_add(&self.lanes.0[core].work_cycles, cycles);
     }
 }
 
@@ -286,7 +371,7 @@ pub(crate) fn sync_op<R>(shared: &Shared, core: usize, f: impl FnOnce(&mut SimSt
                 lane.horizon_id.load(Relaxed),
             );
             if (issue, core) < horizon {
-                lane.fast_ops.fetch_add(1, Relaxed);
+                lane_add(&lane.fast_ops, 1);
                 // SAFETY: this thread holds the lease (only it sets and
                 // clears its own `holds_lease`), so it has exclusive
                 // access to the state.
@@ -346,9 +431,9 @@ fn slow_op<R>(shared: &Shared, core: usize, f: impl FnOnce(&mut SimState) -> R) 
 pub(crate) fn work_op(shared: &Shared, core: usize, cycles: u64) {
     if !shared.strict {
         let lane = &shared.lanes.0[core];
-        lane.clock.fetch_add(cycles, Relaxed);
-        lane.work_cycles.fetch_add(cycles, Relaxed);
-        lane.fast_ops.fetch_add(1, Relaxed);
+        lane_add(&lane.clock, cycles);
+        lane_add(&lane.work_cycles, cycles);
+        lane_add(&lane.fast_ops, 1);
         return;
     }
     sync_op(shared, core, |st| {
@@ -362,7 +447,7 @@ pub(crate) fn work_op(shared: &Shared, core: usize, cycles: u64) {
 pub(crate) fn now_op(shared: &Shared, core: usize) -> u64 {
     if !shared.strict {
         let lane = &shared.lanes.0[core];
-        lane.fast_ops.fetch_add(1, Relaxed);
+        lane_add(&lane.fast_ops, 1);
         return lane.clock.load(Relaxed);
     }
     sync_op(shared, core, |st| st.now(core))

@@ -10,7 +10,7 @@
 //! committed OT are NACKed until copy-back completes.
 
 use crate::mem::WORDS_PER_LINE;
-use flextm_sig::{LineAddr, Signature, SignatureConfig};
+use flextm_sig::{LineAddr, SigKey, Signature, SignatureConfig};
 use std::collections::BTreeMap;
 
 /// One overflowed line: speculative data plus the logical (virtual)
@@ -77,6 +77,11 @@ impl OverflowTable {
         !self.entries.is_empty() && self.osig.contains(line)
     }
 
+    /// [`OverflowTable::maybe_contains`] with a pre-hashed key.
+    pub fn maybe_contains_key(&self, key: SigKey) -> bool {
+        !self.entries.is_empty() && self.osig.contains_key(key)
+    }
+
     /// L1-miss servicing: fetch and remove the entry for `line`
     /// ("fetch the line from the OT and invalidate the OT entry").
     pub fn lookup(&mut self, line: LineAddr) -> Option<OtEntry> {
@@ -120,6 +125,11 @@ impl OverflowTable {
     /// is when requests hitting the `Osig` get NACKed.
     pub fn nacks_at(&self, now: u64, line: LineAddr) -> bool {
         self.committed && now < self.copyback_done_at && self.osig.contains(line)
+    }
+
+    /// [`OverflowTable::nacks_at`] with a pre-hashed key.
+    pub fn nacks_at_key(&self, now: u64, key: SigKey) -> bool {
+        self.committed && now < self.copyback_done_at && self.osig.contains_key(key)
     }
 
     /// Cycle at which copy-back finishes (0 if never committed).

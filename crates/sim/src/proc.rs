@@ -188,11 +188,13 @@ impl ProcHandle {
     pub fn sig_insert(&self, kind: SigKind, addr: Addr) {
         sync_op(&self.shared, self.core, |st| {
             st.advance(self.core, st.config.l1_latency);
-            let core = &mut st.cores[self.core];
+            let me = self.core;
+            let core = &mut st.cores[me];
             match kind {
                 SigKind::Read => core.rsig.insert(addr.line()),
                 SigKind::Write => core.wsig.insert(addr.line()),
             }
+            st.mark_sig_live(me);
         });
     }
 
@@ -212,11 +214,13 @@ impl ProcHandle {
     pub fn sig_clear(&self, kind: SigKind) {
         sync_op(&self.shared, self.core, |st| {
             st.advance(self.core, st.config.l1_latency);
-            let core = &mut st.cores[self.core];
+            let me = self.core;
+            let core = &mut st.cores[me];
             match kind {
                 SigKind::Read => core.rsig.clear(),
                 SigKind::Write => core.wsig.clear(),
             }
+            st.sync_core_masks(me);
         });
     }
 

@@ -47,6 +47,7 @@ impl SimState {
             self.cores[me].stats.failed_commits += 1;
             let dropped = self.cores[me].hardware_abort();
             let _ = dropped;
+            self.sync_core_masks(me);
             self.clear_aou(me);
             self.cores[me].stats.tx_aborts += 1;
             self.log.push(Event::CasCommit {
@@ -68,11 +69,14 @@ impl SimState {
         // Success: swap the TSW through the normal exclusive path…
         let _ = self.access(me, tsw, AccessKind::Store, new);
         // …then flash-commit all speculative state.
-        let committed = self.cores[me].l1.flash_commit();
+        let mut committed = std::mem::take(&mut self.commit_scratch);
+        self.cores[me].l1.flash_commit_into(&mut committed);
         let mut lines = committed.len();
-        for (l, data) in &committed {
-            self.mem.write_line(*l, data);
+        for (l, data) in committed.drain(..) {
+            self.mem.write_line(l, &data);
+            self.cores[me].l1.retire_data(data);
         }
+        self.commit_scratch = committed;
         let now = self.now(me);
         let per_line = self.config.ot_copyback_per_line;
         if let Some(ot) = self.cores[me].ot.as_mut() {
@@ -81,12 +85,14 @@ impl SimState {
                 lines += drained.len();
                 for (l, e) in drained {
                     self.mem.write_line(l, &e.data);
+                    self.cores[me].l1.retire_data(e.data);
                 }
             }
         }
         self.cores[me].rsig.clear();
         self.cores[me].wsig.clear();
         self.cores[me].csts.clear_all();
+        self.sync_core_masks(me);
         self.clear_aou(me);
         self.cores[me].stats.commits += 1;
         self.log.push(Event::CasCommit {
@@ -100,6 +106,7 @@ impl SimState {
     /// CSTs and the AOU mark, discard a speculative OT.
     pub fn abort_tx(&mut self, me: usize) -> usize {
         let dropped = self.cores[me].hardware_abort();
+        self.sync_core_masks(me);
         self.clear_aou(me);
         self.cores[me].stats.tx_aborts += 1;
         self.cores[me].alert_pending = None;
@@ -121,21 +128,31 @@ impl SimState {
     pub fn aload(&mut self, me: usize, addr: Addr) -> u64 {
         let line = addr.line();
         self.clear_aou(me);
-        if self.cores[me].l1.peek(line).is_none() {
-            let _ = self.access(me, addr, AccessKind::Load, 0);
-        } else {
-            self.advance(me, self.config.l1_latency);
-        }
-        let value = self.local_value(me, addr);
-        if let Some(e) = self.cores[me].l1.peek_mut(line) {
+        // One slot lookup covers presence test, value read and the
+        // A-bit write; only a miss re-probes after the fill.
+        let slot = match self.cores[me].l1.peek_slot(line) {
+            Some(s) => {
+                self.advance(me, self.config.l1_latency);
+                Some(s)
+            }
+            None => {
+                let _ = self.access(me, addr, AccessKind::Load, 0);
+                self.cores[me].l1.peek_slot(line)
+            }
+        };
+        if let Some(s) = slot {
+            let e = self.cores[me].l1.slot_mut(s);
+            let value = e.data.as_deref().map(|d| d[addr.word_in_line()]);
             e.a_bit = true;
             self.cores[me].aloaded = Some(line);
+            value.unwrap_or_else(|| self.mem.read(addr))
         } else {
             // The line would not cache (e.g. threatened): fall back to
             // an immediate alert so software revalidates — conservative
             // but safe.
+            let value = self.mem.read(addr);
             self.cores[me].post_alert(AlertCause::AouInvalidated(line));
+            value
         }
-        value
     }
 }

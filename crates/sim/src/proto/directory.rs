@@ -7,25 +7,36 @@ use crate::cache::L1State;
 use crate::cst::{procs_in_mask, CstKind};
 use crate::machine::SimState;
 use crate::mem::Addr;
-use flextm_sig::LineAddr;
+use flextm_sig::SigKey;
 
 impl SimState {
     /// Rebuilds a directory entry by querying every L1's signatures and
     /// tags (the price of losing directory info to an L2 eviction).
-    pub(super) fn recreate_dir(&mut self, line: LineAddr) -> crate::l2::DirEntry {
+    /// Signature tests are gated by the activity masks: a core whose
+    /// mask bit is clear provably has empty signatures / no OT, so only
+    /// its L1 tags need consulting.
+    pub(super) fn recreate_dir(&self, key: SigKey) -> crate::l2::DirEntry {
+        let line = key.line();
+        let sig_live = self.sig_live_mask();
+        let ot_mask = self.ot_present_mask();
         let mut entry = crate::l2::DirEntry::default();
         for (i, core) in self.cores.iter().enumerate() {
+            debug_assert!(
+                (core.rsig.is_empty() && core.wsig.is_empty()) || sig_live >> i & 1 == 1,
+                "sig_live mask dropped core {i} with live signatures"
+            );
             let l1_state = core.l1.peek(line).map(|e| e.state);
             let owner = matches!(
                 l1_state,
                 Some(L1State::M) | Some(L1State::E) | Some(L1State::Tmi)
-            ) || core.wsig.contains(line)
-                || core
-                    .ot
-                    .as_ref()
-                    .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains(line));
+            ) || (sig_live >> i & 1 == 1 && core.wsig.contains_key(key))
+                || (ot_mask >> i & 1 == 1
+                    && core
+                        .ot
+                        .as_ref()
+                        .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains_key(key)));
             let sharer = matches!(l1_state, Some(L1State::S) | Some(L1State::Ti))
-                || core.rsig.contains(line);
+                || (sig_live >> i & 1 == 1 && core.rsig.contains_key(key));
             if owner {
                 entry.owners |= 1 << i;
             }
@@ -41,6 +52,7 @@ impl SimState {
         me: usize,
         addr: Addr,
         kind: AccessKind,
+        key: SigKey,
         result: &mut AccessResult,
     ) -> u64 {
         let line = addr.line();
@@ -50,7 +62,8 @@ impl SimState {
         let mut threatened = false;
 
         for o in procs_in_mask(dir.owners & !Self::me_bit(me)) {
-            let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
+            let slot = self.cores[o].l1.peek_slot(line);
+            let l1_state = slot.map(|s| self.cores[o].l1.slot(s).state);
             if l1_state == Some(L1State::M) || l1_state == Some(L1State::E) {
                 // Exclusive owner downgrades to S (M additionally
                 // flushes); both end up sharers.
@@ -58,11 +71,11 @@ impl SimState {
                 if l1_state == Some(L1State::M) {
                     self.cores[o].stats.writebacks += 1;
                 }
-                self.cores[o].l1.peek_mut(line).expect("peeked").state = L1State::S;
+                self.cores[o].l1.slot_mut(slot.expect("peeked")).state = L1State::S;
                 let d = self.l2.dir_mut(line);
                 d.owners &= !(1 << o);
                 d.sharers |= 1 << o;
-            } else if self.threatens(o, line) {
+            } else if self.threatens_with(o, l1_state, key) {
                 forwarded = true;
                 threatened = true;
                 if kind.is_tx() {
@@ -86,7 +99,7 @@ impl SimState {
                 }
             } else {
                 // Stale owner bit (committed/aborted long ago).
-                self.l2.drop_owner(line, o);
+                self.l2.drop_owner_key(key, o);
             }
         }
         if forwarded {
@@ -107,13 +120,15 @@ impl SimState {
                 let data = if threatened {
                     // Snapshot the committed value: it must stay
                     // readable even if the remote writer commits first.
-                    Some(Box::new(self.mem.read_line(line)))
+                    let mut d = self.cores[me].l1.alloc_data();
+                    *d = self.mem.read_line(line);
+                    Some(d)
                 } else {
                     None
                 };
                 // Upgrade-in-place never happens for TLoad misses (any
                 // cached state would have hit), so fill directly.
-                latency += self.fill_line(me, line, fill_state, data);
+                latency += self.fill_line(me, line, fill_state, data).1;
                 self.l2.dir_mut(line).sharers |= Self::me_bit(me);
             }
             AccessKind::Load => {
@@ -124,10 +139,10 @@ impl SimState {
                     if alone {
                         // Exclusive grant: track as owner (E silently
                         // upgrades to M).
-                        latency += self.fill_line(me, line, L1State::E, None);
+                        latency += self.fill_line(me, line, L1State::E, None).1;
                         self.l2.dir_mut(line).owners |= Self::me_bit(me);
                     } else {
-                        latency += self.fill_line(me, line, L1State::S, None);
+                        latency += self.fill_line(me, line, L1State::S, None).1;
                         self.l2.dir_mut(line).sharers |= Self::me_bit(me);
                     }
                 }
@@ -144,6 +159,7 @@ impl SimState {
         me: usize,
         addr: Addr,
         store_val: u64,
+        key: SigKey,
         result: &mut AccessResult,
     ) -> u64 {
         let line = addr.line();
@@ -151,36 +167,43 @@ impl SimState {
         let mut latency = 0;
         let mut forwarded = false;
 
+        let sig_live = self.sig_live_mask();
         for o in procs_in_mask((dir.owners | dir.sharers) & !Self::me_bit(me)) {
             forwarded = true;
-            let transactional = self.threatens(o, line) || self.cores[o].reads_line(line);
+            let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
+            let transactional = self.threatens_with(o, l1_state, key)
+                || (sig_live >> o & 1 == 1 && self.cores[o].reads_line_key(key));
             if transactional {
                 // §3.5 strong isolation: a non-transactional write
                 // aborts every transactional reader/writer of the line.
                 self.strong_isolation_abort(o, me, line);
             } else {
-                if matches!(
-                    self.cores[o].l1.peek(line).map(|e| e.state),
-                    Some(L1State::M)
-                ) {
+                if l1_state == Some(L1State::M) {
                     self.cores[o].stats.writebacks += 1;
                 }
                 self.invalidate_at(o, line);
-                self.l2.drop_sharer(line, o);
-                self.l2.drop_owner(line, o);
+                self.l2.drop_sharer_key(key, o);
+                self.l2.drop_owner_key(key, o);
             }
         }
         if forwarded {
             latency += self.config.forward_penalty();
         }
 
-        // Acquire M locally (upgrade in place if we held S/E/TI).
-        match self.cores[me].l1.peek_mut(line) {
+        // Acquire M locally (upgrade in place if we held S/E/TI),
+        // recycling any snapshot buffer the upgraded entry carried.
+        let prev_data = match self.cores[me].l1.peek_mut(line) {
             Some(e) => {
                 e.state = L1State::M;
-                e.data = None;
+                e.data.take()
             }
-            None => latency += self.fill_line(me, line, L1State::M, None),
+            None => {
+                latency += self.fill_line(me, line, L1State::M, None).1;
+                None
+            }
+        };
+        if let Some(d) = prev_data {
+            self.cores[me].l1.retire_data(d);
         }
         let d = self.l2.dir_mut(line);
         d.owners |= Self::me_bit(me);
@@ -201,6 +224,7 @@ impl SimState {
         me: usize,
         addr: Addr,
         store_val: u64,
+        key: SigKey,
         result: &mut AccessResult,
     ) -> u64 {
         let line = addr.line();
@@ -208,9 +232,10 @@ impl SimState {
         let mut latency = 0;
         let mut forwarded = false;
 
+        let sig_live = self.sig_live_mask();
         for o in procs_in_mask(dir.owners & !Self::me_bit(me)) {
             let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
-            if self.threatens(o, line) {
+            if self.threatens_with(o, l1_state, key) {
                 // Speculative co-writer: both record W-W; owner retains
                 // its TMI copy (multiple owners).
                 forwarded = true;
@@ -223,7 +248,7 @@ impl SimState {
                     line,
                     result,
                 );
-                if self.cores[o].reads_line(line) {
+                if sig_live >> o & 1 == 1 && self.cores[o].reads_line_key(key) {
                     // Piggybacked Exposed-Read: they also read it.
                     self.record_conflict(
                         me,
@@ -248,7 +273,7 @@ impl SimState {
                 self.invalidate_at(o, line);
                 let d = self.l2.dir_mut(line);
                 d.owners &= !(1 << o);
-                if self.cores[o].reads_line(line) {
+                if sig_live >> o & 1 == 1 && self.cores[o].reads_line_key(key) {
                     self.l2.dir_mut(line).sharers |= 1 << o;
                     self.record_conflict(
                         me,
@@ -260,7 +285,7 @@ impl SimState {
                         result,
                     );
                 }
-            } else if self.cores[o].reads_line(line) {
+            } else if sig_live >> o & 1 == 1 && self.cores[o].reads_line_key(key) {
                 // Stale owner bit but a live transactional reader:
                 // conflict + sticky demotion to sharer.
                 forwarded = true;
@@ -277,13 +302,13 @@ impl SimState {
                     result,
                 );
             } else {
-                self.l2.drop_owner(line, o);
+                self.l2.drop_owner_key(key, o);
             }
         }
 
         for s in procs_in_mask(dir.sharers & !Self::me_bit(me)) {
             forwarded = true;
-            if self.cores[s].reads_line(line) {
+            if sig_live >> s & 1 == 1 && self.cores[s].reads_line_key(key) {
                 // Exposed-Read: requester W-R, responder R-W.
                 self.record_conflict(
                     me,
@@ -295,7 +320,10 @@ impl SimState {
                     result,
                 );
             }
-            if self.cores[s].writes_line(line) && !procs_in_mask(dir.owners).any(|o| o == s) {
+            if sig_live >> s & 1 == 1
+                && self.cores[s].writes_line_key(key)
+                && !procs_in_mask(dir.owners).any(|o| o == s)
+            {
                 // Writer whose line was silently displaced: still W-W.
                 self.record_conflict(
                     me,
@@ -313,8 +341,10 @@ impl SimState {
             // requests for this line — a later non-transactional write
             // still has to find and abort it. Only non-transactional
             // sharers are dropped.
-            if !self.cores[s].reads_line(line) && !self.cores[s].writes_line(line) {
-                self.l2.drop_sharer(line, s);
+            let live = sig_live >> s & 1 == 1;
+            if !(live && (self.cores[s].reads_line_key(key) || self.cores[s].writes_line_key(key)))
+            {
+                self.l2.drop_sharer_key(key, s);
             }
         }
         if forwarded {
@@ -322,16 +352,19 @@ impl SimState {
         }
 
         // Become a (possibly additional) owner with speculative data.
-        let snapshot = self.mem.read_line(line);
-        let mut data = Box::new(snapshot);
+        let mut data = self.cores[me].l1.alloc_data();
+        *data = self.mem.read_line(line);
         data[addr.word_in_line()] = store_val;
         match self.cores[me].l1.peek_mut(line) {
             Some(e) => {
                 e.state = L1State::Tmi;
-                e.data = Some(data);
+                let old = e.data.replace(data);
+                if let Some(old) = old {
+                    self.cores[me].l1.retire_data(old);
+                }
                 self.cores[me].l1.note_speculative(line);
             }
-            None => latency += self.fill_line(me, line, L1State::Tmi, Some(data)),
+            None => latency += self.fill_line(me, line, L1State::Tmi, Some(data)).1,
         }
         let d = self.l2.dir_mut(line);
         d.owners |= Self::me_bit(me);

@@ -3,47 +3,35 @@
 //! misses to the L2/directory handlers.
 
 use super::msg::{AccessKind, AccessResult};
-use crate::cache::{Evicted, L1State};
+use crate::cache::{Evicted, L1Slot, L1State};
 use crate::core_state::AlertCause;
+use crate::cst::procs_in_mask;
 use crate::machine::SimState;
 use crate::mem::{Addr, WORDS_PER_LINE};
 use crate::ot::OverflowTable;
 use crate::stats::Event;
-use flextm_sig::LineAddr;
+use flextm_sig::{LineAddr, SigKey};
 
 impl SimState {
     pub(super) fn me_bit(me: usize) -> u64 {
         1 << me
     }
 
-    /// Reads the architecturally-correct local value: private (TMI/TI)
-    /// data if the line carries any, committed memory otherwise.
-    pub(super) fn local_value(&self, me: usize, addr: Addr) -> u64 {
-        if let Some(e) = self.cores[me].l1.peek(addr.line()) {
-            if let Some(d) = &e.data {
-                return d[addr.word_in_line()];
-            }
-        }
-        self.mem.read(addr)
-    }
-
     /// Installs `line` in `me`'s L1, spilling whatever gets displaced.
-    /// Returns extra latency incurred by write-backs / OT traps.
+    /// Returns a handle to the new entry plus the extra latency incurred
+    /// by write-backs / OT traps. (The eviction handling below touches
+    /// no L1 structure, so the handle stays valid.)
     pub(super) fn fill_line(
         &mut self,
         me: usize,
         line: LineAddr,
         state: L1State,
         data: Option<Box<[u64; WORDS_PER_LINE]>>,
-    ) -> u64 {
+    ) -> (L1Slot, u64) {
         let mut extra = 0;
-        let evicted = self.cores[me].l1.fill(line, state);
+        let (slot, evicted) = self.cores[me].l1.fill_slot(line, state);
         if let Some(d) = data {
-            self.cores[me]
-                .l1
-                .peek_mut(line)
-                .expect("line was just filled")
-                .data = Some(d);
+            self.cores[me].l1.slot_mut(slot).data = Some(d);
         }
         if let Some(ev) = evicted {
             match ev {
@@ -66,7 +54,7 @@ impl SimState {
                 }
             }
         }
-        extra
+        (slot, extra)
     }
 
     /// Spills a TMI line to the overflow table, allocating one (via the
@@ -81,6 +69,7 @@ impl SimState {
             self.cores[me].ot = Some(OverflowTable::new(self.config.signature.clone()));
             extra += self.config.ot_alloc_trap_latency;
         }
+        self.mark_ot_present(me);
         self.cores[me]
             .ot
             .as_mut()
@@ -108,18 +97,28 @@ impl SimState {
             AccessKind::TStore => self.cores[me].stats.tstores += 1,
         }
 
+        // Hash the line exactly once per access. Plain accesses only pay
+        // for it when a signature will actually be consulted (FlexWatcher
+        // active, or later on the miss path).
+        let mut key: Option<SigKey> = match kind {
+            AccessKind::TLoad | AccessKind::TStore => Some(self.sig_key(line)),
+            AccessKind::Load if self.cores[me].watch_reads => Some(self.sig_key(line)),
+            AccessKind::Store if self.cores[me].watch_writes => Some(self.sig_key(line)),
+            _ => None,
+        };
+
         // FlexWatcher (§8): activated signatures screen local accesses.
-        if kind == AccessKind::Load
-            && self.cores[me].watch_reads
-            && self.cores[me].rsig.contains(line)
-        {
-            self.cores[me].post_alert(AlertCause::WatchRead(addr));
+        if kind == AccessKind::Load && self.cores[me].watch_reads {
+            let k = key.expect("key computed for watched loads");
+            if self.cores[me].rsig.contains_key(k) {
+                self.cores[me].post_alert(AlertCause::WatchRead(addr));
+            }
         }
-        if kind == AccessKind::Store
-            && self.cores[me].watch_writes
-            && self.cores[me].wsig.contains(line)
-        {
-            self.cores[me].post_alert(AlertCause::WatchWrite(addr));
+        if kind == AccessKind::Store && self.cores[me].watch_writes {
+            let k = key.expect("key computed for watched stores");
+            if self.cores[me].wsig.contains_key(k) {
+                self.cores[me].post_alert(AlertCause::WatchWrite(addr));
+            }
         }
 
         let mut latency = self.config.l1_latency;
@@ -127,12 +126,19 @@ impl SimState {
 
         // Transactional accesses update the access signatures up front.
         if kind == AccessKind::TLoad {
-            self.cores[me].rsig.insert(line);
+            self.cores[me]
+                .rsig
+                .insert_key(key.expect("key computed for TLoad"));
+            self.mark_sig_live(me);
         } else if kind == AccessKind::TStore {
-            self.cores[me].wsig.insert(line);
+            self.cores[me]
+                .wsig
+                .insert_key(key.expect("key computed for TStore"));
+            self.mark_sig_live(me);
         }
 
-        let state = self.cores[me].l1.probe(line).map(|e| e.state);
+        let slot = self.cores[me].l1.probe_slot(line);
+        let state = slot.map(|s| self.cores[me].l1.slot(s).state);
         let served_locally = match (kind, state) {
             // ------- local hits -------
             (AccessKind::Load, Some(s)) if s.readable() => true,
@@ -144,7 +150,7 @@ impl SimState {
             }
             (AccessKind::Store, Some(L1State::E)) => {
                 // Silent E→M upgrade.
-                self.cores[me].l1.peek_mut(line).expect("probed").state = L1State::M;
+                self.cores[me].l1.slot_mut(slot.expect("probed")).state = L1State::M;
                 self.mem.write(addr, store_val);
                 true
             }
@@ -160,7 +166,7 @@ impl SimState {
                 true
             }
             (AccessKind::TStore, Some(L1State::Tmi)) => {
-                let e = self.cores[me].l1.peek_mut(line).expect("probed");
+                let e = self.cores[me].l1.slot_mut(slot.expect("probed"));
                 e.data.as_mut().expect("TMI carries data")[addr.word_in_line()] = store_val;
                 true
             }
@@ -170,11 +176,11 @@ impl SimState {
                 // speculative in place.
                 self.cores[me].stats.writebacks += 1;
                 latency += self.config.l2_latency;
-                let snapshot = self.mem.read_line(line);
-                let e = self.cores[me].l1.peek_mut(line).expect("probed");
-                e.state = L1State::Tmi;
-                let mut d = Box::new(snapshot);
+                let mut d = self.cores[me].l1.alloc_data();
+                *d = self.mem.read_line(line);
                 d[addr.word_in_line()] = store_val;
+                let e = self.cores[me].l1.slot_mut(slot.expect("probed"));
+                e.state = L1State::Tmi;
                 e.data = Some(d);
                 self.cores[me].l1.note_speculative(line);
                 true
@@ -182,11 +188,11 @@ impl SimState {
             (AccessKind::TStore, Some(L1State::E)) => {
                 // E→TMI is silent: the directory already forwards all
                 // requests to the exclusive owner.
-                let snapshot = self.mem.read_line(line);
-                let e = self.cores[me].l1.peek_mut(line).expect("probed");
-                e.state = L1State::Tmi;
-                let mut d = Box::new(snapshot);
+                let mut d = self.cores[me].l1.alloc_data();
+                *d = self.mem.read_line(line);
                 d[addr.word_in_line()] = store_val;
+                let e = self.cores[me].l1.slot_mut(slot.expect("probed"));
+                e.state = L1State::Tmi;
                 e.data = Some(d);
                 self.cores[me].l1.note_speculative(line);
                 true
@@ -198,7 +204,17 @@ impl SimState {
             self.cores[me].stats.l1_hits += 1;
             result.value = match kind {
                 AccessKind::Store | AccessKind::TStore => store_val,
-                _ => self.local_value(me, addr),
+                // We just probed: read through the slot handle instead
+                // of a second full L1 lookup.
+                _ => match self.cores[me]
+                    .l1
+                    .slot(slot.expect("probed"))
+                    .data
+                    .as_deref()
+                {
+                    Some(d) => d[addr.word_in_line()],
+                    None => self.mem.read(addr),
+                },
             };
             self.advance(me, latency);
             self.cores[me].stats.mem_cycles += latency;
@@ -208,12 +224,20 @@ impl SimState {
         // ------- L1 miss path -------
         self.cores[me].stats.l1_misses += 1;
 
+        // Every miss consults signatures from here on; make sure the
+        // line is hashed (plain unwatched accesses deferred it).
+        let key = *key.get_or_insert_with(|| self.sig_key(line));
+
         // Local overflow-table lookaside (§4.1): an overflowed TMI line
         // is still ours; fetch it back instead of asking the directory.
+        debug_assert!(
+            self.cores[me].ot.is_none() || self.ot_present_mask() >> me & 1 == 1,
+            "ot_present mask lost core {me}"
+        );
         let ot_hit = self.cores[me]
             .ot
             .as_ref()
-            .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains(line));
+            .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains_key(key));
         if ot_hit {
             if let Some(entry) = self.cores[me]
                 .ot
@@ -224,8 +248,9 @@ impl SimState {
                 self.cores[me].stats.ot_hits += 1;
                 self.log.push(Event::OtFill { core: me, line });
                 latency += self.config.ot_lookup_latency;
-                latency += self.fill_line(me, line, L1State::Tmi, Some(entry.data));
-                let e = self.cores[me].l1.peek_mut(line).expect("just filled");
+                let (slot, extra) = self.fill_line(me, line, L1State::Tmi, Some(entry.data));
+                latency += extra;
+                let e = self.cores[me].l1.slot_mut(slot);
                 match kind {
                     AccessKind::TStore => {
                         e.data.as_mut().expect("TMI data")[addr.word_in_line()] = store_val;
@@ -249,7 +274,7 @@ impl SimState {
             latency += self.config.ot_lookup_latency;
         }
 
-        latency += self.request(me, addr, kind, store_val, &mut result);
+        latency += self.request(me, addr, kind, store_val, key, &mut result);
         self.advance(me, latency);
         self.cores[me].stats.mem_cycles += latency;
         result
@@ -263,6 +288,7 @@ impl SimState {
         addr: Addr,
         kind: AccessKind,
         store_val: u64,
+        key: SigKey,
         result: &mut AccessResult,
     ) -> u64 {
         let line = addr.line();
@@ -275,55 +301,69 @@ impl SimState {
             latency += self.config.mem_latency;
             if !self.l2.has_dir_info(line) {
                 latency += self.config.forward_penalty();
-                let entry = self.recreate_dir(line);
+                let entry = self.recreate_dir(key);
                 self.l2.install_dir(line, entry);
                 self.log.push(Event::DirRecreated { line });
             }
         }
 
         // Summary-signature check for descheduled transactions (§5).
-        let summary_hits = self.l2.summary_check(line, kind.is_write());
-        if !summary_hits.is_empty() {
-            self.log.push(Event::SummaryHit {
-                core: me,
-                line,
-                threads: summary_hits.clone(),
-            });
-            result.summary_hits = summary_hits;
+        // Skipped entirely while nothing is descheduled — the common
+        // case for every workload phase without context switches.
+        if self.l2.any_summary() {
+            let summary_hits = self.l2.summary_check_key(key, kind.is_write());
+            if !summary_hits.is_empty() {
+                if self.log.enabled() {
+                    self.log.push(Event::SummaryHit {
+                        core: me,
+                        line,
+                        threads: summary_hits.clone(),
+                    });
+                }
+                result.summary_hits = summary_hits;
+            }
         }
 
         // NACK window: a committed OT still copying back holds off all
-        // requests for its lines (§4.1).
-        let now = self.now(me);
-        let mut nacks: Vec<(usize, u64)> = Vec::new();
-        for (o, core) in self.cores.iter().enumerate() {
-            if o == me {
-                continue;
-            }
-            if let Some(ot) = &core.ot {
-                if ot.nacks_at(now + latency, line) {
-                    nacks.push((o, ot.copyback_done_at()));
+        // requests for its lines (§4.1). Only cores flagged in the OT
+        // activity mask (a superset of cores with an OT) are visited —
+        // mask-driven iteration is ascending, like the full scan it
+        // replaces.
+        let ot_mask = self.ot_present_mask() & !Self::me_bit(me);
+        if ot_mask != 0 {
+            let now = self.now(me);
+            let mut nacks: Vec<(usize, u64)> = Vec::new();
+            for o in procs_in_mask(ot_mask) {
+                if let Some(ot) = &self.cores[o].ot {
+                    if ot.nacks_at_key(now + latency, key) {
+                        nacks.push((o, ot.copyback_done_at()));
+                    }
                 }
             }
+            for (o, done) in nacks {
+                self.cores[me].stats.nacks += 1;
+                result.nacked = true;
+                self.log.push(Event::Nack {
+                    requester: me,
+                    owner: o,
+                    line,
+                });
+                let wait = done.saturating_sub(now);
+                latency = latency.max(wait) + self.config.nack_retry_latency;
+            }
         }
-        for (o, done) in nacks {
-            self.cores[me].stats.nacks += 1;
-            result.nacked = true;
-            self.log.push(Event::Nack {
-                requester: me,
-                owner: o,
-                line,
-            });
-            let wait = done.saturating_sub(now);
-            latency = latency.max(wait) + self.config.nack_retry_latency;
-        }
+        debug_assert!(
+            (0..self.cores.len())
+                .all(|o| self.cores[o].ot.is_none() || self.ot_present_mask() >> o & 1 == 1),
+            "ot_present mask dropped a core with a live OT"
+        );
 
         match kind {
             AccessKind::Load | AccessKind::TLoad => {
-                latency += self.handle_gets(me, addr, kind, result)
+                latency += self.handle_gets(me, addr, kind, key, result)
             }
-            AccessKind::Store => latency += self.handle_getx(me, addr, store_val, result),
-            AccessKind::TStore => latency += self.handle_tgetx(me, addr, store_val, result),
+            AccessKind::Store => latency += self.handle_getx(me, addr, store_val, key, result),
+            AccessKind::TStore => latency += self.handle_tgetx(me, addr, store_val, key, result),
         }
         latency
     }

@@ -10,19 +10,22 @@ use crate::cst::{procs_in_mask, CstKind};
 use crate::machine::SimState;
 use crate::mem::Addr;
 use crate::stats::Event;
-use flextm_sig::LineAddr;
+use flextm_sig::{LineAddr, SigKey};
 
 impl SimState {
-    /// True if processor `o` must answer `Threatened` for `line`.
-    pub(super) fn threatens(&self, o: usize, line: LineAddr) -> bool {
-        matches!(
-            self.cores[o].l1.peek(line).map(|e| e.state),
-            Some(L1State::Tmi)
-        ) || self.cores[o].writes_line(line)
-            || self.cores[o]
-                .ot
-                .as_ref()
-                .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains(line))
+    /// True if processor `o` must answer `Threatened` for the line
+    /// behind `key`, given its already-peeked L1 state. Callers that
+    /// have the state in hand anyway pass it in so the L1 is probed
+    /// exactly once per responder; the signature and OT tests are
+    /// gated on the activity masks so idle cores cost two bit tests.
+    pub(super) fn threatens_with(&self, o: usize, l1_state: Option<L1State>, key: SigKey) -> bool {
+        l1_state == Some(L1State::Tmi)
+            || (self.sig_live_mask() >> o & 1 == 1 && self.cores[o].writes_line_key(key))
+            || (self.ot_present_mask() >> o & 1 == 1
+                && self.cores[o]
+                    .ot
+                    .as_ref()
+                    .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains_key(key)))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -53,7 +56,10 @@ impl SimState {
 
     /// Invalidates `line` at `s` if present, firing AOU if marked.
     pub(super) fn invalidate_at(&mut self, s: usize, line: LineAddr) {
-        if let Some(entry) = self.cores[s].l1.invalidate(line) {
+        if let Some(mut entry) = self.cores[s].l1.invalidate(line) {
+            if let Some(d) = entry.data.take() {
+                self.cores[s].l1.retire_data(d);
+            }
             if entry.a_bit {
                 self.cores[s].post_alert(AlertCause::AouInvalidated(line));
                 self.log.push(Event::Alert { core: s, line });
@@ -74,6 +80,7 @@ impl SimState {
         // non-speculative copy the victim holds must invalidate too.
         self.invalidate_at(victim, line);
         self.cores[victim].hardware_abort();
+        self.sync_core_masks(victim);
         self.cores[victim].stats.tx_aborts += 1;
         self.cores[victim].post_alert(AlertCause::StrongIsolation(line));
         self.log.push(Event::StrongIsolationAbort {
@@ -95,21 +102,23 @@ impl SimState {
         let dir = self.l2.dir(line);
         let mut latency = self.config.l2_round_trip();
         let mut forwarded = false;
-        for o in procs_in_mask((dir.owners | dir.sharers) & !Self::me_bit(me)) {
+        let sweep = (dir.owners | dir.sharers) & !Self::me_bit(me);
+        let key = (sweep != 0).then(|| self.sig_key(line));
+        for o in procs_in_mask(sweep) {
             forwarded = true;
-            let transactional = self.threatens(o, line) || self.cores[o].reads_line(line);
+            let key = key.expect("sweep mask is non-empty");
+            let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
+            let transactional = self.threatens_with(o, l1_state, key)
+                || (self.sig_live_mask() >> o & 1 == 1 && self.cores[o].reads_line_key(key));
             if transactional {
                 self.strong_isolation_abort(o, me, line);
             } else {
-                if matches!(
-                    self.cores[o].l1.peek(line).map(|e| e.state),
-                    Some(L1State::M)
-                ) {
+                if l1_state == Some(L1State::M) {
                     self.cores[o].stats.writebacks += 1;
                 }
                 self.invalidate_at(o, line);
-                self.l2.drop_sharer(line, o);
-                self.l2.drop_owner(line, o);
+                self.l2.drop_sharer_key(key, o);
+                self.l2.drop_owner_key(key, o);
             }
         }
         if forwarded {

@@ -308,6 +308,12 @@ impl EventLog {
         }
     }
 
+    /// Whether pushed events are recorded. Callers use this to skip
+    /// building payloads (e.g. cloning hit lists) for a disabled log.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// Appends an event if enabled.
     pub fn push(&mut self, e: Event) {
         if self.enabled {

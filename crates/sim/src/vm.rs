@@ -81,6 +81,7 @@ impl SimState {
                 e.a_bit = false;
             }
         }
+        self.sync_core_masks(me);
         self.advance(me, latency);
         saved
     }
@@ -93,6 +94,7 @@ impl SimState {
         self.cores[me].wsig.load_words(&saved.wsig);
         self.cores[me].csts.restore(saved.csts);
         self.cores[me].ot = saved.ot;
+        self.sync_core_masks(me);
         let latency = self.config.l1_latency * 4;
         self.advance(me, latency);
     }
@@ -134,6 +136,9 @@ impl SimState {
             if let Some(ot) = core.ot.as_mut() {
                 ot.remap_page(old_first_line, new_first_line, lines);
             }
+        }
+        for c in 0..self.cores.len() {
+            self.sync_core_masks(c);
         }
     }
 }

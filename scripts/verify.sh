@@ -5,6 +5,7 @@
 #   1. tier-1 from ROADMAP.md: cargo build --release && cargo test -q
 #   2. cargo clippy --workspace -- -D warnings
 #   3. cargo fmt --check
+#   4. cargo bench --workspace --no-run (benches must keep compiling)
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -21,5 +22,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== rustfmt check =="
 cargo fmt --all --check
+
+echo "== benches compile (no run) =="
+cargo bench --workspace --no-run
 
 echo "verify: all checks passed"
