@@ -18,7 +18,10 @@
 //! scheduling cost). Passing `--protocol` forces the 1-thread
 //! diagnostic (reported as `protocol_1thread_hashtable`, see
 //! `BENCH_protocol.json`); `FLEXTM_SCHED_THREADS` still wins if both
-//! are given.
+//! are given. Passing `--trace` enables the per-attempt trace: the
+//! abort-attribution/cycle-bucket table goes to stderr and the JSONL
+//! trace to `FLEXTM_TRACE_OUT` (or stderr when unset), keeping the
+//! stdout JSON line machine-readable either way.
 
 use flextm::{FlexTm, FlexTmConfig};
 use flextm_sim::{Machine, MachineConfig, MachineReport};
@@ -41,6 +44,7 @@ fn main() {
         .unwrap_or(96);
     let strict = std::env::var("FLEXTM_SCHED_STRICT").as_deref() == Ok("1");
     let protocol_mode = std::env::args().any(|a| a == "--protocol");
+    let trace_mode = std::env::args().any(|a| a == "--trace");
     let threads: usize = std::env::var("FLEXTM_SCHED_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -57,6 +61,7 @@ fn main() {
     let mut wl = HashTable::paper();
     wl.setup(&machine);
     let tm = FlexTm::new(&machine, FlexTmConfig::lazy(threads));
+    tm.set_tracing(trace_mode);
 
     let t0 = Instant::now();
     let result = run_measured(
@@ -106,4 +111,18 @@ fn main() {
         ops_per_s,
         cycles_per_s,
     );
+
+    if trace_mode {
+        eprint!("{}", result.abort_table());
+        let jsonl = flextm_trace::to_jsonl(&tm.take_trace());
+        match std::env::var("FLEXTM_TRACE_OUT") {
+            Ok(path) => {
+                std::fs::write(&path, &jsonl).unwrap_or_else(|e| {
+                    panic!("writing trace to {path}: {e}");
+                });
+                eprintln!("trace: {} records -> {path}", jsonl.lines().count());
+            }
+            Err(_) => eprint!("{jsonl}"),
+        }
+    }
 }

@@ -29,8 +29,29 @@ pub struct CmContext {
     pub my_priority: u64,
     /// The enemy's published priority.
     pub enemy_priority: u64,
+    /// Stable arbitration identity of the local transaction (core id
+    /// for the FlexTM eager handler, thread id for the STM baselines).
+    /// Used only to break exact priority ties deterministically.
+    pub my_id: usize,
+    /// The enemy's arbitration identity (same namespace as `my_id`).
+    pub enemy_id: usize,
     /// How many times this same conflict has already stalled.
     pub stalls_so_far: u32,
+}
+
+impl CmContext {
+    /// True when both sides published the same priority — the case
+    /// where symmetric `AbortEnemy` decisions would make the two
+    /// transactions kill each other (the Bobba et al. "FriendlyFire"
+    /// mutual-abort pathology). Tie-broken by id: the lower id wins.
+    pub fn priority_tie(&self) -> bool {
+        self.my_priority == self.enemy_priority
+    }
+
+    /// Whether this side wins a priority tie (lower id wins).
+    pub fn wins_tie(&self) -> bool {
+        self.my_id < self.enemy_id
+    }
 }
 
 /// A contention-management policy. One instance per thread; no shared
@@ -102,7 +123,21 @@ impl ContentionManager for Polka {
         self.karma += 1;
     }
     fn on_conflict(&mut self, ctx: CmContext) -> CmDecision {
-        if ctx.my_priority >= ctx.enemy_priority || ctx.stalls_so_far >= self.max_stalls {
+        // Equal Karma used to fall into the `>=` arm on *both* sides,
+        // so two equal-priority transactions in a symmetric eager
+        // conflict aborted each other. Tie-break deterministically:
+        // the lower id wins immediately, the loser stalls (its enemy's
+        // kill usually lands during the stall); `max_stalls` still
+        // bounds the wait so a stuck winner cannot block the loser
+        // forever.
+        if ctx.priority_tie() {
+            if ctx.wins_tie() || ctx.stalls_so_far >= self.max_stalls {
+                return CmDecision::AbortEnemy;
+            }
+            let exp = ctx.stalls_so_far.min(10);
+            return CmDecision::Stall(self.jitter(self.base_backoff << exp));
+        }
+        if ctx.my_priority > ctx.enemy_priority || ctx.stalls_so_far >= self.max_stalls {
             CmDecision::AbortEnemy
         } else {
             let exp = ctx.stalls_so_far.min(10);
@@ -123,11 +158,14 @@ impl ContentionManager for Polka {
     }
 }
 
-/// Aggressive: always abort the enemy immediately, no backoff. Simple,
-/// and under symmetric eager contention it livelocks — the
-/// "FriendlyFire" pathology of Bobba et al. that the paper's §7.4
-/// discussion leans on. Provided as a pathological reference point;
-/// benchmarks use Polka.
+/// Aggressive: abort the enemy, no backoff. Kept as the pathological
+/// reference point for the "FriendlyFire" mutual-abort discussion of
+/// Bobba et al. (paper §7.4) — but since it publishes no priorities,
+/// *every* Aggressive-vs-Aggressive conflict is a priority tie, so the
+/// deterministic id tie-break applies: the lower id kills immediately
+/// and the higher id concedes one short fixed stall first (enough for
+/// the winner's kill to land), bounding the pathology instead of
+/// livelocking outright. Benchmarks use Polka.
 #[derive(Debug, Default)]
 pub struct Aggressive;
 
@@ -135,7 +173,10 @@ impl ContentionManager for Aggressive {
     fn name(&self) -> &'static str {
         "Aggressive"
     }
-    fn on_conflict(&mut self, _ctx: CmContext) -> CmDecision {
+    fn on_conflict(&mut self, ctx: CmContext) -> CmDecision {
+        if ctx.priority_tie() && !ctx.wins_tie() && ctx.stalls_so_far == 0 {
+            return CmDecision::Stall(64);
+        }
         CmDecision::AbortEnemy
     }
     fn on_abort(&mut self) -> u64 {
@@ -269,6 +310,8 @@ mod tests {
         let ctx = |stalls| CmContext {
             my_priority: 1,
             enemy_priority: 5,
+            my_id: 0,
+            enemy_id: 1,
             stalls_so_far: stalls,
         };
         assert!(matches!(p.on_conflict(ctx(0)), CmDecision::Stall(_)));
@@ -282,6 +325,8 @@ mod tests {
         let ctx = CmContext {
             my_priority: 9,
             enemy_priority: 2,
+            my_id: 1,
+            enemy_id: 0,
             stalls_so_far: 0,
         };
         assert_eq!(p.on_conflict(ctx), CmDecision::AbortEnemy);
@@ -317,6 +362,8 @@ mod tests {
         let ctx = CmContext {
             my_priority: 0,
             enemy_priority: 100,
+            my_id: 1,
+            enemy_id: 0,
             stalls_so_far: 0,
         };
         assert_eq!(Aggressive.on_conflict(ctx), CmDecision::AbortEnemy);
@@ -329,10 +376,51 @@ mod tests {
         let ctx = |stalls| CmContext {
             my_priority: 0,
             enemy_priority: 9,
+            my_id: 0,
+            enemy_id: 1,
             stalls_so_far: stalls,
         };
         assert!(matches!(p.on_conflict(ctx(0)), CmDecision::Stall(_)));
         assert_eq!(p.on_conflict(ctx(6)), CmDecision::AbortEnemy);
+    }
+
+    #[test]
+    fn equal_priority_tie_break_is_asymmetric() {
+        // Regression: with the old `>=` arbitration both sides of an
+        // equal-Karma conflict chose AbortEnemy and killed each other.
+        // Now the lower id wins and the higher id stalls.
+        let mut low = Polka::new(0);
+        let mut high = Polka::new(1);
+        let ctx = |my_id: usize, enemy_id: usize, stalls: u32| CmContext {
+            my_priority: 3,
+            enemy_priority: 3,
+            my_id,
+            enemy_id,
+            stalls_so_far: stalls,
+        };
+        assert_eq!(low.on_conflict(ctx(0, 1, 0)), CmDecision::AbortEnemy);
+        assert!(matches!(
+            high.on_conflict(ctx(1, 0, 0)),
+            CmDecision::Stall(_)
+        ));
+        // The loser's wait is bounded: after max_stalls it may fire.
+        assert_eq!(high.on_conflict(ctx(1, 0, 4)), CmDecision::AbortEnemy);
+    }
+
+    #[test]
+    fn aggressive_tie_break_is_asymmetric() {
+        // Aggressive publishes no priorities, so every symmetric
+        // conflict is a tie; the higher id concedes exactly one stall.
+        let ctx = |my_id: usize, enemy_id: usize, stalls: u32| CmContext {
+            my_priority: 0,
+            enemy_priority: 0,
+            my_id,
+            enemy_id,
+            stalls_so_far: stalls,
+        };
+        assert_eq!(Aggressive.on_conflict(ctx(0, 1, 0)), CmDecision::AbortEnemy);
+        assert_eq!(Aggressive.on_conflict(ctx(1, 0, 0)), CmDecision::Stall(64));
+        assert_eq!(Aggressive.on_conflict(ctx(1, 0, 1)), CmDecision::AbortEnemy);
     }
 
     #[test]

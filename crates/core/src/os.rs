@@ -12,7 +12,7 @@
 use crate::runtime::FlexTmThread;
 use crate::tsw::{tsw_tag, TSW_ABORTED, TSW_ACTIVE};
 use flextm_sig::{LineAddr, Signature};
-use flextm_sim::{Addr, SavedTx};
+use flextm_sim::{AbortCause, Addr, SavedTx};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -208,8 +208,9 @@ impl FlexTmThread<'_> {
         let value = proc.aload(tsw);
         if tsw_tag(value) != TSW_ACTIVE {
             // Virtualized AOU: wake up in the handler, observe the
-            // abort, clean up.
-            proc.abort_tx();
+            // abort, clean up. Attributed to the summary/CMT layer
+            // that mediated the kill while we were descheduled.
+            proc.abort_tx(AbortCause::SummaryTrap);
             // Drop the saved state: the OT content is speculative and
             // dead.
             drop(saved);
@@ -237,6 +238,6 @@ impl FlexTmThread<'_> {
         if tsw_tag(old) == TSW_ACTIVE {
             let _ = proc.cas(tsw, old, (old & !3) | TSW_ABORTED);
         }
-        proc.abort_tx();
+        proc.abort_tx(AbortCause::Explicit);
     }
 }

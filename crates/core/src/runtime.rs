@@ -20,7 +20,22 @@ use crate::os::Cmt;
 use crate::tsw::{tsw_tag, tsw_word, DescriptorTable, TSW_ABORTED, TSW_ACTIVE, TSW_COMMITTED};
 use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, TxRetry, Txn, TxnBody};
 use flextm_sim::{procs_in_mask, Addr, AlertCause, Conflict, CstKind, Machine, ProcHandle};
-use flextm_sim::{AccessResult, CasCommitOutcome};
+use flextm_sim::{AbortCause, AccessResult, CasCommitOutcome, CmEvent};
+use flextm_trace::{ConflictClass, TraceEv, TraceRecord};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Maps a hardware alert to the abort-attribution cause recorded when
+/// software reacts to it by aborting the local attempt.
+fn alert_cause(alert: AlertCause) -> AbortCause {
+    match alert {
+        AlertCause::AouInvalidated(_) => AbortCause::AouAlert,
+        AlertCause::StrongIsolation(_) => AbortCause::StrongIsolation,
+        // Watchpoint alerts never abort transactions in this runtime;
+        // if a body treats one as fatal, attribute it as explicit.
+        AlertCause::WatchRead(_) | AlertCause::WatchWrite(_) => AbortCause::Explicit,
+    }
+}
 
 /// Conflict-detection mode (the `E/L` descriptor field of Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -83,6 +98,12 @@ pub struct FlexTm {
     /// Global commit token (serialized-commit ablation only).
     commit_token: Option<Addr>,
     name: String,
+    /// Per-attempt tracing switch. Threads sample it at BEGIN, so flip
+    /// it before `Machine::run` for full coverage. Off by default:
+    /// disabled runs take no trace branch beyond one relaxed load.
+    tracing: AtomicBool,
+    /// Where threads flush their trace buffers when they drop.
+    trace_sink: Mutex<Vec<TraceRecord>>,
 }
 
 impl FlexTm {
@@ -114,7 +135,31 @@ impl FlexTm {
             sig_config,
             commit_token,
             name,
+            tracing: AtomicBool::new(false),
+            trace_sink: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Enables or disables per-transaction attempt tracing. Threads
+    /// sample the flag at each BEGIN.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether attempt tracing is currently on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Drains every record flushed so far, stably sorted by thread id
+    /// (per-thread order is preserved). Worker threads flush their
+    /// buffers when their handles drop — call this after `Machine::run`
+    /// returns for a complete, deterministic trace.
+    pub fn take_trace(&self) -> Vec<TraceRecord> {
+        let mut records =
+            std::mem::take(&mut *self.trace_sink.lock().expect("trace sink poisoned"));
+        records.sort_by_key(|r| r.tid);
+        records
     }
 
     /// The conflict-detection mode.
@@ -145,6 +190,9 @@ impl FlexTm {
             enemies_this_txn: 0,
             seq: 0,
             stats: ThreadTxStats::default(),
+            pending_abort: None,
+            tracing: false,
+            trace: Vec::new(),
         }
     }
 }
@@ -238,6 +286,24 @@ pub struct FlexTmThread<'r> {
     /// Per-transaction sequence number (TSW versioning; see `tsw_word`).
     seq: u64,
     stats: ThreadTxStats,
+    /// Cause to attribute if the current attempt aborts, plus the enemy
+    /// core when software knows it (CM-directed self-aborts do; async
+    /// alerts do not). First cause wins; `abort_attempt` consumes it.
+    pending_abort: Option<(AbortCause, Option<u64>)>,
+    /// Tracing flag sampled from the runtime at BEGIN.
+    tracing: bool,
+    /// Local trace buffer; flushed into the runtime sink on drop.
+    trace: Vec<TraceRecord>,
+}
+
+impl Drop for FlexTmThread<'_> {
+    fn drop(&mut self) {
+        if !self.trace.is_empty() {
+            if let Ok(mut sink) = self.rt.trace_sink.lock() {
+                sink.append(&mut self.trace);
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for FlexTmThread<'_> {
@@ -264,12 +330,37 @@ impl<'r> FlexTmThread<'r> {
         &self.stats
     }
 
+    /// Appends a trace record for the current attempt (no-op unless
+    /// tracing was on at BEGIN).
+    fn emit(&mut self, ev: TraceEv) {
+        if self.tracing {
+            self.trace.push(TraceRecord {
+                tid: self.tid as u64,
+                seq: self.seq,
+                clock: self.proc.now(),
+                ev,
+            });
+        }
+    }
+
+    /// Records the abort cause for a hardware alert, unless an earlier
+    /// cause already claimed this attempt.
+    fn note_alert(&mut self, alert: AlertCause) {
+        if self.pending_abort.is_none() {
+            self.pending_abort = Some((alert_cause(alert), None));
+        }
+    }
+
     /// BEGIN_TRANSACTION: drain stale alerts, publish priority, arm the
     /// TSW.
     fn begin(&mut self) {
         while self.proc.take_alert().is_some() {}
+        self.proc.begin_attempt();
+        self.pending_abort = None;
         self.cm.on_begin();
         self.seq += 1;
+        self.tracing = self.rt.tracing_enabled();
+        self.emit(TraceEv::Begin);
         let d = self.rt.descriptors.descriptor(self.tid);
         self.proc.store(d.priority, self.cm.priority());
         self.proc.store(d.tsw, tsw_word(self.seq, TSW_ACTIVE));
@@ -295,6 +386,10 @@ impl<'r> FlexTmThread<'r> {
                 continue;
             }
             self.enemies_this_txn |= 1 << enemy;
+            self.emit(TraceEv::Conflict {
+                enemy: enemy as u64,
+                kind: ConflictClass::from(c.kind),
+            });
             let edesc = self.rt.descriptors.descriptor(enemy);
             let mut stalls = 0u32;
             loop {
@@ -304,26 +399,41 @@ impl<'r> FlexTmThread<'r> {
                     break;
                 }
                 let eprio = self.proc.load(edesc.priority);
-                let decision = self.cm.on_conflict(CmContext {
+                let ctx = CmContext {
                     my_priority: self.cm.priority(),
                     enemy_priority: eprio,
+                    my_id: self.proc.core(),
+                    enemy_id: enemy,
                     stalls_so_far: stalls,
-                });
-                match decision {
+                };
+                if stalls == 0 && ctx.priority_tie() {
+                    self.proc.note_cm_event(CmEvent::PriorityTie);
+                }
+                match self.cm.on_conflict(ctx) {
                     CmDecision::Stall(cycles) => {
-                        self.proc.work(cycles);
+                        self.proc.stall(cycles);
+                        self.emit(TraceEv::Stall { cycles });
                         stalls += 1;
                         // Stalling may have got us aborted meanwhile.
-                        if let Some(_alert) = self.proc.take_alert() {
+                        if let Some(alert) = self.proc.take_alert() {
+                            self.note_alert(alert);
                             return false;
                         }
                     }
                     CmDecision::AbortEnemy => {
-                        self.proc.cas(edesc.tsw, etsw, (etsw & !3) | TSW_ABORTED);
+                        let prev = self.proc.cas(edesc.tsw, etsw, (etsw & !3) | TSW_ABORTED);
+                        if prev == etsw {
+                            self.proc.note_cm_event(CmEvent::EnemyAbort);
+                        }
                         self.clear_enemy_bits(enemy);
                         break;
                     }
-                    CmDecision::AbortSelf => return false,
+                    CmDecision::AbortSelf => {
+                        if self.pending_abort.is_none() {
+                            self.pending_abort = Some((AbortCause::CmSelf, Some(enemy as u64)));
+                        }
+                        return false;
+                    }
                 }
             }
         }
@@ -337,6 +447,10 @@ impl<'r> FlexTmThread<'r> {
         // Charge the trap + software handler.
         self.proc.work(80);
         for &tid in hits {
+            self.emit(TraceEv::Conflict {
+                enemy: tid as u64,
+                kind: ConflictClass::Summary,
+            });
             let core = self.proc.core();
             let cmt = &self.rt.cmt;
             let info = self
@@ -354,8 +468,10 @@ impl<'r> FlexTmThread<'r> {
                         // convoying (the LogTM-SE failure mode the paper
                         // calls out); FlexTM can simply abort it.
                         let old = self.proc.load(info.tsw);
-                        if tsw_tag(old) == TSW_ACTIVE {
-                            self.proc.cas(info.tsw, old, (old & !3) | TSW_ABORTED);
+                        if tsw_tag(old) == TSW_ACTIVE
+                            && self.proc.cas(info.tsw, old, (old & !3) | TSW_ABORTED) == old
+                        {
+                            self.proc.note_cm_event(CmEvent::EnemyAbort);
                         }
                     }
                     Mode::Lazy => {
@@ -389,13 +505,15 @@ impl<'r> FlexTmThread<'r> {
         if let Some(token) = self.rt.commit_token {
             let mut backoff = 16u64;
             loop {
-                if self.proc.take_alert().is_some() {
+                if let Some(alert) = self.proc.take_alert() {
+                    self.note_alert(alert);
                     return false;
                 }
                 if self.proc.load(token) == 0 && self.proc.cas(token, 0, 1) == 0 {
                     break;
                 }
-                self.proc.work(backoff);
+                self.proc.stall(backoff);
+                self.emit(TraceEv::Stall { cycles: backoff });
                 backoff = (backoff * 2).min(512);
             }
             let committed = self.commit_inner();
@@ -410,7 +528,8 @@ impl<'r> FlexTmThread<'r> {
         loop {
             // An enemy may have aborted us since the last body op;
             // notice before attacking others.
-            if self.proc.take_alert().is_some() {
+            if let Some(alert) = self.proc.take_alert() {
+                self.note_alert(alert);
                 return false;
             }
             if self.rt.mode == Mode::Lazy {
@@ -425,8 +544,10 @@ impl<'r> FlexTmThread<'r> {
                     }
                     let edesc = self.rt.descriptors.descriptor(enemy);
                     let old = self.proc.load(edesc.tsw);
-                    if tsw_tag(old) == TSW_ACTIVE {
-                        self.proc.cas(edesc.tsw, old, (old & !3) | TSW_ABORTED);
+                    if tsw_tag(old) == TSW_ACTIVE
+                        && self.proc.cas(edesc.tsw, old, (old & !3) | TSW_ABORTED) == old
+                    {
+                        self.proc.note_cm_event(CmEvent::EnemyAbort);
                     }
                 }
             }
@@ -436,8 +557,10 @@ impl<'r> FlexTmThread<'r> {
                 let cmt = &self.rt.cmt;
                 if let Some(info) = self.proc.with_sync(|| cmt.lookup(tid)) {
                     let old = self.proc.load(info.tsw);
-                    if tsw_tag(old) == TSW_ACTIVE {
-                        self.proc.cas(info.tsw, old, (old & !3) | TSW_ABORTED);
+                    if tsw_tag(old) == TSW_ACTIVE
+                        && self.proc.cas(info.tsw, old, (old & !3) | TSW_ABORTED) == old
+                    {
+                        self.proc.note_cm_event(CmEvent::EnemyAbort);
                     }
                 }
             }
@@ -447,9 +570,20 @@ impl<'r> FlexTmThread<'r> {
                 tsw_word(self.seq, TSW_ACTIVE),
                 tsw_word(self.seq, TSW_COMMITTED),
             ) {
-                Err(_alert) => return false,
+                Err(alert) => {
+                    self.note_alert(alert);
+                    return false;
+                }
                 Ok(CasCommitOutcome::Committed(_)) => return true,
-                Ok(CasCommitOutcome::LostTsw(_)) => return false,
+                Ok(CasCommitOutcome::LostTsw(_)) => {
+                    // The hardware already recorded LostTsw for both
+                    // base counters; attribute the software retry path
+                    // the same way.
+                    if self.pending_abort.is_none() {
+                        self.pending_abort = Some((AbortCause::LostTsw, None));
+                    }
+                    return false;
+                }
                 Ok(CasCommitOutcome::ConflictsPending { wr, ww }) => {
                     // Line 5: still active with fresh conflicts → loop.
                     if self.rt.mode == Mode::Eager {
@@ -477,12 +611,20 @@ impl<'r> FlexTmThread<'r> {
             tsw_word(self.seq, TSW_ACTIVE),
             tsw_word(self.seq, TSW_ABORTED),
         );
-        self.proc.abort_tx();
+        let (cause, enemy) = self
+            .pending_abort
+            .take()
+            .unwrap_or((AbortCause::Explicit, None));
+        self.proc.abort_tx(cause);
+        self.emit(TraceEv::Abort { cause, enemy });
         self.suspended_enemies.clear();
         self.enemies_this_txn = 0;
         self.stats.aborts += 1;
         let backoff = self.cm.on_abort();
-        self.proc.work(backoff);
+        self.proc.stall(backoff);
+        if backoff > 0 {
+            self.emit(TraceEv::Stall { cycles: backoff });
+        }
     }
 
     /// Access to the underlying processor handle.
@@ -523,6 +665,7 @@ impl TmThread for FlexTmThread<'_> {
             self.stats.commits += 1;
             let enemies = std::mem::take(&mut self.enemies_this_txn);
             self.stats.record_commit_conflicts(enemies);
+            self.emit(TraceEv::Commit { enemies });
             AttemptOutcome::Committed
         } else {
             self.abort_attempt();
@@ -543,7 +686,8 @@ struct FlexTxn<'a, 'r> {
 }
 
 impl FlexTxn<'_, '_> {
-    fn on_alert(&mut self, _cause: AlertCause) -> TxRetry {
+    fn on_alert(&mut self, cause: AlertCause) -> TxRetry {
+        self.th.note_alert(cause);
         self.doomed = true;
         TxRetry
     }

@@ -391,17 +391,17 @@ fn all_contention_managers_make_progress() {
     }
 }
 
-#[test]
-fn aggressive_eager_livelocks_on_symmetric_conflicts() {
-    // The FriendlyFire pathology, demonstrated positively: bound the
-    // retries and observe that neither symmetric transaction commits.
+/// Bounded symmetric eager conflict: both sides run the same body, so
+/// every Aggressive-vs-Aggressive encounter is a priority tie. Returns
+/// total commits plus the machine report for counter inspection.
+fn symmetric_bounded_run(cm: CmKind) -> (u32, flextm_sim::MachineReport) {
     use flextm_sim::api::AttemptOutcome;
     let m = machine(2);
     let tm = FlexTm::new(
         &m,
         FlexTmConfig {
             mode: Mode::Eager,
-            cm: CmKind::Aggressive,
+            cm,
             threads: 2,
             serialized_commits: false,
         },
@@ -424,11 +424,51 @@ fn aggressive_eager_livelocks_on_symmetric_conflicts() {
         }
         commits
     });
-    let total: u32 = committed.iter().sum();
+    (committed.iter().sum(), m.report())
+}
+
+#[test]
+fn aggressive_tie_break_defuses_friendly_fire() {
+    // Regression for the mutual-abort (FriendlyFire) pathology: two
+    // equal-priority Aggressive transactions used to kill each other
+    // every round, committing (almost) nothing. The deterministic
+    // lower-id-wins tie-break must restore progress, and the ties must
+    // be visible in the attribution diagnostics.
+    let (total, report) = symmetric_bounded_run(CmKind::Aggressive);
     assert!(
-        total < 60,
-        "expected mutual-abort livelock to suppress commits, got {total}/120"
+        total > 30,
+        "tie-break failed to restore progress: {total}/120 commits"
     );
+    let ties: u64 = report
+        .cores
+        .iter()
+        .map(|c| c.abort_causes.mutual_abort)
+        .sum();
+    let kills: u64 = report
+        .cores
+        .iter()
+        .map(|c| c.abort_causes.cm_enemy_kills)
+        .sum();
+    assert!(ties > 0, "symmetric conflicts recorded no priority ties");
+    assert!(kills > 0, "winner never killed the loser");
+}
+
+#[test]
+fn polka_equal_karma_tie_break_preserves_progress() {
+    // Same regression for the default manager: identical bodies keep
+    // the two sides' Karma in lockstep, so the old `>=` arbitration
+    // made both fire AbortEnemy at once.
+    let (total, report) = symmetric_bounded_run(CmKind::Polka);
+    assert!(
+        total > 30,
+        "Polka tie-break failed to restore progress: {total}/120 commits"
+    );
+    let ties: u64 = report
+        .cores
+        .iter()
+        .map(|c| c.abort_causes.mutual_abort)
+        .sum();
+    assert!(ties > 0, "equal-Karma conflicts recorded no priority ties");
 }
 
 #[test]

@@ -49,6 +49,14 @@ pub struct CoreState {
     pub watch_reads: bool,
     /// FlexWatcher: local stores are tested against `wsig` when set.
     pub watch_writes: bool,
+    /// Cycle-accounting mark set by [`crate::SimState::begin_attempt`]:
+    /// `(work_cycles, mem_cycles)` snapshots taken when the current
+    /// transaction attempt began, consumed on abort to reclassify the
+    /// attempt's cycles as wasted. With several logical threads
+    /// multiplexed on one core (§5) the mark tracks the most recent
+    /// `begin`; misattribution across a context switch moves cycles
+    /// between buckets but never breaks the sum-to-clock invariant.
+    pub attempt_mark: Option<(u64, u64)>,
     /// Performance counters.
     pub stats: CoreStats,
 }
@@ -68,6 +76,7 @@ impl CoreState {
             ot: None,
             watch_reads: false,
             watch_writes: false,
+            attempt_mark: None,
             stats: CoreStats::default(),
         }
     }

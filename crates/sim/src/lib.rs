@@ -65,7 +65,9 @@ pub use mem::{Addr, Arena, Heap, Memory, WORDS_PER_LINE};
 pub use ot::{OtEntry, OverflowTable};
 pub use proc::{ProcHandle, SigKind};
 pub use proto::{AccessKind, AccessResult, CasCommitOutcome, Conflict, ConflictKind};
-pub use stats::{CoreStats, Event, EventLog, MachineReport, SchedStats};
+pub use stats::{
+    AbortBreakdown, AbortCause, CmEvent, CoreStats, Event, EventLog, MachineReport, SchedStats,
+};
 pub use vm::SavedTx;
 
 pub use flextm_sig::{LineAddr, SigKey, LINE_BYTES, LINE_SHIFT};

@@ -92,6 +92,10 @@ struct CoreLane {
     /// can account them without touching `SimState`; folded into
     /// [`crate::CoreStats::work_cycles`] at report time.
     work_cycles: AtomicU64,
+    /// Cycles charged through `stall` (contention-manager backoff and
+    /// stall spins) plus end-of-run clock alignment; folded into
+    /// [`crate::CoreStats::stall_cycles`] at report time.
+    stall_cycles: AtomicU64,
     /// Operations completed without a scheduler rendezvous.
     fast_ops: AtomicU64,
     /// Owner-thread cache: does this core currently hold the lease?
@@ -260,6 +264,54 @@ impl SimState {
     /// uses this; the fast path bumps the lane directly).
     pub(crate) fn charge_work(&mut self, core: usize, cycles: u64) {
         lane_add(&self.lanes.0[core].work_cycles, cycles);
+    }
+
+    /// Accounts `cycles` of contention-manager stall/backoff to `core`
+    /// (the slow-path `stall` uses this; the fast path bumps the lane
+    /// directly).
+    pub(crate) fn charge_stall(&mut self, core: usize, cycles: u64) {
+        lane_add(&self.lanes.0[core].stall_cycles, cycles);
+    }
+
+    /// Advances `core` by `cycles` and charges them to the memory
+    /// bucket — the single helper every protocol latency goes through
+    /// so the four cycle buckets provably sum to the clock.
+    pub(crate) fn charge_mem(&mut self, core: usize, cycles: u64) {
+        self.advance(core, cycles);
+        self.cores[core].stats.mem_cycles += cycles;
+    }
+
+    /// Snapshots `core`'s work/mem cycle counters at the start of a
+    /// transaction attempt. If the attempt later aborts,
+    /// [`SimState::abandon_attempt`] reclassifies everything accrued
+    /// since this mark into `wasted_cycles`.
+    pub fn begin_attempt(&mut self, core: usize) {
+        let work = self.lanes.0[core].work_cycles.load(Relaxed);
+        let mem = self.cores[core].stats.mem_cycles;
+        self.cores[core].attempt_mark = Some((work, mem));
+    }
+
+    /// Clears the attempt mark without reclassifying — called when an
+    /// attempt commits (its cycles were real work).
+    pub(crate) fn clear_attempt_mark(&mut self, core: usize) {
+        self.cores[core].attempt_mark = None;
+    }
+
+    /// Moves the work/mem cycles accrued since the attempt mark into
+    /// `wasted_cycles` — the attempt aborted, so its computation and
+    /// memory time bought nothing. Stall cycles are never reclassified.
+    /// No-op when no mark is set (runtimes that don't mark attempts
+    /// simply report zero waste).
+    pub(crate) fn abandon_attempt(&mut self, core: usize) {
+        let Some((work0, mem0)) = self.cores[core].attempt_mark.take() else {
+            return;
+        };
+        let lane_work = &self.lanes.0[core].work_cycles;
+        let dw = lane_work.load(Relaxed) - work0;
+        let dm = self.cores[core].stats.mem_cycles - mem0;
+        lane_add(lane_work, dw.wrapping_neg());
+        self.cores[core].stats.mem_cycles -= dm;
+        self.cores[core].stats.wasted_cycles += dw + dm;
     }
 }
 
@@ -439,6 +491,23 @@ pub(crate) fn work_op(shared: &Shared, core: usize, cycles: u64) {
     sync_op(shared, core, |st| {
         st.advance(core, cycles);
         st.charge_work(core, cycles);
+    });
+}
+
+/// `stall`: charges `cycles` of contention-manager backoff/stall.
+/// Identical scheduling behaviour to [`work_op`] (same clock advance,
+/// same commutation argument) — only the accounting bucket differs.
+pub(crate) fn stall_op(shared: &Shared, core: usize, cycles: u64) {
+    if !shared.strict {
+        let lane = &shared.lanes.0[core];
+        lane_add(&lane.clock, cycles);
+        lane_add(&lane.stall_cycles, cycles);
+        lane_add(&lane.fast_ops, 1);
+        return;
+    }
+    sync_op(shared, core, |st| {
+        st.advance(core, cycles);
+        st.charge_stall(core, cycles);
     });
 }
 
@@ -646,6 +715,11 @@ impl Machine {
             .max()
             .unwrap_or(0);
         for lane in lanes.0.iter() {
+            // The alignment skip is idle waiting at a barrier: charge
+            // it to the stall bucket so the four buckets keep summing
+            // to the clock.
+            let skipped = max - lane.clock.load(Relaxed);
+            lane_add(&lane.stall_cycles, skipped);
             lane.clock.store(max, Relaxed);
         }
     }
@@ -667,6 +741,7 @@ impl Machine {
                 .map(|(i, c)| {
                     let mut s = c.stats;
                     s.work_cycles = lanes.0[i].work_cycles.load(Relaxed);
+                    s.stall_cycles = lanes.0[i].stall_cycles.load(Relaxed);
                     s
                 })
                 .collect(),
@@ -801,6 +876,44 @@ mod tests {
         let r = m.report();
         assert_eq!(r.sched.fast_ops, 0);
         assert!(r.sched.slow_ops >= 4);
+    }
+
+    #[test]
+    fn stall_and_wasted_buckets_sum_to_clock() {
+        let m = Machine::new(MachineConfig::small_test());
+        m.run(1, |p| {
+            p.work(10);
+            p.stall(7);
+            p.begin_attempt();
+            p.work(5);
+            p.load(crate::mem::Addr::new(0x400));
+            p.abort_tx(crate::stats::AbortCause::Explicit);
+        });
+        let r = m.report();
+        let c = &r.cores[0];
+        // The aborted attempt's work and memory time moved to wasted;
+        // the stall stayed a stall.
+        assert_eq!(c.work_cycles, 10);
+        assert_eq!(c.stall_cycles, 7);
+        assert_eq!(c.mem_cycles, 0);
+        assert!(c.wasted_cycles > 5, "wasted = {}", c.wasted_cycles);
+        assert_eq!(c.cycle_sum(), r.core_cycles[0]);
+        assert_eq!(c.abort_causes.cause_sum(), c.tx_aborts + c.failed_commits);
+    }
+
+    #[test]
+    fn align_clocks_charges_skew_to_stall() {
+        let m = Machine::new(MachineConfig::small_test());
+        m.run(2, |p| p.work(if p.core() == 0 { 3 } else { 40 }));
+        m.align_clocks();
+        let r = m.report();
+        // Every core (including idle ones) aligns to the max clock and
+        // charges the skipped span to stall.
+        assert!(r.core_cycles.iter().all(|&c| c == 40));
+        assert_eq!(r.cores[0].stall_cycles, 37);
+        for (i, c) in r.cores.iter().enumerate() {
+            assert_eq!(c.cycle_sum(), r.core_cycles[i]);
+        }
     }
 
     #[test]

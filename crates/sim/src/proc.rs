@@ -10,9 +10,10 @@
 
 use crate::core_state::AlertCause;
 use crate::cst::CstKind;
-use crate::machine::{now_op, sync_op, work_op, SharedMachine};
+use crate::machine::{now_op, stall_op, sync_op, work_op, SharedMachine};
 use crate::mem::Addr;
 use crate::proto::{AccessKind, AccessResult, CasCommitOutcome};
+use crate::stats::{AbortCause, CmEvent};
 use crate::vm::SavedTx;
 
 /// Which access signature a signature instruction targets.
@@ -62,6 +63,36 @@ impl ProcHandle {
             return;
         }
         work_op(&self.shared, self.core, cycles);
+    }
+
+    /// Models `cycles` of contention-manager stall/backoff spinning.
+    /// Scheduled exactly like [`ProcHandle::work`] (same clock advance,
+    /// same lock-free fast path) but charged to the `stall_cycles`
+    /// bucket so the work/mem split stays honest.
+    pub fn stall(&self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        stall_op(&self.shared, self.core, cycles);
+    }
+
+    /// Marks the start of a transaction attempt for cycle accounting:
+    /// work/mem cycles accrued from here are reclassified into
+    /// `wasted_cycles` if the attempt aborts. Zero simulated cost.
+    pub fn begin_attempt(&self) {
+        sync_op(&self.shared, self.core, |st| st.begin_attempt(self.core));
+    }
+
+    /// Records a zero-latency contention-management note into the
+    /// abort-attribution diagnostics (tie-breaks taken, enemy kills).
+    pub fn note_cm_event(&self, event: CmEvent) {
+        sync_op(&self.shared, self.core, |st| {
+            let causes = &mut st.cores[self.core].stats.abort_causes;
+            match event {
+                CmEvent::PriorityTie => causes.mutual_abort += 1,
+                CmEvent::EnemyAbort => causes.cm_enemy_kills += 1,
+            }
+        });
     }
 
     /// Non-transactional load.
@@ -139,9 +170,10 @@ impl ProcHandle {
     }
 
     /// Explicit abort: flash-clears all speculative state, signatures,
-    /// CSTs and the AOU mark. Returns the number of lines discarded.
-    pub fn abort_tx(&self) -> usize {
-        sync_op(&self.shared, self.core, |st| st.abort_tx(self.core))
+    /// CSTs and the AOU mark, recording `cause` in the abort
+    /// attribution counters. Returns the number of lines discarded.
+    pub fn abort_tx(&self, cause: AbortCause) -> usize {
+        sync_op(&self.shared, self.core, |st| st.abort_tx(self.core, cause))
     }
 
     /// ALoad: cache `addr`'s line with the alert mark set, returning the
@@ -161,7 +193,7 @@ impl ProcHandle {
     /// Reads a CST register.
     pub fn read_cst(&self, kind: CstKind) -> u64 {
         sync_op(&self.shared, self.core, |st| {
-            st.advance(self.core, st.config.l1_latency);
+            st.charge_mem(self.core, st.config.l1_latency);
             st.cores[self.core].csts.read(kind)
         })
     }
@@ -169,7 +201,7 @@ impl ProcHandle {
     /// Atomic copy-and-clear of a CST register (Fig. 3, line 1).
     pub fn copy_and_clear_cst(&self, kind: CstKind) -> u64 {
         sync_op(&self.shared, self.core, |st| {
-            st.advance(self.core, st.config.l1_latency);
+            st.charge_mem(self.core, st.config.l1_latency);
             st.cores[self.core].csts.copy_and_clear(kind)
         })
     }
@@ -178,7 +210,7 @@ impl ProcHandle {
     /// W-R" optimization — here applied to the local CSTs).
     pub fn clear_cst_bit(&self, kind: CstKind, proc: usize) {
         sync_op(&self.shared, self.core, |st| {
-            st.advance(self.core, st.config.l1_latency);
+            st.charge_mem(self.core, st.config.l1_latency);
             st.cores[self.core].csts.clear_bit(kind, proc);
         });
     }
@@ -187,7 +219,7 @@ impl ProcHandle {
     /// signature without touching the cache.
     pub fn sig_insert(&self, kind: SigKind, addr: Addr) {
         sync_op(&self.shared, self.core, |st| {
-            st.advance(self.core, st.config.l1_latency);
+            st.charge_mem(self.core, st.config.l1_latency);
             let me = self.core;
             let core = &mut st.cores[me];
             match kind {
@@ -201,7 +233,7 @@ impl ProcHandle {
     /// `member [%r], Sig`: conservative membership test.
     pub fn sig_member(&self, kind: SigKind, addr: Addr) -> bool {
         sync_op(&self.shared, self.core, |st| {
-            st.advance(self.core, st.config.l1_latency);
+            st.charge_mem(self.core, st.config.l1_latency);
             let core = &st.cores[self.core];
             match kind {
                 SigKind::Read => core.rsig.contains(addr.line()),
@@ -213,7 +245,7 @@ impl ProcHandle {
     /// `clear Sig`: zeroes a signature.
     pub fn sig_clear(&self, kind: SigKind) {
         sync_op(&self.shared, self.core, |st| {
-            st.advance(self.core, st.config.l1_latency);
+            st.charge_mem(self.core, st.config.l1_latency);
             let me = self.core;
             let core = &mut st.cores[me];
             match kind {
@@ -228,7 +260,7 @@ impl ProcHandle {
     /// stores (writes) against the corresponding signature.
     pub fn watch_activate(&self, reads: bool, writes: bool) {
         sync_op(&self.shared, self.core, |st| {
-            st.advance(self.core, st.config.l1_latency);
+            st.charge_mem(self.core, st.config.l1_latency);
             st.cores[self.core].watch_reads = reads;
             st.cores[self.core].watch_writes = writes;
         });
@@ -277,7 +309,7 @@ impl ProcHandle {
             } else {
                 st.l2.cores_summary &= !(1 << self.core);
             }
-            st.advance(self.core, st.config.l2_round_trip());
+            st.charge_mem(self.core, st.config.l2_round_trip());
         });
     }
 

@@ -5,7 +5,7 @@ use super::msg::{AccessKind, AccessResult, CasCommitOutcome};
 use crate::core_state::AlertCause;
 use crate::machine::SimState;
 use crate::mem::Addr;
-use crate::stats::Event;
+use crate::stats::{AbortCause, Event};
 
 impl SimState {
     /// Plain atomic compare-and-swap (the instruction transactions use
@@ -42,14 +42,25 @@ impl SimState {
     ) -> CasCommitOutcome {
         let old = self.peek_word(tsw);
         if old != expected {
-            // Aborted remotely: revert speculative state.
+            // Aborted remotely: revert speculative state. Both base
+            // counters bump here, so both get a LostTsw attribution
+            // (the cause-sum invariant pairs every base increment with
+            // exactly one cause increment).
             let _ = self.access(me, tsw, AccessKind::Load, 0);
             self.cores[me].stats.failed_commits += 1;
+            self.cores[me]
+                .stats
+                .abort_causes
+                .record(AbortCause::LostTsw);
             let dropped = self.cores[me].hardware_abort();
             let _ = dropped;
             self.sync_core_masks(me);
             self.clear_aou(me);
             self.cores[me].stats.tx_aborts += 1;
+            self.cores[me]
+                .stats
+                .abort_causes
+                .record(AbortCause::LostTsw);
             self.log.push(Event::CasCommit {
                 core: me,
                 success: false,
@@ -59,6 +70,10 @@ impl SimState {
         if self.cores[me].csts.has_write_conflicts() {
             let (_, wr, ww) = self.cores[me].csts.snapshot();
             self.cores[me].stats.failed_commits += 1;
+            self.cores[me]
+                .stats
+                .abort_causes
+                .record(AbortCause::CommitConflicts);
             self.log.push(Event::CasCommit {
                 core: me,
                 success: false,
@@ -95,6 +110,9 @@ impl SimState {
         self.sync_core_masks(me);
         self.clear_aou(me);
         self.cores[me].stats.commits += 1;
+        // The attempt committed: its work/mem cycles were well spent,
+        // so drop the wasted-cycle mark instead of reclassifying.
+        self.clear_attempt_mark(me);
         self.log.push(Event::CasCommit {
             core: me,
             success: true,
@@ -103,15 +121,20 @@ impl SimState {
     }
 
     /// The explicit abort instruction: revert TMI/TI, clear signatures,
-    /// CSTs and the AOU mark, discard a speculative OT.
-    pub fn abort_tx(&mut self, me: usize) -> usize {
+    /// CSTs and the AOU mark, discard a speculative OT, and record
+    /// `cause` in the abort-attribution counters. Work/mem cycles
+    /// accrued since [`SimState::begin_attempt`] are reclassified into
+    /// `wasted_cycles`.
+    pub fn abort_tx(&mut self, me: usize, cause: AbortCause) -> usize {
         let dropped = self.cores[me].hardware_abort();
         self.sync_core_masks(me);
         self.clear_aou(me);
         self.cores[me].stats.tx_aborts += 1;
+        self.cores[me].stats.abort_causes.record(cause);
         self.cores[me].alert_pending = None;
-        self.log.push(Event::TxAbort { core: me });
-        self.advance(me, self.config.l1_latency);
+        self.log.push(Event::TxAbort { core: me, cause });
+        self.charge_mem(me, self.config.l1_latency);
+        self.abandon_attempt(me);
         dropped
     }
 
@@ -132,7 +155,7 @@ impl SimState {
         // A-bit write; only a miss re-probes after the fill.
         let slot = match self.cores[me].l1.peek_slot(line) {
             Some(s) => {
-                self.advance(me, self.config.l1_latency);
+                self.charge_mem(me, self.config.l1_latency);
                 Some(s)
             }
             None => {

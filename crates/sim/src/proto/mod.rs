@@ -46,6 +46,7 @@ mod tests {
     use crate::cst::CstKind;
     use crate::machine::SimState;
     use crate::mem::Addr;
+    use crate::stats::AbortCause;
 
     fn state() -> SimState {
         SimState::for_tests(MachineConfig::small_test())
@@ -242,7 +243,7 @@ mod tests {
         let mut st = state();
         st.mem.write(addr(0x2000), 1);
         st.access(0, addr(0x2000), AccessKind::TStore, 5);
-        st.abort_tx(0);
+        st.abort_tx(0, AbortCause::Explicit);
         assert_eq!(st.mem.read(addr(0x2000)), 1);
         assert!(st.cores[0].l1.peek(addr(0x2000).line()).is_none());
         let r = st.access(1, addr(0x2000), AccessKind::TLoad, 0);

@@ -82,6 +82,10 @@ impl SimState {
         self.cores[victim].hardware_abort();
         self.sync_core_masks(victim);
         self.cores[victim].stats.tx_aborts += 1;
+        self.cores[victim]
+            .stats
+            .abort_causes
+            .record(crate::stats::AbortCause::StrongIsolation);
         self.cores[victim].post_alert(AlertCause::StrongIsolation(line));
         self.log.push(Event::StrongIsolationAbort {
             victim,

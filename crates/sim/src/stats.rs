@@ -10,6 +10,125 @@
 use crate::cst::CstKind;
 use flextm_sig::LineAddr;
 
+/// Why a transaction abort (or failed commit) happened.
+///
+/// Every increment of `tx_aborts` or `failed_commits` is paired with
+/// exactly one [`AbortBreakdown`] cause increment, so per core
+/// `AbortBreakdown::cause_sum() == tx_aborts + failed_commits` holds at
+/// all times. This is the attribution taxonomy the paper's evaluation
+/// (and the Bobba et al. pathology vocabulary its §7 leans on) needs:
+/// it distinguishes CST-mediated commit-time losses from AOU kills,
+/// strong-isolation kills, and contention-manager decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// An AOU alert fired on the transaction's ALoaded TSW — an enemy
+    /// CAS'd it ABORTED (CM-directed enemy abort, or a lazy committer
+    /// clearing its W-R/W-W conflictors).
+    AouAlert,
+    /// A conflicting *non-transactional* access killed the transaction
+    /// (strong isolation, §3.5).
+    StrongIsolation,
+    /// CAS-Commit found the TSW already changed: the transaction was
+    /// aborted remotely and only discovered it at commit time.
+    LostTsw,
+    /// CAS-Commit failed because the W-R/W-W CSTs were non-zero —
+    /// write conflicts still pending arbitration.
+    CommitConflicts,
+    /// The contention manager directed this transaction to abort
+    /// itself (it lost the conflict).
+    CmSelf,
+    /// A conflict against a descheduled transaction's summary
+    /// signature forced this transaction to abort.
+    SummaryTrap,
+    /// Explicit software abort with no finer attribution (user retry,
+    /// migration, test harness).
+    Explicit,
+}
+
+/// Per-core abort-attribution counters (see [`AbortCause`]).
+///
+/// The first seven fields are the in-sum taxonomy: their total
+/// ([`AbortBreakdown::cause_sum`]) equals `tx_aborts + failed_commits`
+/// on the owning [`CoreStats`]. The trailing fields are out-of-sum
+/// diagnostics recorded by contention-management code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbortBreakdown {
+    /// Aborts attributed to [`AbortCause::AouAlert`].
+    pub aou_alert: u64,
+    /// Aborts attributed to [`AbortCause::StrongIsolation`].
+    pub strong_isolation: u64,
+    /// Aborts/failed commits attributed to [`AbortCause::LostTsw`].
+    pub lost_tsw: u64,
+    /// Failed commits attributed to [`AbortCause::CommitConflicts`].
+    pub commit_conflicts: u64,
+    /// Aborts attributed to [`AbortCause::CmSelf`].
+    pub cm_self: u64,
+    /// Aborts attributed to [`AbortCause::SummaryTrap`].
+    pub summary_trap: u64,
+    /// Aborts attributed to [`AbortCause::Explicit`].
+    pub explicit: u64,
+    /// Diagnostic (not in `cause_sum`): equal-priority conflicts that
+    /// the contention manager resolved by the deterministic id
+    /// tie-break — each of these would have been a mutual abort under
+    /// the old `>=` arbitration.
+    pub mutual_abort: u64,
+    /// Diagnostic (not in `cause_sum`): enemy TSWs this core
+    /// successfully CAS'd to ABORTED (CM-directed enemy kills).
+    pub cm_enemy_kills: u64,
+}
+
+impl AbortBreakdown {
+    /// Records one abort (or failed commit) under `cause`.
+    pub fn record(&mut self, cause: AbortCause) {
+        match cause {
+            AbortCause::AouAlert => self.aou_alert += 1,
+            AbortCause::StrongIsolation => self.strong_isolation += 1,
+            AbortCause::LostTsw => self.lost_tsw += 1,
+            AbortCause::CommitConflicts => self.commit_conflicts += 1,
+            AbortCause::CmSelf => self.cm_self += 1,
+            AbortCause::SummaryTrap => self.summary_trap += 1,
+            AbortCause::Explicit => self.explicit += 1,
+        }
+    }
+
+    /// Sum of the in-sum cause counters. Invariant: equals
+    /// `tx_aborts + failed_commits` on the owning core.
+    pub fn cause_sum(&self) -> u64 {
+        self.aou_alert
+            + self.strong_isolation
+            + self.lost_tsw
+            + self.commit_conflicts
+            + self.cm_self
+            + self.summary_trap
+            + self.explicit
+    }
+
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn minus(&self, earlier: &AbortBreakdown) -> AbortBreakdown {
+        AbortBreakdown {
+            aou_alert: self.aou_alert - earlier.aou_alert,
+            strong_isolation: self.strong_isolation - earlier.strong_isolation,
+            lost_tsw: self.lost_tsw - earlier.lost_tsw,
+            commit_conflicts: self.commit_conflicts - earlier.commit_conflicts,
+            cm_self: self.cm_self - earlier.cm_self,
+            summary_trap: self.summary_trap - earlier.summary_trap,
+            explicit: self.explicit - earlier.explicit,
+            mutual_abort: self.mutual_abort - earlier.mutual_abort,
+            cm_enemy_kills: self.cm_enemy_kills - earlier.cm_enemy_kills,
+        }
+    }
+}
+
+/// Zero-latency contention-management notes recorded through the
+/// processor interface into [`AbortBreakdown`] diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmEvent {
+    /// An equal-priority conflict was resolved by the id tie-break.
+    PriorityTie,
+    /// This core successfully CAS'd an enemy TSW to ABORTED.
+    EnemyAbort,
+}
+
 /// Per-core counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
@@ -27,7 +146,10 @@ pub struct CoreStats {
     pub l1_misses: u64,
     /// L1 misses that also missed in the L2 tags.
     pub l2_misses: u64,
-    /// L1 misses satisfied from the local overflow table.
+    /// L1 misses satisfied from the local overflow table. OT fills are
+    /// *also* counted in `l1_misses` (the access missed the L1 first,
+    /// then hit the OT lookaside), so
+    /// [`MachineReport::l1_hit_rate`] treats them as misses.
     pub ot_hits: u64,
     /// `Threatened` responses received.
     pub threatened_seen: u64,
@@ -47,15 +169,33 @@ pub struct CoreStats {
     pub tx_aborts: u64,
     /// Writebacks of M lines (evictions + first-TStore-to-M).
     pub writebacks: u64,
-    /// Cycles spent in `work` (computation).
+    /// Cycles spent in `work` (computation) during attempts that went
+    /// on to commit and during non-transactional execution. Work done
+    /// inside an attempt that ultimately aborted is reclassified into
+    /// `wasted_cycles` when the abort instruction retires.
     pub work_cycles: u64,
-    /// Cycles spent waiting on the memory system.
+    /// Cycles spent waiting on the memory system during attempts that
+    /// went on to commit and during non-transactional execution (same
+    /// reclassification rule as `work_cycles`).
     pub mem_cycles: u64,
+    /// Cycles spent in contention-manager stalls and backoff spins
+    /// (never reclassified — a stall is a stall whether or not the
+    /// attempt later aborted). Also absorbs end-of-run clock alignment.
+    pub stall_cycles: u64,
+    /// Work + memory cycles of attempts that ultimately aborted — the
+    /// paper's key lazy-vs-eager metric.
+    pub wasted_cycles: u64,
+    /// Abort-cause attribution (invariant:
+    /// `abort_causes.cause_sum() == tx_aborts + failed_commits`).
+    pub abort_causes: AbortBreakdown,
 }
 
 impl CoreStats {
     /// Counter-wise difference against an `earlier` snapshot of the
-    /// same core (all counters are monotone).
+    /// same core. All counters are monotone between snapshot points:
+    /// wasted-cycle reclassification moves cycles between buckets only
+    /// within a single attempt, and attempts never span a report
+    /// snapshot (snapshots are taken between runs).
     pub fn minus(&self, earlier: &CoreStats) -> CoreStats {
         CoreStats {
             loads: self.loads - earlier.loads,
@@ -77,7 +217,16 @@ impl CoreStats {
             writebacks: self.writebacks - earlier.writebacks,
             work_cycles: self.work_cycles - earlier.work_cycles,
             mem_cycles: self.mem_cycles - earlier.mem_cycles,
+            stall_cycles: self.stall_cycles - earlier.stall_cycles,
+            wasted_cycles: self.wasted_cycles - earlier.wasted_cycles,
+            abort_causes: self.abort_causes.minus(&earlier.abort_causes),
         }
+    }
+
+    /// Sum of the four cycle buckets. Invariant: equals this core's
+    /// final clock in a [`MachineReport`].
+    pub fn cycle_sum(&self) -> u64 {
+        self.work_cycles + self.mem_cycles + self.stall_cycles + self.wasted_cycles
     }
 }
 
@@ -157,6 +306,8 @@ impl MachineReport {
     }
 
     /// Overall L1 hit rate in `[0, 1]` (1 if there were no accesses).
+    /// Accesses satisfied from the overflow table (`ot_hits`) count as
+    /// misses here: they are a subset of `l1_misses`.
     pub fn l1_hit_rate(&self) -> f64 {
         let hits = self.total(|c| c.l1_hits);
         let total = hits + self.total(|c| c.l1_misses);
@@ -188,7 +339,31 @@ impl MachineReport {
     /// the same machine — the counters attributable to the runs in
     /// between. Used by the workload harness to separate a measured
     /// phase from its warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports have different core counts: snapshots
+    /// of the *same* machine always have identical `cores` /
+    /// `core_cycles` lengths, so a mismatch means the caller diffed
+    /// reports from different machines (previously this was silently
+    /// truncated by `zip`).
     pub fn delta(&self, earlier: &MachineReport) -> MachineReport {
+        assert_eq!(
+            self.cores.len(),
+            earlier.cores.len(),
+            "MachineReport::delta: reports are from different machines \
+             ({} vs {} cores)",
+            self.cores.len(),
+            earlier.cores.len(),
+        );
+        assert_eq!(
+            self.core_cycles.len(),
+            earlier.core_cycles.len(),
+            "MachineReport::delta: reports are from different machines \
+             ({} vs {} core clocks)",
+            self.core_cycles.len(),
+            earlier.core_cycles.len(),
+        );
         MachineReport {
             core_cycles: self
                 .core_cycles
@@ -274,6 +449,8 @@ pub enum Event {
     TxAbort {
         /// Aborting processor.
         core: usize,
+        /// Attribution recorded with the abort.
+        cause: AbortCause,
     },
     /// An L1 miss hit the directory's summary signatures and trapped to
     /// software.
@@ -403,16 +580,74 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "different machines")]
+    fn delta_panics_on_core_count_mismatch() {
+        let a = MachineReport {
+            core_cycles: vec![10, 20],
+            cores: vec![CoreStats::default(); 2],
+            sched: SchedStats::default(),
+        };
+        let b = MachineReport {
+            core_cycles: vec![5],
+            cores: vec![CoreStats::default(); 1],
+            sched: SchedStats::default(),
+        };
+        let _ = a.delta(&b);
+    }
+
+    #[test]
+    fn abort_breakdown_records_and_sums() {
+        let mut b = AbortBreakdown::default();
+        b.record(AbortCause::AouAlert);
+        b.record(AbortCause::AouAlert);
+        b.record(AbortCause::LostTsw);
+        b.record(AbortCause::CommitConflicts);
+        b.record(AbortCause::CmSelf);
+        b.record(AbortCause::StrongIsolation);
+        b.record(AbortCause::SummaryTrap);
+        b.record(AbortCause::Explicit);
+        b.mutual_abort = 5;
+        b.cm_enemy_kills = 7;
+        assert_eq!(b.aou_alert, 2);
+        // Diagnostics stay out of the in-sum total.
+        assert_eq!(b.cause_sum(), 8);
+        let mut earlier = AbortBreakdown::default();
+        earlier.record(AbortCause::AouAlert);
+        let d = b.minus(&earlier);
+        assert_eq!(d.aou_alert, 1);
+        assert_eq!(d.cause_sum(), 7);
+        assert_eq!(d.mutual_abort, 5);
+    }
+
+    #[test]
+    fn cycle_sum_adds_all_four_buckets() {
+        let s = CoreStats {
+            work_cycles: 10,
+            mem_cycles: 20,
+            stall_cycles: 30,
+            wasted_cycles: 40,
+            ..CoreStats::default()
+        };
+        assert_eq!(s.cycle_sum(), 100);
+    }
+
+    #[test]
     fn disabled_log_discards() {
         let mut log = EventLog::new(false);
-        log.push(Event::TxAbort { core: 0 });
+        log.push(Event::TxAbort {
+            core: 0,
+            cause: AbortCause::Explicit,
+        });
         assert!(log.events().is_empty());
     }
 
     #[test]
     fn enabled_log_records_in_order() {
         let mut log = EventLog::new(true);
-        log.push(Event::TxAbort { core: 0 });
+        log.push(Event::TxAbort {
+            core: 0,
+            cause: AbortCause::Explicit,
+        });
         log.push(Event::CasCommit {
             core: 1,
             success: true,

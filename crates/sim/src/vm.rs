@@ -82,7 +82,7 @@ impl SimState {
             }
         }
         self.sync_core_masks(me);
-        self.advance(me, latency);
+        self.charge_mem(me, latency);
         saved
     }
 
@@ -96,7 +96,7 @@ impl SimState {
         self.cores[me].ot = saved.ot;
         self.sync_core_masks(me);
         let latency = self.config.l1_latency * 4;
-        self.advance(me, latency);
+        self.charge_mem(me, latency);
     }
 
     /// Installs a descheduled thread's signatures into the directory
@@ -106,7 +106,7 @@ impl SimState {
         let wsig = saved.write_signature(&self.config.signature);
         self.l2.read_summary.install(thread_id, rsig);
         self.l2.write_summary.install(thread_id, wsig);
-        self.advance(me, self.config.l2_round_trip());
+        self.charge_mem(me, self.config.l2_round_trip());
     }
 
     /// Removes a rescheduled thread from the directory summaries; the
@@ -114,7 +114,7 @@ impl SimState {
     pub fn remove_summary(&mut self, me: usize, thread_id: usize) {
         self.l2.read_summary.remove(thread_id);
         self.l2.write_summary.remove(thread_id);
-        self.advance(me, self.config.l2_round_trip());
+        self.charge_mem(me, self.config.l2_round_trip());
     }
 
     /// §4.1 page remap: the OS moved logical page `old → new`. Every

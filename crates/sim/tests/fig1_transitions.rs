@@ -5,7 +5,7 @@
 //! Notation in test names: `from_X_on_Y_to_Z` — a line in state `X`
 //! experiencing event `Y` ends in state `Z` at the observed core.
 
-use flextm_sim::{AccessKind, Addr, ConflictKind, L1State, MachineConfig, SimState};
+use flextm_sim::{AbortCause, AccessKind, Addr, ConflictKind, L1State, MachineConfig, SimState};
 
 fn st() -> SimState {
     SimState::for_tests(MachineConfig::small_test())
@@ -148,7 +148,7 @@ fn abort_tmi_and_ti_to_i() {
     s.access(0, a(0x1000), AccessKind::TStore, 7);
     s.access(1, a(0x2000), AccessKind::TStore, 8);
     s.access(0, a(0x2000), AccessKind::TLoad, 0);
-    s.abort_tx(0);
+    s.abort_tx(0, AbortCause::Explicit);
     assert_eq!(state_of(&s, 0, a(0x1000)), None);
     assert_eq!(state_of(&s, 0, a(0x2000)), None);
 }

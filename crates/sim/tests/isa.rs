@@ -2,7 +2,9 @@
 //! driven through the real threaded machine (not `SimState::for_tests`),
 //! including the deterministic scheduler's cross-core interleavings.
 
-use flextm_sim::{Addr, AlertCause, CasCommitOutcome, CstKind, Machine, MachineConfig, SigKind};
+use flextm_sim::{
+    AbortCause, Addr, AlertCause, CasCommitOutcome, CstKind, Machine, MachineConfig, SigKind,
+};
 
 fn machine(cores: usize) -> Machine {
     Machine::new(MachineConfig::small_test().with_cores(cores))
@@ -141,7 +143,7 @@ fn abort_tx_discards_everything() {
     let m = machine(1);
     m.run(1, |proc| {
         proc.tstore(Addr::new(0x7000), 9).expect("no alert");
-        let dropped = proc.abort_tx();
+        let dropped = proc.abort_tx(AbortCause::Explicit);
         assert_eq!(dropped, 1);
     });
     m.with_state(|st| assert_eq!(st.mem.read(Addr::new(0x7000)), 0));

@@ -19,7 +19,9 @@
 // note in this package's Cargo.toml.
 #![cfg(feature = "proptests")]
 
-use flextm_sim::{AccessKind, Addr, CasCommitOutcome, L1State, MachineConfig, SimState};
+use flextm_sim::{
+    AbortCause, AccessKind, Addr, CasCommitOutcome, L1State, MachineConfig, SimState,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -199,7 +201,7 @@ fn run_sequence(ops: &[Op]) {
                     // The hardware alert may arrive here; drain it and
                     // abort like the runtime would.
                     if st.cores[core].alert_pending.take().is_some() {
-                        st.abort_tx(core);
+                        st.abort_tx(core, AbortCause::Explicit);
                         model.spec[core].clear();
                         model.reads[core].clear();
                         model.doomed[core] = false;
@@ -227,7 +229,7 @@ fn run_sequence(ops: &[Op]) {
             }
             Op::TStore { core, word, value } => {
                 if model.doomed[core] && st.cores[core].alert_pending.take().is_some() {
-                    st.abort_tx(core);
+                    st.abort_tx(core, AbortCause::Explicit);
                     model.spec[core].clear();
                     model.reads[core].clear();
                     model.doomed[core] = false;
@@ -240,7 +242,7 @@ fn run_sequence(ops: &[Op]) {
             Op::Commit { core } => {
                 // Runtime discipline: consume alerts first.
                 if st.cores[core].alert_pending.take().is_some() {
-                    st.abort_tx(core);
+                    st.abort_tx(core, AbortCause::Explicit);
                     model.spec[core].clear();
                     model.reads[core].clear();
                     model.doomed[core] = false;
@@ -283,7 +285,7 @@ fn run_sequence(ops: &[Op]) {
                     CasCommitOutcome::ConflictsPending { .. } => {
                         // New conflicts; treat as abort for the model
                         // (the runtime would loop — equivalent here).
-                        st.abort_tx(core);
+                        st.abort_tx(core, AbortCause::Explicit);
                         model.spec[core].clear();
                         model.reads[core].clear();
                         st.mem.write(tsw_of(core), 1);
@@ -292,7 +294,7 @@ fn run_sequence(ops: &[Op]) {
                 }
             }
             Op::Abort { core } => {
-                st.abort_tx(core);
+                st.abort_tx(core, AbortCause::Explicit);
                 model.spec[core].clear();
                 model.reads[core].clear();
                 model.doomed[core] = false;

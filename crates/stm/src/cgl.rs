@@ -53,7 +53,7 @@ impl TmThread for CglThread {
                 self.backoff = 8;
                 break;
             }
-            self.proc.work(self.backoff);
+            self.proc.stall(self.backoff);
             self.backoff = (self.backoff * 2).min(1024);
         }
         let mut txn = CglTxn { proc: &self.proc };

@@ -144,10 +144,12 @@ impl RstmTxn<'_, '_> {
                 match self.th.cm.on_conflict(CmContext {
                     my_priority: my_prio,
                     enemy_priority: enemy_prio,
+                    my_id: self.th.tid,
+                    enemy_id: owner,
                     stalls_so_far: stalls,
                 }) {
                     CmDecision::Stall(cycles) => {
-                        self.th.proc.work(cycles);
+                        self.th.proc.stall(cycles);
                         stalls += 1;
                     }
                     CmDecision::AbortEnemy => {
@@ -270,7 +272,7 @@ impl TmThread for RstmThread<'_> {
         drop(txn);
         let _ = self.proc.cas(status, TSW_ACTIVE, TSW_ABORTED);
         let backoff = self.cm.on_abort();
-        self.proc.work(backoff);
+        self.proc.stall(backoff);
         AttemptOutcome::Aborted
     }
 

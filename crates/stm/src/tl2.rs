@@ -150,7 +150,7 @@ impl TmThread for Tl2Thread<'_> {
         if body(&mut txn).is_err() {
             self.backoff = (self.backoff * 2).min(4096);
             let b = self.jitter();
-            self.proc.work(b);
+            self.proc.stall(b);
             return AttemptOutcome::Aborted;
         }
         let Tl2Txn {
@@ -181,7 +181,7 @@ impl TmThread for Tl2Thread<'_> {
             for _ in 0..4 {
                 let o = self.proc.load(orec);
                 if lockword::is_locked(o) {
-                    self.proc.work(32);
+                    self.proc.stall(32);
                     continue;
                 }
                 let prev = self
@@ -239,7 +239,7 @@ impl TmThread for Tl2Thread<'_> {
         }
         self.backoff = (self.backoff * 2).min(4096);
         let b = self.jitter();
-        self.proc.work(b);
+        self.proc.stall(b);
         AttemptOutcome::Aborted
     }
 

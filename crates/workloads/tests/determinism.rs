@@ -14,6 +14,16 @@
 //!   events and simulated state as the default engine, proving the
 //!   fast paths are pure performance, not semantics.
 
+//!
+//! It also pins the observability layer added on top:
+//!
+//! * per-core accounting invariants hold on every suite workload
+//!   (abort causes sum to the abort counters; the four cycle buckets
+//!   sum to the core clock),
+//! * an attempt trace taken from two identical runs serializes to
+//!   byte-identical JSONL and round-trips through the parser, and
+//! * turning the event log off does not perturb simulated counters.
+
 use flextm::{FlexTm, FlexTmConfig};
 use flextm_sim::{Event, Machine, MachineConfig, MachineReport};
 use flextm_workloads::harness::{run_measured, RunConfig, Workload};
@@ -61,6 +71,31 @@ fn assert_identical(name: &str, make: fn() -> Box<dyn Workload>) {
     );
 }
 
+/// Asserts the two accounting invariants the observability layer
+/// guarantees per core: every abort-counter increment carries exactly
+/// one cause, and work + mem + stall + wasted account for every cycle
+/// on the core clock.
+fn assert_accounting_invariants(name: &str, report: &MachineReport) {
+    let mut aborts_seen = 0u64;
+    for (i, core) in report.cores.iter().enumerate() {
+        assert_eq!(
+            core.abort_causes.cause_sum(),
+            core.tx_aborts + core.failed_commits,
+            "{name}: core {i} abort causes do not sum to tx_aborts + failed_commits"
+        );
+        assert_eq!(
+            core.cycle_sum(),
+            report.core_cycles[i],
+            "{name}: core {i} cycle buckets do not sum to the core clock"
+        );
+        aborts_seen += core.tx_aborts;
+    }
+    assert!(
+        aborts_seen > 0,
+        "{name}: contention produced no aborts — the invariant check is vacuous"
+    );
+}
+
 #[test]
 fn hashtable_replays_identically() {
     assert_identical("HashTable", || Box::new(HashTable::paper()));
@@ -69,6 +104,69 @@ fn hashtable_replays_identically() {
 #[test]
 fn rbtree_replays_identically() {
     assert_identical("RBTree", || Box::new(RbTree::paper()));
+}
+
+#[test]
+fn hashtable_accounting_invariants_hold() {
+    let (_, report) = run_once(Box::new(HashTable::paper()), false);
+    assert_accounting_invariants("HashTable", &report);
+}
+
+#[test]
+fn rbtree_accounting_invariants_hold() {
+    let (_, report) = run_once(Box::new(RbTree::paper()), false);
+    assert_accounting_invariants("RBTree", &report);
+}
+
+/// One traced measured run; returns the trace serialized as JSONL.
+fn traced_jsonl(mut workload: Box<dyn Workload>) -> String {
+    let config = MachineConfig::paper_default().with_cores(THREADS);
+    let machine = Machine::new(config);
+    workload.setup(&machine);
+    let tm = FlexTm::new(&machine, FlexTmConfig::lazy(THREADS));
+    tm.set_tracing(true);
+    run_measured(&machine, &tm, workload.as_ref(), small_run());
+    flextm_trace::to_jsonl(&tm.take_trace())
+}
+
+#[test]
+fn attempt_trace_is_deterministic_and_round_trips() {
+    let a = traced_jsonl(Box::new(HashTable::paper()));
+    let b = traced_jsonl(Box::new(HashTable::paper()));
+    assert!(!a.is_empty(), "traced run produced no records");
+    assert_eq!(a, b, "two identical traced runs serialized differently");
+    let records = flextm_trace::parse_jsonl(&a).expect("trace JSONL parses");
+    assert_eq!(
+        flextm_trace::to_jsonl(&records),
+        a,
+        "trace did not round-trip through the parser"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r.ev, flextm_trace::TraceEv::Abort { .. })),
+        "contended run traced no aborts"
+    );
+}
+
+/// The event log is pure observation: disabling it must not change
+/// one simulated counter or cycle.
+#[test]
+fn event_log_off_does_not_perturb_counters() {
+    let run = |record_events: bool| {
+        let mut config = MachineConfig::paper_default().with_cores(THREADS);
+        config.record_events = record_events;
+        let machine = Machine::new(config);
+        let mut workload: Box<dyn Workload> = Box::new(HashTable::paper());
+        workload.setup(&machine);
+        let tm = FlexTm::new(&machine, FlexTmConfig::lazy(THREADS));
+        run_measured(&machine, &tm, workload.as_ref(), small_run());
+        machine.report()
+    };
+    let with_events = run(true);
+    let without = run(false);
+    assert_eq!(with_events.cores, without.cores);
+    assert_eq!(with_events.core_cycles, without.core_cycles);
 }
 
 /// Strict lockstep (all scheduler fast paths off) must be an exact

@@ -6,6 +6,10 @@
 #   2. cargo clippy --workspace -- -D warnings
 #   3. cargo fmt --check
 #   4. cargo bench --workspace --no-run (benches must keep compiling)
+#   5. trace-enabled determinism pass (release): the attempt-trace
+#      JSONL must be byte-identical across seeded runs
+#   6. sched_bench --trace smoke: the abort-attribution table and
+#      JSONL trace render end to end
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -25,5 +29,17 @@ cargo fmt --all --check
 
 echo "== benches compile (no run) =="
 cargo bench --workspace --no-run
+
+echo "== trace determinism (release) =="
+cargo test -q --release -p flextm-workloads --test determinism \
+    attempt_trace_is_deterministic_and_round_trips
+
+echo "== sched_bench --trace smoke =="
+trace_out="$(mktemp)"
+FLEXTM_SCHED_TXNS=8 FLEXTM_TRACE_OUT="$trace_out" \
+    cargo run -q --release -p flextm-bench --bin sched_bench -- --protocol --trace \
+    > /dev/null
+test -s "$trace_out" || { echo "sched_bench --trace wrote no records"; exit 1; }
+rm -f "$trace_out"
 
 echo "verify: all checks passed"
