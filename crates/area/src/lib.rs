@@ -10,6 +10,8 @@
 //! constants are documented inline; `EXPERIMENTS.md` records
 //! model-vs-paper for every cell of the table.
 
+#![forbid(unsafe_code)]
+
 mod model;
 mod table2;
 

@@ -1,0 +1,159 @@
+//! `proto_check`: command-line front end for the `flextm-check`
+//! explicit-state model checker.
+//!
+//! ```text
+//! # exhaustive, to fixpoint (default 2 cores x 1 line, full alphabet)
+//! cargo run --release -p flextm-bench --bin proto_check
+//!
+//! # bounded-depth exhaustive at 3x1
+//! cargo run --release -p flextm-bench --bin proto_check -- \
+//!     --cores 3 --lines 1 --depth 7
+//!
+//! # random walk at 8x8
+//! cargo run --release -p flextm-bench --bin proto_check -- \
+//!     --cores 8 --lines 8 --walk --steps 200000 --seed 42
+//! ```
+//!
+//! Exits 0 on a clean run, 1 on an invariant violation (the shrunk
+//! schedule is printed, ready to paste into a regression test), 2 on
+//! bad usage.
+
+use flextm_check::{explore, random_walk, Alphabet, CheckConfig, Progress};
+use flextm_workloads::rng::WlRng;
+use std::time::Instant;
+
+struct Args {
+    cores: usize,
+    lines: usize,
+    depth: Option<usize>,
+    alphabet: Alphabet,
+    walk: bool,
+    steps: u64,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: proto_check [--cores N] [--lines N] [--depth N] \
+         [--alphabet full|tx|noevict] [--walk] [--steps N] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cores: 2,
+        lines: 1,
+        depth: None,
+        alphabet: Alphabet::Full,
+        walk: false,
+        steps: 100_000,
+        seed: 0x5EED,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--cores" => args.cores = val("--cores").parse().unwrap_or_else(|_| usage()),
+            "--lines" => args.lines = val("--lines").parse().unwrap_or_else(|_| usage()),
+            "--depth" => args.depth = Some(val("--depth").parse().unwrap_or_else(|_| usage())),
+            "--alphabet" => {
+                args.alphabet = Alphabet::parse(&val("--alphabet")).unwrap_or_else(|| usage())
+            }
+            "--walk" => args.walk = true,
+            "--steps" => args.steps = val("--steps").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let cfg = CheckConfig {
+        alphabet: a.alphabet,
+        ..CheckConfig::new(a.cores, a.lines)
+    };
+    let t0 = Instant::now();
+
+    if a.walk {
+        eprintln!(
+            "proto_check: random walk, {} cores x {} lines, {} steps, seed {:#x}",
+            a.cores, a.lines, a.steps, a.seed
+        );
+        let mut rng = WlRng::new(a.seed, 0);
+        let mut pick = |n: usize| rng.below(n as u64) as usize;
+        let mut progress = |done: u64| {
+            let s = t0.elapsed().as_secs_f64();
+            eprintln!("  {done} steps, {:.0} steps/s", done as f64 / s.max(1e-9));
+        };
+        let out = random_walk(&cfg, a.steps, &mut pick, Some(&mut progress));
+        let wall = t0.elapsed().as_secs_f64();
+        match out.violation {
+            Some(v) => {
+                eprintln!("{}", v.render());
+                eprintln!("after {} steps in {wall:.2}s", out.steps);
+                std::process::exit(1);
+            }
+            None => {
+                println!(
+                    "{{\"bench\": \"proto_check_walk\", \"cores\": {}, \"lines\": {}, \
+                     \"steps\": {}, \"seed\": {}, \"wall_s\": {:.3}, \"violations\": 0}}",
+                    a.cores, a.lines, out.steps, a.seed, wall
+                );
+            }
+        }
+    } else {
+        eprintln!(
+            "proto_check: exhaustive, {} cores x {} lines, depth {}",
+            a.cores,
+            a.lines,
+            a.depth.map_or("unbounded".to_string(), |d| d.to_string()),
+        );
+        let mut progress = |p: &Progress| {
+            let s = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "  {} states, {} transitions, frontier {}, depth {}, {:.0} states/s",
+                p.states,
+                p.transitions,
+                p.frontier,
+                p.depth,
+                p.states as f64 / s.max(1e-9)
+            );
+        };
+        let out = explore(&cfg, a.depth, Some(&mut progress));
+        let wall = t0.elapsed().as_secs_f64();
+        match out.violation {
+            Some(v) => {
+                eprintln!("{}", v.render());
+                eprintln!(
+                    "after {} states / {} transitions in {wall:.2}s",
+                    out.states, out.transitions
+                );
+                std::process::exit(1);
+            }
+            None => {
+                println!(
+                    "{{\"bench\": \"proto_check\", \"cores\": {}, \"lines\": {}, \
+                     \"depth\": {}, \"states\": {}, \"transitions\": {}, \
+                     \"max_depth\": {}, \"truncated\": {}, \"wall_s\": {:.3}, \
+                     \"violations\": 0}}",
+                    a.cores,
+                    a.lines,
+                    a.depth.map_or(-1i64, |d| d as i64),
+                    out.states,
+                    out.transitions,
+                    out.max_depth,
+                    out.depth_truncated,
+                    wall
+                );
+            }
+        }
+    }
+}

@@ -19,6 +19,8 @@
 //! and `FLEXTM_MAX_THREADS` (default 16) trade fidelity for wall-clock
 //! time.
 
+#![forbid(unsafe_code)]
+
 use flextm::{CmKind, FlexTm, FlexTmConfig};
 use flextm_sim::api::TmRuntime;
 use flextm_sim::{Machine, MachineConfig};

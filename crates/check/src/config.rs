@@ -1,0 +1,110 @@
+//! Checker configurations: tiny machines whose geometry makes the
+//! canonical projection sound (see the crate docs).
+
+use flextm_sig::SignatureConfig;
+use flextm_sim::{Addr, LineAddr, MachineConfig};
+
+/// Which subset of the op alphabet the explorer enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alphabet {
+    /// Everything: transactional and plain accesses, evictions,
+    /// commits, aborts.
+    Full,
+    /// Transactional ops only (no plain read/write, no evictions).
+    /// Shrinks the branching factor for deeper bounded runs.
+    TxOnly,
+    /// Everything except evictions (keeps strong isolation in play
+    /// without the OT-overflow paths).
+    NoEvict,
+}
+
+impl Alphabet {
+    /// Parses the `--alphabet` flag.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "full" => Some(Alphabet::Full),
+            "tx" => Some(Alphabet::TxOnly),
+            "noevict" => Some(Alphabet::NoEvict),
+            _ => None,
+        }
+    }
+
+    /// True if plain (non-transactional) accesses are enumerated.
+    pub fn plain_ops(self) -> bool {
+        self != Alphabet::TxOnly
+    }
+
+    /// True if explicit evictions are enumerated.
+    pub fn evictions(self) -> bool {
+        self == Alphabet::Full
+    }
+}
+
+/// A checker instance: `cores × lines` with a fixed op alphabet.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Processor count (2–3 for exhaustive runs, up to 8 for walks).
+    pub cores: usize,
+    /// Number of distinct data lines in the op alphabet.
+    pub lines: usize,
+    /// Which ops the explorer enumerates.
+    pub alphabet: Alphabet,
+}
+
+impl CheckConfig {
+    /// A `cores × lines` configuration with the full alphabet.
+    pub fn new(cores: usize, lines: usize) -> Self {
+        assert!((2..=16).contains(&cores), "checker wants 2..=16 cores");
+        assert!((1..=16).contains(&lines), "checker wants 1..=16 lines");
+        CheckConfig {
+            cores,
+            lines,
+            alphabet: Alphabet::Full,
+        }
+    }
+
+    /// The simulated machine: real latencies, tiny 64-bit signatures
+    /// (so Bloom aliasing is actually reachable), and a geometry where
+    /// data and TSW lines all land in distinct L1/L2 ways — no
+    /// capacity evictions ever fire, which is what lets the canonical
+    /// projection exclude LRU state. `ot_copyback_per_line = 0`
+    /// minimizes the NACK window (per-core clock skew can still open
+    /// it briefly, but NACKs are architecturally transparent: the
+    /// machine charges the retry wait as stall latency and completes
+    /// the access).
+    pub fn machine(&self) -> MachineConfig {
+        MachineConfig {
+            l1_bytes: 4 * 1024,
+            l1_ways: 4,
+            victim_entries: 2,
+            l2_bytes: 16 * 1024,
+            l2_ways: 8,
+            signature: SignatureConfig::tiny(),
+            ot_copyback_per_line: 0,
+            record_events: false,
+            ..MachineConfig::small_test().with_cores(self.cores)
+        }
+    }
+
+    /// Word address of data line `l` (distinct L1 sets for `l < 16`).
+    pub fn data_addr(&self, l: usize) -> Addr {
+        debug_assert!(l < self.lines);
+        Addr::new(0x1000 + l as u64 * 64)
+    }
+
+    /// The line behind [`CheckConfig::data_addr`].
+    pub fn data_line(&self, l: usize) -> LineAddr {
+        self.data_addr(l).line()
+    }
+
+    /// Word address of core `c`'s transaction status word.
+    pub fn tsw_addr(&self, c: usize) -> Addr {
+        debug_assert!(c < self.cores);
+        Addr::new(0x8000 + c as u64 * 64)
+    }
+
+    /// The line behind [`CheckConfig::tsw_addr`].
+    pub fn tsw_line(&self, c: usize) -> LineAddr {
+        self.tsw_addr(c).line()
+    }
+}

@@ -1,0 +1,537 @@
+//! The checker's driver: a real [`SimState`] plus the sequential
+//! shadow an architectural observer can maintain, with the
+//! cross-validation asserts that turn a schedule into a test oracle.
+
+use crate::config::CheckConfig;
+use crate::op::Op;
+use flextm_sim::{
+    procs_in_mask, AbortCause, AccessKind, AccessResult, AlertCause, CasCommitOutcome,
+    ConflictKind, CstKind, MachineConfig, SimState,
+};
+use std::collections::BTreeMap;
+
+/// TSW encodings. Deliberately attempt-free (unlike the production
+/// runtime's sequence-tagged words) so restarted transactions reach
+/// previously visited canonical states; the driver is sequential, so
+/// the ABA hazard the tags defend against cannot occur.
+pub const TSW_IDLE: u64 = 0;
+/// Transaction running.
+pub const TSW_ACTIVE: u64 = 1;
+/// Transaction aborted (by itself or an enemy CAS).
+pub const TSW_ABORTED: u64 = 2;
+/// Transaction committed.
+pub const TSW_COMMITTED: u64 = 3;
+
+/// Shadow bookkeeping for one core's current transaction.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowCore {
+    /// A transaction is in flight (begun, not yet committed/aborted).
+    pub active: bool,
+    /// An enemy CAS flipped our TSW; we are dead but haven't noticed.
+    pub doomed: bool,
+    /// The authoritative TSW value (driver is the only TSW writer).
+    pub tsw: u64,
+    /// True read set: line index → first value observed.
+    pub reads: BTreeMap<usize, u64>,
+    /// True write set: line index → last value stored.
+    pub writes: BTreeMap<usize, u64>,
+    /// Shadow CSTs, folded from the conflicts the hardware reported.
+    pub rw: u64,
+    /// Shadow W-R.
+    pub wr: u64,
+    /// Shadow W-W.
+    pub ww: u64,
+}
+
+impl ShadowCore {
+    fn clear_tx(&mut self) {
+        self.active = false;
+        self.doomed = false;
+        self.reads.clear();
+        self.writes.clear();
+        self.rw = 0;
+        self.wr = 0;
+        self.ww = 0;
+    }
+}
+
+/// The model-checker driver. See the crate docs for the invariant
+/// catalogue; every `assert!` here is one of them.
+pub struct Driver {
+    /// The real machine, invariant hooks armed (`for_tests`).
+    pub st: SimState,
+    /// Per-core shadow transactions.
+    pub shadow: Vec<ShadowCore>,
+    /// Shadow committed memory, one word per data line.
+    pub shadow_mem: Vec<u64>,
+    cfg: CheckConfig,
+}
+
+impl Driver {
+    /// A fresh machine in the all-idle initial state.
+    pub fn new(cfg: CheckConfig) -> Self {
+        let mc: MachineConfig = cfg.machine();
+        Driver {
+            st: SimState::for_tests(mc),
+            shadow: vec![ShadowCore::default(); cfg.cores],
+            shadow_mem: vec![0; cfg.lines],
+            cfg,
+        }
+    }
+
+    /// The checker config this driver was built from.
+    pub fn config(&self) -> &CheckConfig {
+        &self.cfg
+    }
+
+    /// Deep copy for state forking (the `SimState` side goes through
+    /// `clone_for_check`, which rebuilds the scheduler lanes).
+    pub fn fork(&self) -> Self {
+        Driver {
+            st: self.st.clone_for_check(),
+            shadow: self.shadow.clone(),
+            shadow_mem: self.shadow_mem.clone(),
+            cfg: self.cfg.clone(),
+        }
+    }
+
+    /// The value a `TWrite(c, l)` always stores. Path-independent so
+    /// states reached through different schedules can converge.
+    fn tx_val(c: usize, l: usize) -> u64 {
+        (1 << 32) | ((c as u64) << 8) | l as u64
+    }
+
+    /// The value a plain `Write(c, l)` always stores.
+    fn plain_val(c: usize, l: usize) -> u64 {
+        (2 << 32) | ((c as u64) << 8) | l as u64
+    }
+
+    /// Ops currently enabled. A function of canon-visible state only
+    /// (alerts, shadow activity, L1 residency), which keeps visited-set
+    /// pruning sound.
+    pub fn enabled_ops(&self) -> Vec<Op> {
+        let mut ops = Vec::new();
+        for c in 0..self.cfg.cores {
+            if self.st.cores[c].alert_pending.is_some() {
+                // Most ops on this core are consumed by the alert
+                // handler; one representative avoids redundant
+                // successors. Commit stays schedulable on a live shadow
+                // because software masks alerts inside the commit
+                // critical section — that is the schedule that reaches
+                // CAS-Commit on a doomed TSW (the `LostTsw` outcome).
+                ops.push(Op::Abort(c));
+                if self.shadow[c].active {
+                    ops.push(Op::Commit(c));
+                }
+                continue;
+            }
+            let active = self.shadow[c].active;
+            for l in 0..self.cfg.lines {
+                ops.push(Op::TRead(c, l));
+                ops.push(Op::TWrite(c, l));
+                if !active && self.cfg.alphabet.plain_ops() {
+                    ops.push(Op::Read(c, l));
+                    ops.push(Op::Write(c, l));
+                }
+                if self.cfg.alphabet.evictions()
+                    && self.st.cores[c].l1.peek(self.cfg.data_line(l)).is_some()
+                {
+                    ops.push(Op::Evict(c, l));
+                }
+            }
+            if active {
+                ops.push(Op::Commit(c));
+                ops.push(Op::Abort(c));
+            }
+        }
+        ops
+    }
+
+    /// Applies one op (or the alert handler it is consumed by), then
+    /// runs the full cross-validation sweep. Panics on any invariant
+    /// violation. Ops that are disabled in the current state (as can
+    /// happen while shrinking a counterexample) are silent no-ops.
+    pub fn apply(&mut self, op: Op) {
+        let c = op.core();
+        // A pending alert preempts the scheduled op — except Commit,
+        // which models the runtime masking alerts across its critical
+        // section and lets CAS-Commit itself discover the lost TSW.
+        if self.st.cores[c].alert_pending.is_some() && !matches!(op, Op::Commit(_)) {
+            self.service_alert(c);
+            self.post_op_checks();
+            return;
+        }
+        match op {
+            Op::TRead(c, l) => self.tx_read(c, l),
+            Op::TWrite(c, l) => self.tx_write(c, l),
+            Op::Read(c, l) => self.plain_read(c, l),
+            Op::Write(c, l) => self.plain_write(c, l),
+            Op::Evict(c, l) => {
+                self.st.evict_line(c, self.cfg.data_line(l));
+            }
+            Op::Commit(c) => self.commit(c),
+            Op::Abort(c) => self.abort(c),
+        }
+        self.post_op_checks();
+    }
+
+    /// The user-mode alert handler (runtime `Alert` upcall): ack the
+    /// alert, figure out who died, and clean up.
+    fn service_alert(&mut self, c: usize) {
+        let cause = self.st.cores[c]
+            .alert_pending
+            .take()
+            .expect("service_alert called with no alert");
+        match cause {
+            AlertCause::AouInvalidated(_) => {
+                // Reload the TSW (driver-level peek stands in for the
+                // handler's load) and see whether we were aborted.
+                let v = self.st.mem.read(self.cfg.tsw_addr(c));
+                if v == TSW_ACTIVE {
+                    // Spurious (e.g. conservative alert from an uncached
+                    // ALoad): re-arm and continue.
+                    self.st.aload(c, self.cfg.tsw_addr(c));
+                    return;
+                }
+                assert_eq!(
+                    v, TSW_ABORTED,
+                    "core {c}: AOU alert but TSW is neither ACTIVE nor ABORTED"
+                );
+                assert!(
+                    self.shadow[c].doomed,
+                    "core {c}: TSW flipped to ABORTED without any enemy CAS"
+                );
+                if self.shadow[c].active {
+                    self.st.abort_tx(c, AbortCause::AouAlert);
+                }
+                self.shadow[c].clear_tx();
+                self.shadow[c].tsw = TSW_ABORTED;
+            }
+            AlertCause::StrongIsolation(_) => {
+                // The hardware already aborted the transaction; the
+                // handler just has to retire the TSW.
+                assert!(
+                    !self.st.cores[c].has_tx_footprint(),
+                    "core {c}: strong-isolation alert but signatures still live"
+                );
+                if self.shadow[c].tsw == TSW_ACTIVE {
+                    let (old, _) = self
+                        .st
+                        .cas(c, self.cfg.tsw_addr(c), TSW_ACTIVE, TSW_ABORTED);
+                    assert_eq!(old, TSW_ACTIVE, "core {c}: TSW raced the handler");
+                    self.shadow[c].tsw = TSW_ABORTED;
+                }
+                self.shadow[c].clear_tx();
+            }
+            AlertCause::WatchRead(_) | AlertCause::WatchWrite(_) => {
+                unreachable!("checker configures no watchpoints")
+            }
+        }
+    }
+
+    /// Implicit begin: publish ACTIVE, arm AOU, mark the attempt.
+    fn begin(&mut self, c: usize) {
+        assert!(
+            self.st.cores[c].csts.is_clear(),
+            "core {c}: stale CSTs at transaction begin"
+        );
+        let _ = self
+            .st
+            .access(c, self.cfg.tsw_addr(c), AccessKind::Store, TSW_ACTIVE);
+        self.st.aload(c, self.cfg.tsw_addr(c));
+        self.st.begin_attempt(c);
+        self.shadow[c].clear_tx();
+        self.shadow[c].active = true;
+        self.shadow[c].tsw = TSW_ACTIVE;
+    }
+
+    /// Folds the conflicts the hardware just reported into the shadow
+    /// CSTs. The (access kind, conflict kind) pair identifies exactly
+    /// which pair of registers `record_conflict` updated.
+    fn fold_conflicts(&mut self, c: usize, kind: AccessKind, r: &AccessResult) {
+        for conflict in &r.conflicts {
+            let o = conflict.with;
+            match (kind, conflict.kind) {
+                (AccessKind::TLoad, ConflictKind::Threatened) => {
+                    self.shadow[c].rw |= 1 << o;
+                    self.shadow[o].wr |= 1 << c;
+                }
+                (AccessKind::TStore, ConflictKind::Threatened) => {
+                    self.shadow[c].ww |= 1 << o;
+                    self.shadow[o].ww |= 1 << c;
+                }
+                (AccessKind::TStore, ConflictKind::ExposedRead) => {
+                    self.shadow[c].wr |= 1 << o;
+                    self.shadow[o].rw |= 1 << c;
+                }
+                (k, ck) => panic!("core {c}: unexpected conflict report {ck:?} on {k:?}"),
+            }
+        }
+    }
+
+    fn tx_read(&mut self, c: usize, l: usize) {
+        if !self.shadow[c].active {
+            self.begin(c);
+        }
+        let r = self
+            .st
+            .access(c, self.cfg.data_addr(l), AccessKind::TLoad, 0);
+        assert!(r.summary_hits.is_empty(), "no descheduling in checker");
+        // `r.nacked` is possible here (a committed remote OT copying
+        // back): the machine charges the retry wait as stall latency
+        // and completes the access, so it needs no special handling.
+        self.fold_conflicts(c, AccessKind::TLoad, &r);
+        let expected = self.shadow[c]
+            .writes
+            .get(&l)
+            .or_else(|| self.shadow[c].reads.get(&l))
+            .copied()
+            .unwrap_or(self.shadow_mem[l]);
+        if !self.shadow[c].doomed {
+            // Undoomed read stability / isolation: a live transaction
+            // sees its own speculative value, else its snapshot, else
+            // committed memory — and never a torn or foreign value.
+            assert_eq!(
+                r.value, expected,
+                "core {c}: TRead(L{l}) unstable while undoomed"
+            );
+        }
+        self.shadow[c].reads.entry(l).or_insert(r.value);
+    }
+
+    fn tx_write(&mut self, c: usize, l: usize) {
+        if !self.shadow[c].active {
+            self.begin(c);
+        }
+        let v = Self::tx_val(c, l);
+        let r = self
+            .st
+            .access(c, self.cfg.data_addr(l), AccessKind::TStore, v);
+        assert!(r.summary_hits.is_empty(), "no descheduling in checker");
+        self.fold_conflicts(c, AccessKind::TStore, &r);
+        self.shadow[c].writes.insert(l, v);
+    }
+
+    fn plain_read(&mut self, c: usize, l: usize) {
+        if self.shadow[c].active {
+            return; // disabled op replayed while shrinking
+        }
+        let r = self
+            .st
+            .access(c, self.cfg.data_addr(l), AccessKind::Load, 0);
+        // Strong isolation, observer side: a plain load sees committed
+        // data only, never anyone's speculative value.
+        assert_eq!(
+            r.value, self.shadow_mem[l],
+            "core {c}: plain Read(L{l}) leaked a speculative value"
+        );
+    }
+
+    fn plain_write(&mut self, c: usize, l: usize) {
+        if self.shadow[c].active {
+            return; // disabled op replayed while shrinking
+        }
+        let v = Self::plain_val(c, l);
+        let _ = self
+            .st
+            .access(c, self.cfg.data_addr(l), AccessKind::Store, v);
+        self.shadow_mem[l] = v;
+    }
+
+    /// The software commit protocol of `flextm::runtime` (lazy mode):
+    /// copy-and-clear W-R/W-W, CAS every enemy's TSW, CAS-Commit.
+    fn commit(&mut self, c: usize) {
+        if !self.shadow[c].active {
+            return; // disabled op replayed while shrinking
+        }
+        let wr = self.st.cores[c].csts.copy_and_clear(CstKind::WR);
+        let ww = self.st.cores[c].csts.copy_and_clear(CstKind::WW);
+        self.shadow[c].wr = 0;
+        self.shadow[c].ww = 0;
+        for e in procs_in_mask(wr | ww) {
+            if self.shadow[e].tsw == TSW_ACTIVE {
+                let (old, _) = self
+                    .st
+                    .cas(c, self.cfg.tsw_addr(e), TSW_ACTIVE, TSW_ABORTED);
+                assert_eq!(old, TSW_ACTIVE, "core {c}: enemy {e} TSW raced the CAS");
+                self.shadow[e].tsw = TSW_ABORTED;
+                self.shadow[e].doomed = true;
+            }
+        }
+        let outcome = self
+            .st
+            .cas_commit(c, self.cfg.tsw_addr(c), TSW_ACTIVE, TSW_COMMITTED);
+        match outcome {
+            CasCommitOutcome::Committed(_) => {
+                // Commit progress/locality: CAS-Commit can only succeed
+                // on an intact (ACTIVE) TSW, and W-R/W-W were cleared
+                // one step ago — so success implies nobody doomed us.
+                assert!(
+                    !self.shadow[c].doomed,
+                    "core {c}: CAS-Commit succeeded on a doomed transaction"
+                );
+                self.shadow[c].tsw = TSW_COMMITTED;
+                let writes = std::mem::take(&mut self.shadow[c].writes);
+                for (l, v) in writes {
+                    self.shadow_mem[l] = v;
+                }
+                self.shadow[c].clear_tx();
+            }
+            CasCommitOutcome::LostTsw(old) => {
+                assert_eq!(old, TSW_ABORTED, "core {c}: lost TSW to a non-abort");
+                assert!(
+                    self.shadow[c].doomed,
+                    "core {c}: TSW lost without any enemy CAS"
+                );
+                // The instruction already hardware-aborted us; the
+                // pending AOU alert (from the enemy CAS) is now moot.
+                self.st.cores[c].alert_pending = None;
+                self.shadow[c].clear_tx();
+            }
+            CasCommitOutcome::ConflictsPending { wr, ww } => panic!(
+                "core {c}: CAS-Commit reported pending conflicts \
+                 (wr={wr:#b}, ww={ww:#b}) right after copy-and-clear \
+                 in a sequential schedule"
+            ),
+        }
+    }
+
+    /// The software abort protocol: retire the TSW, then the abort
+    /// instruction.
+    fn abort(&mut self, c: usize) {
+        if !self.shadow[c].active {
+            return; // disabled op replayed while shrinking
+        }
+        let (old, _) = self
+            .st
+            .cas(c, self.cfg.tsw_addr(c), TSW_ACTIVE, TSW_ABORTED);
+        assert_eq!(
+            old, TSW_ACTIVE,
+            "core {c}: abort raced an enemy CAS without an alert"
+        );
+        self.shadow[c].tsw = TSW_ABORTED;
+        self.st.abort_tx(c, AbortCause::Explicit);
+        self.shadow[c].clear_tx();
+    }
+
+    /// The cross-validation sweep run after every op.
+    fn post_op_checks(&mut self) {
+        // 1. Reconcile strong-isolation kills: the hardware aborts
+        //    transactional victims of plain writes asynchronously; the
+        //    shadow learns of it from the emptied signatures.
+        for v in 0..self.cfg.cores {
+            if self.shadow[v].active && !self.st.cores[v].has_tx_footprint() {
+                assert!(
+                    matches!(
+                        self.st.cores[v].alert_pending,
+                        Some(AlertCause::StrongIsolation(_))
+                    ) || self.shadow[v].doomed,
+                    "core {v}: transaction state vanished without strong \
+                     isolation or an enemy CAS"
+                );
+                // `doomed` must survive until the pending AOU alert is
+                // serviced — the handler uses it to justify the ABORTED
+                // TSW it will observe.
+                let doomed = self.shadow[v].doomed;
+                self.shadow[v].clear_tx();
+                self.shadow[v].doomed = doomed;
+            }
+        }
+
+        // 2. CST exactness: hardware registers equal the shadow folded
+        //    from reported conflicts. Catches silent sets *and* silent
+        //    clears, including the history-dependent asymmetry after a
+        //    committer's copy-and-clear.
+        for (i, sh) in self.shadow.iter().enumerate() {
+            let (rw, wr, ww) = self.st.cores[i].csts.snapshot();
+            assert_eq!(
+                (rw, wr, ww),
+                (sh.rw, sh.wr, sh.ww),
+                "core {i}: hardware CSTs diverge from reported conflicts"
+            );
+        }
+
+        // 3. Signature conservativeness: true access sets are covered.
+        for (i, sh) in self.shadow.iter().enumerate() {
+            for &l in sh.reads.keys() {
+                assert!(
+                    self.st.cores[i].rsig.contains(self.cfg.data_line(l)),
+                    "core {i}: true read L{l} missing from Rsig"
+                );
+            }
+            for &l in sh.writes.keys() {
+                assert!(
+                    self.st.cores[i].wsig.contains(self.cfg.data_line(l)),
+                    "core {i}: true write L{l} missing from Wsig"
+                );
+            }
+        }
+
+        // 4. Data isolation: committed memory is exactly the shadow;
+        //    TSWs are exactly what the driver last published.
+        for l in 0..self.cfg.lines {
+            assert_eq!(
+                self.st.mem.read(self.cfg.data_addr(l)),
+                self.shadow_mem[l],
+                "L{l}: committed memory diverged (speculation leaked?)"
+            );
+        }
+        for c in 0..self.cfg.cores {
+            assert_eq!(
+                self.st.mem.read(self.cfg.tsw_addr(c)),
+                self.shadow[c].tsw,
+                "core {c}: TSW memory diverged from driver bookkeeping"
+            );
+        }
+
+        // 5. The machine's own invariant layer (also fired after every
+        //    protocol transition via the check-every-op hooks; this
+        //    covers driver steps like raw CST reads that bypass them).
+        self.st.check_invariants();
+    }
+
+    /// Quiescence: aborting every live transaction from here must
+    /// yield a clean machine with committed memory untouched. Runs on
+    /// a fork so exploration state is unperturbed.
+    pub fn check_quiescence(&self) {
+        let mut d = self.fork();
+        for c in 0..d.cfg.cores {
+            if d.st.cores[c].alert_pending.is_some() {
+                d.service_alert(c);
+            }
+            if d.shadow[c].active {
+                d.abort(c);
+            }
+            if d.st.cores[c].alert_pending.is_some() {
+                d.service_alert(c);
+            }
+        }
+        for (l, &v) in d.shadow_mem.iter().enumerate() {
+            assert_eq!(
+                v, self.shadow_mem[l],
+                "quiescence: aborts changed committed memory at L{l}"
+            );
+        }
+        for c in 0..d.cfg.cores {
+            let core = &d.st.cores[c];
+            assert!(
+                !core.has_tx_footprint(),
+                "quiescence: core {c} keeps live signatures after abort-all"
+            );
+            assert!(
+                core.csts.is_clear(),
+                "quiescence: core {c} keeps CST bits after abort-all"
+            );
+            assert!(
+                core.l1.iter_all().all(|e| !e.state.is_speculative()),
+                "quiescence: core {c} keeps speculative lines after abort-all"
+            );
+            assert!(
+                core.ot.as_ref().is_none_or(|ot| ot.is_empty()),
+                "quiescence: core {c} keeps uncommitted OT entries after abort-all"
+            );
+        }
+        d.st.check_invariants();
+        d.post_op_checks();
+    }
+}

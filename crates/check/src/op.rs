@@ -1,0 +1,61 @@
+//! The bounded op alphabet the checker interleaves.
+
+use std::fmt;
+
+/// One schedulable step. Transactional accesses implicitly begin a
+/// transaction on an idle core (TSW store + ALoad + attempt mark, as
+/// in `flextm::runtime`); `Commit`/`Abort` mirror the software commit
+/// and abort protocols. When the core has a pending alert, any op
+/// scheduled on it except `Commit` is consumed by the alert handler
+/// instead — exactly like a user-mode interrupt preempting the next
+/// instruction. `Commit` runs with alerts masked (as the runtime's
+/// commit critical section does) so CAS-Commit itself can discover a
+/// lost TSW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Transactional load of data line `.1` on core `.0`.
+    TRead(usize, usize),
+    /// Transactional store to data line `.1` on core `.0`.
+    TWrite(usize, usize),
+    /// Plain (non-transactional) load; enabled only on idle cores.
+    Read(usize, usize),
+    /// Plain store; enabled only on idle cores (strong-isolation
+    /// aggressor).
+    Write(usize, usize),
+    /// Force-evict data line `.1` from core `.0`'s L1 (capacity
+    /// pressure stand-in; TMI lines overflow into the OT).
+    Evict(usize, usize),
+    /// Software commit: copy-and-clear W-R/W-W, CAS enemies, CAS-Commit.
+    Commit(usize),
+    /// Software abort: CAS own TSW, then the abort instruction.
+    Abort(usize),
+}
+
+impl Op {
+    /// The core the op is scheduled on.
+    pub fn core(self) -> usize {
+        match self {
+            Op::TRead(c, _)
+            | Op::TWrite(c, _)
+            | Op::Read(c, _)
+            | Op::Write(c, _)
+            | Op::Evict(c, _)
+            | Op::Commit(c)
+            | Op::Abort(c) => c,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::TRead(c, l) => write!(f, "c{c}.tread(L{l})"),
+            Op::TWrite(c, l) => write!(f, "c{c}.twrite(L{l})"),
+            Op::Read(c, l) => write!(f, "c{c}.read(L{l})"),
+            Op::Write(c, l) => write!(f, "c{c}.write(L{l})"),
+            Op::Evict(c, l) => write!(f, "c{c}.evict(L{l})"),
+            Op::Commit(c) => write!(f, "c{c}.commit"),
+            Op::Abort(c) => write!(f, "c{c}.abort"),
+        }
+    }
+}

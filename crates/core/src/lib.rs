@@ -42,6 +42,8 @@
 //! machine.with_state(|st| assert_eq!(st.mem.read(counter), 100));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cm;
 pub mod os;
 mod runtime;

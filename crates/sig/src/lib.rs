@@ -26,6 +26,8 @@
 //! assert!(wsig.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod hasher;
 mod signature;
 mod summary;

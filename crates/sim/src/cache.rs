@@ -112,7 +112,10 @@ const DATA_POOL_CAP: usize = 64;
 /// of the victim buffer too does it overflow to the OT. Setting the
 /// victim capacity to `usize::MAX` reproduces the §7.3 "unbounded victim
 /// buffer" ablation in which nothing ever overflows.
-#[derive(Debug)]
+///
+/// `Clone` exists for the model checker's state forking; the simulator
+/// proper never copies a cache.
+#[derive(Debug, Clone)]
 pub struct L1Cache {
     /// Main array, set-major: `nsets * ways` slots. One contiguous
     /// allocation instead of a `Vec` per set — with 256 sets per core
@@ -577,6 +580,53 @@ impl L1Cache {
     /// True if no lines are resident.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Cache-internal invariants for the processor `me` that owns this
+    /// L1: a line is resident at most once (main array + victim buffer
+    /// form one cache), a private data buffer exists iff the line is in
+    /// a PDI state (TMI holds speculative values, TI a pre-transaction
+    /// snapshot; everything else reads through simulated memory), and
+    /// the victim buffer respects its capacity (modulo the §7.3
+    /// unbounded-TMI ablation, where only non-speculative residents
+    /// count).
+    #[cfg(any(test, feature = "check"))]
+    pub fn check_invariants(&self, me: usize) {
+        let mut seen = std::collections::HashSet::new();
+        for e in self.iter_all() {
+            assert!(
+                seen.insert(e.line),
+                "core {me}: line {:?} resident twice in L1",
+                e.line
+            );
+            assert_eq!(
+                e.data.is_some(),
+                e.state.is_speculative(),
+                "core {me}: line {:?} in {:?} has data buffer: {}",
+                e.line,
+                e.state,
+                e.data.is_some()
+            );
+        }
+        if self.unbounded_tmi {
+            let non_tmi = self
+                .victim
+                .iter()
+                .filter(|e| e.state != L1State::Tmi)
+                .count();
+            assert!(
+                non_tmi <= self.victim_cap.max(1),
+                "core {me}: {non_tmi} non-TMI victim residents exceed cap {}",
+                self.victim_cap
+            );
+        } else {
+            assert!(
+                self.victim.len() <= self.victim_cap,
+                "core {me}: victim buffer holds {} entries, cap {}",
+                self.victim.len(),
+                self.victim_cap
+            );
+        }
     }
 }
 

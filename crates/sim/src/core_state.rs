@@ -26,7 +26,9 @@ pub enum AlertCause {
 }
 
 /// All FlexTM-specific state attached to one processor.
-#[derive(Debug)]
+/// `Clone` exists for the model checker's state forking; the simulator
+/// proper never copies a core.
+#[derive(Debug, Clone)]
 pub struct CoreState {
     /// Private L1 data cache (with victim buffer).
     pub l1: L1Cache,
@@ -140,6 +142,67 @@ impl CoreState {
     /// footprint at all).
     pub fn has_tx_footprint(&self) -> bool {
         !self.rsig.is_empty() || !self.wsig.is_empty()
+    }
+
+    /// Per-processor invariants: signature conservativeness (every
+    /// speculative line is covered by the matching signature, paper
+    /// §3.3), OT/cache/CST well-formedness, and AOU consistency. Called
+    /// after every protocol transition by
+    /// [`crate::SimState::check_invariants`].
+    #[cfg(any(test, feature = "check"))]
+    pub fn check_invariants(&self, me: usize, ncores: usize) {
+        use crate::cache::L1State;
+
+        self.l1.check_invariants(me);
+        self.csts.check_invariants(me, ncores);
+        if let Some(ot) = &self.ot {
+            ot.check_invariants(me);
+            // Every overflowed speculative write is still a write: the
+            // Wsig was inserted at TStore time, before the eviction.
+            if !ot.is_committed() {
+                for (&line, _) in ot.iter() {
+                    assert!(
+                        self.wsig.contains(line),
+                        "core {me}: OT entry {line:?} not covered by Wsig"
+                    );
+                }
+            }
+        }
+        for e in self.l1.iter_all() {
+            match e.state {
+                L1State::Tmi => assert!(
+                    self.wsig.contains(e.line),
+                    "core {me}: TMI line {:?} not covered by Wsig",
+                    e.line
+                ),
+                L1State::Ti => assert!(
+                    self.rsig.contains(e.line),
+                    "core {me}: TI line {:?} not covered by Rsig",
+                    e.line
+                ),
+                _ => {}
+            }
+            // The single-line AOU mechanism: a marked line must be the
+            // one the core ALoaded.
+            if e.a_bit {
+                assert_eq!(
+                    self.aloaded,
+                    Some(e.line),
+                    "core {me}: a_bit set on {:?} but aloaded is {:?}",
+                    e.line,
+                    self.aloaded
+                );
+            }
+        }
+        // A conflict is only recorded for transactional footprints; a
+        // core with clear signatures has nothing for CSTs to summarize.
+        if !self.csts.is_clear() {
+            assert!(
+                self.has_tx_footprint(),
+                "core {me}: non-clear CSTs {:?} without any tx footprint",
+                self.csts.snapshot()
+            );
+        }
     }
 }
 

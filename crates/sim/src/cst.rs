@@ -117,6 +117,34 @@ impl CstSet {
         self.wr = snap.1;
         self.ww = snap.2;
     }
+
+    /// Local CST well-formedness for processor `me` on an
+    /// `ncores`-processor machine: CSTs summarize conflicts with *other*
+    /// processors, so the self bit must never be set, and no bit may
+    /// name a processor the machine doesn't have. (The cross-processor
+    /// symmetry of paper §3.2 is history-dependent — a committed enemy
+    /// clears its side first — so it is checked against shadow state by
+    /// `flextm-check`, not here.)
+    #[cfg(any(test, feature = "check"))]
+    pub fn check_invariants(&self, me: usize, ncores: usize) {
+        let self_bit = 1u64 << me;
+        let legal = if ncores >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << ncores) - 1
+        };
+        for (name, reg) in [("R-W", self.rw), ("W-R", self.wr), ("W-W", self.ww)] {
+            assert!(
+                reg & self_bit == 0,
+                "core {me}: {name} CST has its own bit set ({reg:#b})"
+            );
+            assert!(
+                reg & !legal == 0,
+                "core {me}: {name} CST names nonexistent processors \
+                 ({reg:#b}, {ncores} cores)"
+            );
+        }
+    }
 }
 
 /// Iterator over the processor ids set in a CST mask.
@@ -190,5 +218,57 @@ mod tests {
         c.set(CstKind::WR, 2);
         c.clear_bit(CstKind::WR, 1);
         assert_eq!(c.read(CstKind::WR), 0b100);
+    }
+
+    /// The protocol's paired record rule (§3.2): when writer `w` meets
+    /// reader `r`, `w` sets W-R[r] while `r` sets R-W[w]; when two
+    /// writers meet, both set W-W. Driving both sides of each event
+    /// keeps the mirror identity — until one side commits and
+    /// `copy_and_clear`s, which is exactly the history-dependent
+    /// asymmetry the paper allows (and why `check_invariants` leaves
+    /// symmetry to the model checker's shadow state).
+    #[test]
+    fn paired_records_are_symmetric_until_commit() {
+        let mut cst = [CstSet::new(), CstSet::new()];
+        // Core 0 writes a line core 1 has read...
+        cst[0].set(CstKind::WR, 1);
+        cst[1].set(CstKind::RW, 0);
+        // ...and both write a second line.
+        cst[0].set(CstKind::WW, 1);
+        cst[1].set(CstKind::WW, 0);
+        for (i, j) in [(0usize, 1usize), (1, 0)] {
+            assert_eq!(
+                cst[i].read(CstKind::WR) >> j & 1,
+                cst[j].read(CstKind::RW) >> i & 1,
+                "W-R[{i}→{j}] must mirror R-W[{j}→{i}]"
+            );
+            assert_eq!(
+                cst[i].read(CstKind::WW) >> j & 1,
+                cst[j].read(CstKind::WW) >> i & 1,
+                "W-W must be symmetric while both run"
+            );
+        }
+        // Core 1 commits: takes its registers, leaving core 0's view
+        // one-sided — legal, and invisible to local well-formedness.
+        assert_eq!(cst[1].copy_and_clear(CstKind::WW), 1 << 0);
+        assert_ne!(cst[0].read(CstKind::WW), cst[1].read(CstKind::WW));
+        cst[0].check_invariants(0, 2);
+        cst[1].check_invariants(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "its own bit")]
+    fn check_rejects_self_bit() {
+        let mut c = CstSet::new();
+        c.set(CstKind::WW, 3);
+        c.check_invariants(3, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent processors")]
+    fn check_rejects_ghost_processor() {
+        let mut c = CstSet::new();
+        c.set(CstKind::RW, 9);
+        c.check_invariants(0, 8);
     }
 }

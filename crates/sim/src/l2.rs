@@ -39,7 +39,9 @@ impl DirEntry {
 /// The shared L2: a set-associative tag array (for hit/miss timing and
 /// directory-info lifetime) plus the directory map and the
 /// context-switch summary state (§5).
-#[derive(Debug)]
+/// `Clone` exists for the model checker's state forking; the simulator
+/// proper never copies the L2.
+#[derive(Debug, Clone)]
 pub struct L2 {
     /// Tag array, set-major: `nsets * ways` slots of `(line, lru)`.
     /// One contiguous allocation — a 16K-set L2 as one `Vec` of tiny

@@ -41,6 +41,12 @@
 //! assert_eq!(report.total(|c| c.stores), 20);
 //! ```
 
+// The one crate with `unsafe`: the scheduler's shared-state cell in
+// `machine.rs` (lease-serialized `UnsafeCell<SimState>`). Each site
+// carries a SAFETY comment and an explicit `#[allow(unsafe_code)]`;
+// everything else is denied.
+#![deny(unsafe_code)]
+
 pub mod api;
 mod cache;
 mod config;

@@ -169,6 +169,14 @@ pub struct SimState {
     /// Reusable buffer for commit-time TMI drains, so steady-state
     /// commits never allocate. Always empty between commits.
     pub(crate) commit_scratch: Vec<(LineAddr, Box<[u64; crate::mem::WORDS_PER_LINE]>)>,
+    /// Runtime switch for the invariant layer: when true, every
+    /// protocol transition (`access`, `cas_commit`, `abort_tx`) ends in
+    /// [`SimState::check_invariants`]. Off by default (production runs
+    /// pay one predicted branch); [`SimState::for_tests`] turns it on,
+    /// so the unit suites and the model checker sweep invariants after
+    /// every step.
+    #[cfg(any(test, feature = "check"))]
+    check_every_op: bool,
 }
 
 impl SimState {
@@ -189,6 +197,8 @@ impl SimState {
             sig_live: 0,
             ot_present: 0,
             commit_scratch: Vec::new(),
+            #[cfg(any(test, feature = "check"))]
+            check_every_op: false,
         }
     }
 
@@ -244,11 +254,42 @@ impl SimState {
     }
 
     /// Builds a standalone state for unit tests that drive the protocol
-    /// directly, without the thread scheduler.
+    /// directly, without the thread scheduler. Invariant checking after
+    /// every transition is enabled.
     #[doc(hidden)]
     pub fn for_tests(config: MachineConfig) -> Self {
-        Self::new(config)
+        #[allow(unused_mut)]
+        let mut st = Self::new(config);
+        #[cfg(any(test, feature = "check"))]
+        {
+            st.check_every_op = true;
+        }
+        st
     }
+
+    /// Turns per-transition invariant sweeps on or off (the model
+    /// checker leaves them on; throughput comparisons turn them off).
+    #[cfg(any(test, feature = "check"))]
+    pub fn set_check_every_op(&mut self, on: bool) {
+        self.check_every_op = on;
+    }
+
+    /// Runs the full invariant sweep if per-transition checking is
+    /// enabled. Call sites stay unconditional: the disabled-feature
+    /// twin below compiles to nothing.
+    #[cfg(any(test, feature = "check"))]
+    #[inline]
+    pub(crate) fn maybe_check_invariants(&self) {
+        if self.check_every_op {
+            self.check_invariants();
+        }
+    }
+
+    /// No-op twin: without `cfg(test)`/`feature = "check"` the hook
+    /// vanishes entirely, keeping the protocol hot path untouched.
+    #[cfg(not(any(test, feature = "check")))]
+    #[inline(always)]
+    pub(crate) fn maybe_check_invariants(&self) {}
 
     /// Advances `core`'s clock by `cycles`.
     pub fn advance(&mut self, core: usize, cycles: u64) {
@@ -313,6 +354,149 @@ impl SimState {
         self.cores[core].stats.mem_cycles -= dm;
         self.cores[core].stats.wasted_cycles += dw + dm;
     }
+
+    /// Cycles accounted to `core`'s work bucket so far (lane-resident
+    /// until [`Machine::report`] folds them into the stats copy).
+    #[cfg(any(test, feature = "check"))]
+    pub fn lane_work_cycles(&self, core: usize) -> u64 {
+        self.lanes.0[core].work_cycles.load(Relaxed)
+    }
+
+    /// Cycles accounted to `core`'s stall bucket so far.
+    #[cfg(any(test, feature = "check"))]
+    pub fn lane_stall_cycles(&self, core: usize) -> u64 {
+        self.lanes.0[core].stall_cycles.load(Relaxed)
+    }
+
+    /// Deep copy for the model checker's state forking. The scheduler
+    /// lanes hold the clocks and work/stall buckets in atomics shared
+    /// with worker threads; the copy gets fresh, unshared lanes seeded
+    /// with the current values (lease/grant bookkeeping starts clear —
+    /// checker states are never mid-run).
+    #[cfg(any(test, feature = "check"))]
+    pub fn clone_for_check(&self) -> Self {
+        let lanes = Lanes::new(self.config.cores);
+        for (fresh, old) in lanes.0.iter().zip(self.lanes.0.iter()) {
+            fresh.clock.store(old.clock.load(Relaxed), Relaxed);
+            fresh
+                .work_cycles
+                .store(old.work_cycles.load(Relaxed), Relaxed);
+            fresh
+                .stall_cycles
+                .store(old.stall_cycles.load(Relaxed), Relaxed);
+            fresh.fast_ops.store(old.fast_ops.load(Relaxed), Relaxed);
+        }
+        SimState {
+            config: self.config.clone(),
+            mem: self.mem.clone(),
+            cores: self.cores.clone(),
+            l2: self.l2.clone(),
+            log: self.log.clone(),
+            lanes,
+            hasher: self.hasher.clone(),
+            sig_live: self.sig_live,
+            ot_present: self.ot_present,
+            commit_scratch: Vec::new(),
+            check_every_op: self.check_every_op,
+        }
+    }
+
+    /// The full machine-level invariant sweep: per-core state checks
+    /// plus the cross-core properties that define TMESI — SWMR modulo
+    /// TMI, TI legality, directory coverage, activity-mask supersets,
+    /// and cycle/abort accounting conservation. Panics (asserts) on the
+    /// first violation; the model checker catches the panic and reports
+    /// the op path that led here.
+    #[cfg(any(test, feature = "check"))]
+    pub fn check_invariants(&self) {
+        use crate::cache::L1State;
+
+        let ncores = self.config.cores;
+        for (i, core) in self.cores.iter().enumerate() {
+            core.check_invariants(i, ncores);
+
+            // Activity masks are supersets of the truth: a live
+            // signature or allocated OT must have its bit set (stale
+            // set bits after clears are fine, missed ones are not).
+            if core.has_tx_footprint() {
+                assert!(
+                    self.sig_live >> i & 1 == 1,
+                    "core {i}: live signatures but sig_live bit clear"
+                );
+            }
+            if core.ot.is_some() {
+                assert!(
+                    self.ot_present >> i & 1 == 1,
+                    "core {i}: OT allocated but ot_present bit clear"
+                );
+            }
+
+            // Accounting conservation: the four cycle buckets sum to
+            // the core clock at every instant (work and stall live in
+            // the lanes until report time), and every abort/failed
+            // commit carries exactly one recorded cause.
+            let s = &core.stats;
+            let buckets = self.lane_work_cycles(i)
+                + s.work_cycles
+                + self.lane_stall_cycles(i)
+                + s.stall_cycles
+                + s.mem_cycles
+                + s.wasted_cycles;
+            assert_eq!(
+                buckets,
+                self.now(i),
+                "core {i}: cycle buckets diverge from the clock"
+            );
+            assert_eq!(
+                s.abort_causes.cause_sum(),
+                s.tx_aborts + s.failed_commits,
+                "core {i}: abort causes do not sum to tx_aborts + failed_commits"
+            );
+        }
+
+        // Cross-core sweep over every resident line.
+        let mut lines: Vec<LineAddr> = self
+            .cores
+            .iter()
+            .flat_map(|c| c.l1.iter_all().map(|e| e.line))
+            .collect();
+        lines.sort_unstable_by_key(|l| l.index());
+        lines.dedup();
+        for line in lines {
+            let mut exclusive_holders = 0u64;
+            let mut shared_holders = 0u64;
+            for (i, core) in self.cores.iter().enumerate() {
+                let Some(e) = core.l1.peek(line) else {
+                    continue;
+                };
+                match e.state {
+                    L1State::M | L1State::E => exclusive_holders |= 1 << i,
+                    L1State::S => shared_holders |= 1 << i,
+                    L1State::Tmi | L1State::Ti => {}
+                }
+            }
+            // SWMR modulo TMI: conventional ownership stays singular.
+            // Any number of TMI owners may coexist with it — a doomed
+            // speculative writer legitimately persists past the point
+            // where a conventional owner (or a committed rival's M
+            // line) appears; its CSTs guarantee it can never commit.
+            assert!(
+                exclusive_holders.count_ones() <= 1,
+                "line {line:?}: multiple M/E holders {exclusive_holders:#b}"
+            );
+            assert!(
+                exclusive_holders == 0 || shared_holders == 0,
+                "line {line:?}: M/E holder {exclusive_holders:#b} coexists \
+                 with sharers {shared_holders:#b}"
+            );
+
+            // TI legality lives next to the threat test it mirrors;
+            // directory coverage next to the handlers that maintain
+            // the bits.
+            self.check_threat_invariants(line);
+            self.check_directory_invariants(line);
+        }
+    }
 }
 
 /// The scheduler table: who is live, what each live core has posted,
@@ -347,6 +531,7 @@ pub(crate) struct Shared {
 // hold `sched` and assert no run is live; handoff through the lock
 // publishes the previous holder's writes (module doc, "Safety
 // discipline"). Everything else in `Shared` is Sync on its own.
+#[allow(unsafe_code)]
 unsafe impl Sync for Shared {}
 
 /// Grants the lease to the next runnable core, if any: the minimum
@@ -427,6 +612,7 @@ pub(crate) fn sync_op<R>(shared: &Shared, core: usize, f: impl FnOnce(&mut SimSt
                 // SAFETY: this thread holds the lease (only it sets and
                 // clears its own `holds_lease`), so it has exclusive
                 // access to the state.
+                #[allow(unsafe_code)]
                 let st = unsafe { &mut *shared.state.get() };
                 return f(st);
             }
@@ -471,6 +657,7 @@ fn slow_op<R>(shared: &Shared, core: usize, f: impl FnOnce(&mut SimState) -> R) 
     // the scheduler's critical section, after the previous holder's
     // release of the lease — its writes to the state happen-before
     // ours.
+    #[allow(unsafe_code)]
     let st = unsafe { &mut *shared.state.get() };
     f(st)
 }
@@ -627,6 +814,7 @@ impl Machine {
         let _sched = self.quiesced("with_state");
         // SAFETY: no run is live and we hold the scheduler lock, so no
         // worker thread can touch the state.
+        #[allow(unsafe_code)]
         let st = unsafe { &mut *self.shared.state.get() };
         f(st)
     }
@@ -728,6 +916,7 @@ impl Machine {
     pub fn report(&self) -> MachineReport {
         let sched = self.quiesced("report");
         // SAFETY: no run is live and we hold the scheduler lock.
+        #[allow(unsafe_code)]
         let st = unsafe { &*self.shared.state.get() };
         let lanes = &self.shared.lanes;
         let mut sched_stats = sched.stats;

@@ -111,7 +111,10 @@ impl Hasher for PageHasher {
 }
 
 /// Sparse simulated memory: committed word values, allocated on demand.
-#[derive(Debug, Default)]
+/// `Clone` exists for the model checker's state forking
+/// ([`crate::SimState::clone_for_check`]); the simulator proper never
+/// copies memory.
+#[derive(Debug, Default, Clone)]
 pub struct Memory {
     pages: HashMap<u64, Box<[u64; PAGE_WORDS]>, BuildHasherDefault<PageHasher>>,
 }

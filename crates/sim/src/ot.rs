@@ -26,7 +26,9 @@ pub struct OtEntry {
 }
 
 /// Overflow-table controller state for one hardware context.
-#[derive(Debug)]
+/// `Clone` exists for the model checker's state forking; the simulator
+/// proper never copies an OT.
+#[derive(Debug, Clone)]
 pub struct OverflowTable {
     /// Physical-address-indexed entries. A `BTreeMap` keeps copy-back
     /// order deterministic (the paper notes order doesn't matter,
@@ -182,6 +184,43 @@ impl OverflowTable {
     pub fn iter(&self) -> impl Iterator<Item = (&LineAddr, &OtEntry)> {
         self.entries.iter()
     }
+
+    /// Raw `Osig` filter words, exposed so the model checker can fold
+    /// the (stale-bit-carrying) filter into its canonical state hash —
+    /// two OTs with equal entries but different stale Osig bits behave
+    /// differently on future lookups and must not be merged.
+    #[cfg(any(test, feature = "check"))]
+    pub fn osig_words(&self) -> Vec<u64> {
+        self.osig.words().to_vec()
+    }
+
+    /// Controller invariants for the owning processor `me`: the `Osig`
+    /// never under-approximates the table (no false negatives — a
+    /// missed lookaside would read stale memory), a committed OT has
+    /// been fully drained by `begin_commit`, and the high-water mark
+    /// bounds the current population.
+    #[cfg(any(test, feature = "check"))]
+    pub fn check_invariants(&self, me: usize) {
+        for &line in self.entries.keys() {
+            assert!(
+                self.osig.contains(line),
+                "core {me}: OT entry {line:?} missing from Osig"
+            );
+        }
+        if self.committed {
+            assert!(
+                self.entries.is_empty(),
+                "core {me}: committed OT still holds {} entries",
+                self.entries.len()
+            );
+        }
+        assert!(
+            self.peak >= self.entries.len(),
+            "core {me}: OT peak {} below current population {}",
+            self.peak,
+            self.entries.len()
+        );
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +286,84 @@ mod tests {
         t.lookup(LineAddr(1));
         t.insert(LineAddr(3), data(0));
         assert_eq!(t.peak(), 2);
+    }
+
+    /// The NACK window is half-open: requests at `now ==
+    /// copyback_done_at` must sail through (the drain charged exactly
+    /// that many cycles), and an uncommitted OT never NACKs no matter
+    /// what the Osig says.
+    #[test]
+    fn nack_window_boundary_is_half_open() {
+        let mut t = ot();
+        t.insert(LineAddr(4), data(4));
+        assert!(!t.nacks_at(0, LineAddr(4)), "uncommitted OT never NACKs");
+        t.begin_commit(100, 10); // done_at = 110
+        assert!(t.nacks_at(109, LineAddr(4)));
+        assert!(
+            !t.nacks_at(110, LineAddr(4)),
+            "now == copyback_done_at is past the window"
+        );
+    }
+
+    /// Checker find #4's first half, at the unit level: `lookup`
+    /// removes the entry but the no-delete `Osig` keeps its bit. The
+    /// empty-table fast path masks the staleness while the table stays
+    /// empty — but the moment a *reused* table takes a new entry, the
+    /// dead line aliases again. That over-approximation is *legal*
+    /// (the invariant only forbids false negatives) — which is exactly
+    /// why the machine layer retires an emptied OT at commit instead
+    /// of trusting the Osig across transactions.
+    #[test]
+    fn lookup_leaves_stale_osig_bit() {
+        let mut t = ot();
+        t.insert(LineAddr(7), data(7));
+        assert!(t.lookup(LineAddr(7)).is_some());
+        assert!(t.is_empty());
+        assert!(
+            !t.maybe_contains(LineAddr(7)),
+            "empty table short-circuits the Osig"
+        );
+        t.insert(LineAddr(8), data(8)); // reuse revives the stale bit
+        assert!(
+            t.maybe_contains(LineAddr(7)),
+            "Bloom Osig cannot delete; the stale bit aliases again"
+        );
+        assert!(t.lookup(LineAddr(7)).is_none(), "and resolves to a miss");
+        t.check_invariants(0); // over-approximation passes
+    }
+
+    /// Committing an OT that lookups have already emptied is a no-op
+    /// drain: no entries, a zero-length copy-back, and no NACKs even
+    /// though the stale Osig bits survive.
+    #[test]
+    fn empty_commit_drains_nothing_and_never_nacks() {
+        let mut t = ot();
+        t.insert(LineAddr(3), data(3));
+        t.lookup(LineAddr(3));
+        let drained = t.begin_commit(50, 10);
+        assert!(drained.is_empty());
+        assert!(t.is_committed());
+        assert_eq!(t.copyback_done_at(), 50, "zero lines → zero cycles");
+        assert!(!t.nacks_at(50, LineAddr(3)));
+        t.check_invariants(0);
+    }
+
+    /// Remap is conservative on the signature side: the Osig gains the
+    /// new page's bits but keeps the old ones (Bloom filters cannot
+    /// delete), so pre-remap addresses still alias as false positives
+    /// that `lookup` resolves to None.
+    #[test]
+    fn remap_keeps_old_osig_bits_conservatively() {
+        let mut t = ot();
+        t.insert(LineAddr(64), data(1));
+        t.remap_page(LineAddr(64), LineAddr(1024), 64);
+        assert!(t.maybe_contains(LineAddr(1024)), "new tag must be covered");
+        assert!(
+            t.maybe_contains(LineAddr(64)),
+            "old bit survives remap (no-delete)"
+        );
+        assert!(t.lookup(LineAddr(64)).is_none(), "but resolves to a miss");
+        t.check_invariants(0);
     }
 
     #[test]

@@ -65,6 +65,7 @@ impl SimState {
                 core: me,
                 success: false,
             });
+            self.maybe_check_invariants();
             return CasCommitOutcome::LostTsw(old);
         }
         if self.cores[me].csts.has_write_conflicts() {
@@ -78,6 +79,7 @@ impl SimState {
                 core: me,
                 success: false,
             });
+            self.maybe_check_invariants();
             return CasCommitOutcome::ConflictsPending { wr, ww };
         }
 
@@ -102,6 +104,14 @@ impl SimState {
                     self.mem.write_line(l, &e.data);
                     self.cores[me].l1.retire_data(e.data);
                 }
+            } else {
+                // Lookups may have emptied the OT while the no-delete
+                // Osig kept its bits. The transaction is over, so
+                // retire the table outright (mirroring abort's
+                // `ot.take()`) — otherwise the next transaction
+                // inherits the stale Osig and `threatens_with`
+                // reports phantom co-writers.
+                self.cores[me].ot = None;
             }
         }
         self.cores[me].rsig.clear();
@@ -117,6 +127,7 @@ impl SimState {
             core: me,
             success: true,
         });
+        self.maybe_check_invariants();
         CasCommitOutcome::Committed(lines)
     }
 
@@ -135,6 +146,7 @@ impl SimState {
         self.log.push(Event::TxAbort { core: me, cause });
         self.charge_mem(me, self.config.l1_latency);
         self.abandon_attempt(me);
+        self.maybe_check_invariants();
         dropped
     }
 

@@ -47,6 +47,41 @@ impl SimState {
         entry
     }
 
+    /// Directory coverage (checker invariant, next to the handlers that
+    /// maintain the bits): while the L2 still has (possibly stale) info
+    /// for `line`, L1 residency implies the matching over-approximate
+    /// directory bit — M/E/TMI holders appear as owners, S/TI holders
+    /// as sharers. The reverse is deliberately unchecked: stale bits
+    /// are the design (§4.1).
+    #[cfg(any(test, feature = "check"))]
+    pub(crate) fn check_directory_invariants(&self, line: flextm_sig::LineAddr) {
+        if !self.l2.has_dir_info(line) {
+            return;
+        }
+        let dir = self.l2.dir(line);
+        for (i, core) in self.cores.iter().enumerate() {
+            let Some(e) = core.l1.peek(line) else {
+                continue;
+            };
+            match e.state {
+                L1State::M | L1State::E | L1State::Tmi => assert!(
+                    dir.owners >> i & 1 == 1,
+                    "line {line:?}: core {i} holds {:?} but is not a \
+                     directory owner ({:#b})",
+                    e.state,
+                    dir.owners
+                ),
+                L1State::S | L1State::Ti => assert!(
+                    dir.sharers >> i & 1 == 1,
+                    "line {line:?}: core {i} holds {:?} but is not a \
+                     directory sharer ({:#b})",
+                    e.state,
+                    dir.sharers
+                ),
+            }
+        }
+    }
+
     pub(super) fn handle_gets(
         &mut self,
         me: usize,
@@ -97,6 +132,16 @@ impl SimState {
                         kind: ConflictKind::Threatened,
                     });
                 }
+            } else if self.sig_live_mask() >> o & 1 == 1 && self.cores[o].reads_line_key(key) {
+                // Stickiness (§4.1): the exclusive copy is gone (silent
+                // eviction) but the owner's transaction still *reads*
+                // the line — a later write must still find it to abort
+                // or conflict with it, so the stale owner bit demotes
+                // to a sharer bit instead of dropping coverage.
+                forwarded = true;
+                let d = self.l2.dir_mut(line);
+                d.owners &= !(1 << o);
+                d.sharers |= 1 << o;
             } else {
                 // Stale owner bit (committed/aborted long ago).
                 self.l2.drop_owner_key(key, o);
@@ -112,6 +157,21 @@ impl SimState {
         // otherwise a stale S copy would survive the suspended writer's
         // eventual commit (§5).
         let threatened = threatened || !result.summary_hits.is_empty();
+        if kind.is_tx() && !result.summary_hits.is_empty() {
+            // The trap handler records the conflict in the running
+            // transaction's R-W CST, conservatively against every
+            // processor holding a descheduled transaction — the summary
+            // only names thread ids, and R-W never blocks a commit or
+            // aborts anyone, so signature-grade imprecision is safe.
+            // Without this the TI snapshot below would outlive its
+            // justification the moment the OS retires the summary.
+            // (A conflict with a transaction descheduled from *this*
+            // processor cannot be named — CSTs have no self bit — and
+            // stays justified by the summary regime instead.)
+            for o in procs_in_mask(self.l2.cores_summary & !Self::me_bit(me)) {
+                self.cores[me].csts.set(CstKind::RW, o);
+            }
+        }
 
         result.value = self.mem.read(addr);
         match kind {
@@ -138,9 +198,15 @@ impl SimState {
                         && dir_now.owners & !Self::me_bit(me) == 0;
                     if alone {
                         // Exclusive grant: track as owner (E silently
-                        // upgrades to M).
+                        // upgrades to M). Any stale sharer bit from an
+                        // earlier cached read must go — a core listed in
+                        // both sets would get its copy invalidated by
+                        // sharer sweeps that owner handling already
+                        // decided to preserve.
                         latency += self.fill_line(me, line, L1State::E, None).1;
-                        self.l2.dir_mut(line).owners |= Self::me_bit(me);
+                        let d = self.l2.dir_mut(line);
+                        d.owners |= Self::me_bit(me);
+                        d.sharers &= !Self::me_bit(me);
                     } else {
                         latency += self.fill_line(me, line, L1State::S, None).1;
                         self.l2.dir_mut(line).sharers |= Self::me_bit(me);
@@ -235,9 +301,41 @@ impl SimState {
         let sig_live = self.sig_live_mask();
         for o in procs_in_mask(dir.owners & !Self::me_bit(me)) {
             let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
-            if self.threatens_with(o, l1_state, key) {
-                // Speculative co-writer: both record W-W; owner retains
-                // its TMI copy (multiple owners).
+            if l1_state == Some(L1State::M) || l1_state == Some(L1State::E) {
+                // Exclusive owner: flush (if dirty) + invalidate. If it
+                // also *read* the line transactionally, record the
+                // Exposed-Read and keep it sticky as a sharer so later
+                // requests (e.g. a strong-isolation store) still reach
+                // it. This branch deliberately precedes the threat test:
+                // a resident M/E copy means the line is *not* written by
+                // o's current transaction (a TStore would have made it
+                // TMI), so a signature or stale-Osig hit must not spare
+                // the committed copy — that would leave two M/E holders
+                // once the requester commits.
+                forwarded = true;
+                if l1_state == Some(L1State::M) {
+                    self.cores[o].stats.writebacks += 1;
+                }
+                self.invalidate_at(o, line);
+                let d = self.l2.dir_mut(line);
+                d.owners &= !(1 << o);
+                if sig_live >> o & 1 == 1 && self.cores[o].reads_line_key(key) {
+                    self.l2.dir_mut(line).sharers |= 1 << o;
+                    self.record_conflict(
+                        me,
+                        o,
+                        CstKind::WR,
+                        CstKind::RW,
+                        ConflictKind::ExposedRead,
+                        line,
+                        result,
+                    );
+                }
+            } else if self.threatens_with(o, l1_state, key) {
+                // Speculative co-writer (resident TMI, or a displaced
+                // TMI living in the overflow table): both record W-W;
+                // the owner retains its speculative copy (multiple
+                // owners).
                 forwarded = true;
                 self.record_conflict(
                     me,
@@ -250,31 +348,6 @@ impl SimState {
                 );
                 if sig_live >> o & 1 == 1 && self.cores[o].reads_line_key(key) {
                     // Piggybacked Exposed-Read: they also read it.
-                    self.record_conflict(
-                        me,
-                        o,
-                        CstKind::WR,
-                        CstKind::RW,
-                        ConflictKind::ExposedRead,
-                        line,
-                        result,
-                    );
-                }
-            } else if l1_state == Some(L1State::M) || l1_state == Some(L1State::E) {
-                // Exclusive owner: flush (if dirty) + invalidate. If it
-                // also *read* the line transactionally, record the
-                // Exposed-Read and keep it sticky as a sharer so later
-                // requests (e.g. a strong-isolation store) still reach
-                // it.
-                forwarded = true;
-                if l1_state == Some(L1State::M) {
-                    self.cores[o].stats.writebacks += 1;
-                }
-                self.invalidate_at(o, line);
-                let d = self.l2.dir_mut(line);
-                d.owners &= !(1 << o);
-                if sig_live >> o & 1 == 1 && self.cores[o].reads_line_key(key) {
-                    self.l2.dir_mut(line).sharers |= 1 << o;
                     self.record_conflict(
                         me,
                         o,
@@ -307,6 +380,16 @@ impl SimState {
         }
 
         for s in procs_in_mask(dir.sharers & !Self::me_bit(me)) {
+            // A TMI holder reached through a stale sharer bit is a
+            // co-writer the owner loop already handled; invalidating it
+            // here would silently destroy its speculative data.
+            if self.cores[s]
+                .l1
+                .peek(line)
+                .is_some_and(|e| e.state == L1State::Tmi)
+            {
+                continue;
+            }
             forwarded = true;
             if sig_live >> s & 1 == 1 && self.cores[s].reads_line_key(key) {
                 // Exposed-Read: requester W-R, responder R-W.

@@ -323,6 +323,87 @@ mod tests {
         );
     }
 
+    /// A committed OT lingers only to drive the NACK window; the next
+    /// transaction's first spill must allocate a fresh table, not
+    /// append to the committed one (whose Osig still carries the old
+    /// transaction's lines).
+    #[test]
+    fn committed_ot_is_replaced_on_next_overflow() {
+        let mut st = state();
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 1);
+        let l0 = addr(0x2000);
+        let l1 = addr(0x2040);
+        st.access(0, l0, AccessKind::TStore, 7);
+        assert!(st.evict_line(0, l0.line()));
+        assert_eq!(st.cas_commit(0, tsw, 1, 2), CasCommitOutcome::Committed(1));
+        assert!(st.cores[0].ot.as_ref().unwrap().is_committed());
+
+        st.mem.write(tsw, 1);
+        st.access(0, l1, AccessKind::TStore, 8);
+        assert!(st.evict_line(0, l1.line()));
+        let ot = st.cores[0].ot.as_ref().unwrap();
+        assert!(!ot.is_committed(), "fresh OT expected after commit");
+        assert_eq!(ot.len(), 1);
+        assert!(
+            !ot.maybe_contains(l0.line()),
+            "previous transaction's Osig bits must not carry over"
+        );
+    }
+
+    /// Checker find #4, shrunk schedule: `c0.twrite(L0) c0.evict(L0)
+    /// c0.tread(L0) c0.commit c0.twrite(L1) c0.evict(L1) c1.twrite(L0)
+    /// c1.commit` ended with *two* M/E holders of L0. Two compounding
+    /// bugs: (a) an OT emptied by lookups survived commit uncommitted
+    /// (only non-empty OTs were drained), so the next transaction's
+    /// spill reused it along with its stale no-delete Osig bit for L0;
+    /// (b) `handle_tgetx` ran the threat test before the resident-M/E
+    /// test, so the stale Osig hit made committed core 0 a phantom
+    /// co-writer whose M copy was spared.
+    #[test]
+    fn stale_osig_cannot_spare_committed_copy() {
+        let mut st = state();
+        let tsw = addr(0x100);
+        st.mem.write(tsw, 1);
+        let l0 = addr(0x2000);
+        let l1 = addr(0x2040);
+
+        st.access(0, l0, AccessKind::TStore, 7);
+        assert!(st.evict_line(0, l0.line())); // spill: OT entry + Osig bit
+        let r = st.access(0, l0, AccessKind::TLoad, 0); // lookup empties the OT
+        assert_eq!(r.value, 7);
+        assert_eq!(st.cas_commit(0, tsw, 1, 2), CasCommitOutcome::Committed(1));
+        // The emptied OT must not outlive its transaction.
+        assert!(
+            st.cores[0].ot.is_none(),
+            "empty uncommitted OT survived commit with stale Osig bits"
+        );
+
+        // Next transaction on core 0 spills a *different* line; its OT
+        // must not know anything about l0.
+        st.mem.write(tsw, 1);
+        st.access(0, l1, AccessKind::TStore, 8);
+        assert!(st.evict_line(0, l1.line()));
+        assert!(!st.cores[0].ot.as_ref().unwrap().maybe_contains(l0.line()));
+
+        // Core 1's transactional write to l0 meets core 0's *committed*
+        // M copy: no conflict, and the copy is surrendered.
+        let r = st.access(1, l0, AccessKind::TStore, 9);
+        assert!(
+            r.conflicts.is_empty(),
+            "phantom co-writer conflict from a dead transaction: {:?}",
+            r.conflicts
+        );
+        assert!(
+            st.cores[0].l1.peek(l0.line()).is_none(),
+            "committed M copy spared alongside a new speculative writer"
+        );
+        assert_eq!(st.cas_commit(1, tsw, 1, 2), CasCommitOutcome::Committed(1));
+        // SWMR restored: exactly one owner of l0 remains.
+        assert_eq!(st.l2.dir(l0.line()).owners, 1 << 1);
+        assert_eq!(st.mem.read(l0), 9);
+    }
+
     #[test]
     fn first_tstore_to_m_writes_back() {
         let mut st = state();

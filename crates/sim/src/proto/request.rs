@@ -80,6 +80,47 @@ impl SimState {
         extra + self.config.l2_latency // controller write-back to VM
     }
 
+    /// Forcibly evicts `line` from `me`'s L1, as if a conflicting fill
+    /// had displaced it: an M line writes back, a TMI line spills to
+    /// the overflow table, everything else leaves silently (the
+    /// directory deliberately keeps its stale bits, exactly like the
+    /// capacity path in [`SimState::fill_line`]). The model checker
+    /// uses this to fold eviction/overflow interleavings into the
+    /// explored space without having to engineer set conflicts. No-op
+    /// if the line is not resident; returns true if something was
+    /// evicted.
+    #[cfg(any(test, feature = "check"))]
+    pub fn evict_line(&mut self, me: usize, line: LineAddr) -> bool {
+        let Some(entry) = self.cores[me].l1.invalidate(line) else {
+            return false;
+        };
+        let mut latency = self.config.l1_latency;
+        match entry.state {
+            L1State::M => {
+                self.cores[me].stats.writebacks += 1;
+                latency += self.config.l2_latency;
+                if entry.a_bit {
+                    self.cores[me].post_alert(AlertCause::AouInvalidated(line));
+                }
+            }
+            L1State::Tmi => {
+                let data = entry.data.expect("TMI line must carry speculative data");
+                latency += self.overflow_tmi(me, line, data);
+            }
+            _ => {
+                if let Some(d) = entry.data {
+                    self.cores[me].l1.retire_data(d);
+                }
+                if entry.a_bit {
+                    self.cores[me].post_alert(AlertCause::AouInvalidated(line));
+                }
+            }
+        }
+        self.charge_mem(me, latency);
+        self.maybe_check_invariants();
+        true
+    }
+
     /// Executes one memory access for core `me`. `store_val` is written
     /// on `Store`/`TStore` and ignored otherwise.
     pub fn access(
@@ -218,6 +259,7 @@ impl SimState {
             };
             self.advance(me, latency);
             self.cores[me].stats.mem_cycles += latency;
+            self.maybe_check_invariants();
             return result;
         }
 
@@ -267,6 +309,7 @@ impl SimState {
                 }
                 self.advance(me, latency);
                 self.cores[me].stats.mem_cycles += latency;
+                self.maybe_check_invariants();
                 return result;
             }
             // Osig false positive: charge the wasted tag walk and fall
@@ -277,6 +320,7 @@ impl SimState {
         latency += self.request(me, addr, kind, store_val, key, &mut result);
         self.advance(me, latency);
         self.cores[me].stats.mem_cycles += latency;
+        self.maybe_check_invariants();
         result
     }
 

@@ -28,6 +28,34 @@ impl SimState {
                     .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains_key(key)))
     }
 
+    /// TI legality (checker invariant, next to the threat test it
+    /// mirrors): a TI snapshot of `line` exists only while some remote
+    /// core still threatens it, or while the reader's own R-W CST
+    /// records the (possibly already settled) conflict that justified
+    /// it, or while summary signatures blur the picture (§5).
+    #[cfg(any(test, feature = "check"))]
+    pub(crate) fn check_threat_invariants(&self, line: LineAddr) {
+        for (i, core) in self.cores.iter().enumerate() {
+            if core.l1.peek(line).is_none_or(|e| e.state != L1State::Ti) {
+                continue;
+            }
+            let threatened = self.cores.iter().enumerate().any(|(j, rc)| {
+                j != i
+                    && (rc.l1.peek(line).is_some_and(|e| e.state == L1State::Tmi)
+                        || rc.writes_line(line)
+                        || rc
+                            .ot
+                            .as_ref()
+                            .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains(line)))
+            });
+            assert!(
+                threatened || core.csts.read(CstKind::RW) != 0 || self.l2.any_summary(),
+                "core {i}: TI line {line:?} with no remote threat, no R-W \
+                 record, and no summaries"
+            );
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     pub(super) fn record_conflict(
         &mut self,

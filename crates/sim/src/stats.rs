@@ -470,7 +470,7 @@ pub enum Event {
 }
 
 /// Ordered event log.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct EventLog {
     events: Vec<Event>,
     enabled: bool,

@@ -38,6 +38,8 @@
 //! machine.with_state(|st| assert_eq!(st.mem.read(counter), 20));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cgl;
 pub mod orec;
 mod rstm;

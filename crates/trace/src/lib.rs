@@ -14,6 +14,8 @@
 //! same seeded workload serialize to byte-identical output, which the
 //! determinism suite pins.
 
+#![forbid(unsafe_code)]
+
 use flextm_sim::{AbortCause, ConflictKind, MachineReport};
 
 /// Classification of a conflict observed by a running attempt.

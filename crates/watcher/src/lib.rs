@@ -26,6 +26,8 @@
 //! assert_eq!(caught, vec![1]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod measure;
 pub mod programs;
 pub mod racedetect;

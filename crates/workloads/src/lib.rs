@@ -32,6 +32,8 @@
 //! assert!(result.throughput() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod alloc;
 mod delaunay;
 pub mod harness;

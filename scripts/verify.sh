@@ -6,9 +6,12 @@
 #   2. cargo clippy --workspace -- -D warnings
 #   3. cargo fmt --check
 #   4. cargo bench --workspace --no-run (benches must keep compiling)
-#   5. trace-enabled determinism pass (release): the attempt-trace
+#   5. proto_check smoke: the model checker exhaustively explores the
+#      2-core x 1-line config to a fixpoint with zero invariant
+#      violations (seconds)
+#   6. trace-enabled determinism pass (release): the attempt-trace
 #      JSONL must be byte-identical across seeded runs
-#   6. sched_bench --trace smoke: the abort-attribution table and
+#   7. sched_bench --trace smoke: the abort-attribution table and
 #      JSONL trace render end to end
 #
 # Usage: scripts/verify.sh
@@ -29,6 +32,9 @@ cargo fmt --all --check
 
 echo "== benches compile (no run) =="
 cargo bench --workspace --no-run
+
+echo "== proto_check smoke (exhaustive 2 cores x 1 line) =="
+cargo run -q --release -p flextm-bench --bin proto_check -- --cores 2 --lines 1
 
 echo "== trace determinism (release) =="
 cargo test -q --release -p flextm-workloads --test determinism \

@@ -5,6 +5,8 @@
 //! through one dependency. See [`flextm`] for the paper's primary
 //! contribution and `DESIGN.md` for the system inventory.
 
+#![forbid(unsafe_code)]
+
 pub use flextm;
 pub use flextm_area;
 pub use flextm_sig;
