@@ -1,0 +1,94 @@
+//! Simulation fingerprint: a stable digest of a recorded HashTable run.
+//!
+//! Runs the paper HashTable workload at `FLEXTM_FP_THREADS` cores
+//! (default 16) with event recording on, and prints the simulated
+//! results that must stay bit-identical across engine refactors:
+//! committed / attempts / sim_ops / sim_cycles plus an FNV-1a digest
+//! over the full protocol event log and the per-core counters.
+//!
+//! ```text
+//! FLEXTM_FP_THREADS=16 FLEXTM_FP_TXNS=96 \
+//!     cargo run --release -p flextm-bench --bin fingerprint
+//! ```
+//!
+//! Two trees implementing the same simulated machine must print the
+//! same line; anything else is a semantic change, not a refactor.
+
+use flextm::{FlexTm, FlexTmConfig};
+use flextm_sim::{Machine, MachineConfig, MachineReport};
+use flextm_workloads::harness::{run_measured, RunConfig, Workload};
+use flextm_workloads::HashTable;
+
+fn sim_ops(r: &MachineReport) -> u64 {
+    r.total(|c| c.loads + c.stores + c.tloads + c.tstores)
+        + r.total(|c| c.commits + c.failed_commits + c.tx_aborts)
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn main() {
+    let threads: usize = std::env::var("FLEXTM_FP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let txns: u64 = std::env::var("FLEXTM_FP_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96);
+
+    let mut config = MachineConfig::paper_default().with_cores(threads);
+    config.record_events = true;
+    let machine = Machine::new(config);
+    let mut wl = HashTable::paper();
+    wl.setup(&machine);
+    let tm = FlexTm::new(&machine, FlexTmConfig::lazy(threads));
+    let result = run_measured(
+        &machine,
+        &tm,
+        &wl,
+        RunConfig {
+            threads,
+            txns_per_thread: txns,
+            warmup_per_thread: 8,
+            seed: 0xF1E7,
+        },
+    );
+
+    let events = machine.with_state(|st| st.log.take());
+    let report = machine.report();
+
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for ev in &events {
+        fnv1a(&mut digest, format!("{ev:?}").as_bytes());
+    }
+    let mut counters: u64 = 0xcbf2_9ce4_8422_2325;
+    for (i, core) in report.cores.iter().enumerate() {
+        fnv1a(
+            &mut counters,
+            format!("{i}:{core:?}:{}", report.core_cycles[i]).as_bytes(),
+        );
+    }
+
+    println!(
+        concat!(
+            "{{\"bench\": \"fingerprint_hashtable\", \"threads\": {}, ",
+            "\"txns_per_thread\": {}, \"committed\": {}, \"attempts\": {}, ",
+            "\"sim_ops\": {}, \"sim_cycles\": {}, \"events\": {}, ",
+            "\"event_digest\": \"{:016x}\", \"counter_digest\": \"{:016x}\"}}"
+        ),
+        threads,
+        txns,
+        result.committed,
+        result.attempts,
+        sim_ops(&report),
+        report.elapsed_cycles(),
+        events.len(),
+        digest,
+        counters,
+    );
+}

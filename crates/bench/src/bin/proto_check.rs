@@ -30,12 +30,13 @@ struct Args {
     walk: bool,
     steps: u64,
     seed: u64,
+    wide: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: proto_check [--cores N] [--lines N] [--depth N] \
-         [--alphabet full|tx|noevict] [--walk] [--steps N] [--seed S]"
+         [--alphabet full|tx|noevict] [--walk] [--steps N] [--seed S] [--wide]"
     );
     std::process::exit(2);
 }
@@ -49,6 +50,7 @@ fn parse_args() -> Args {
         walk: false,
         steps: 100_000,
         seed: 0x5EED,
+        wide: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,6 +68,7 @@ fn parse_args() -> Args {
                 args.alphabet = Alphabet::parse(&val("--alphabet")).unwrap_or_else(|| usage())
             }
             "--walk" => args.walk = true,
+            "--wide" => args.wide = true,
             "--steps" => args.steps = val("--steps").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             _ => usage(),
@@ -76,16 +79,28 @@ fn parse_args() -> Args {
 
 fn main() {
     let a = parse_args();
+    // `--wide` spreads the checker cores across the ProcSet word seam
+    // (machine cores 0, 64, 65, …) so CST and directory bits exercise
+    // the second 64-bit word; the explored state space is unchanged.
+    let base = if a.wide {
+        CheckConfig::wide(a.cores, a.lines)
+    } else {
+        CheckConfig::new(a.cores, a.lines)
+    };
     let cfg = CheckConfig {
         alphabet: a.alphabet,
-        ..CheckConfig::new(a.cores, a.lines)
+        ..base
     };
     let t0 = Instant::now();
 
     if a.walk {
         eprintln!(
-            "proto_check: random walk, {} cores x {} lines, {} steps, seed {:#x}",
-            a.cores, a.lines, a.steps, a.seed
+            "proto_check: random walk, {} cores x {} lines{}, {} steps, seed {:#x}",
+            a.cores,
+            a.lines,
+            if a.wide { " (wide machine)" } else { "" },
+            a.steps,
+            a.seed
         );
         let mut rng = WlRng::new(a.seed, 0);
         let mut pick = |n: usize| rng.below(n as u64) as usize;
@@ -111,9 +126,10 @@ fn main() {
         }
     } else {
         eprintln!(
-            "proto_check: exhaustive, {} cores x {} lines, depth {}",
+            "proto_check: exhaustive, {} cores x {} lines{}, depth {}",
             a.cores,
             a.lines,
+            if a.wide { " (wide machine)" } else { "" },
             a.depth.map_or("unbounded".to_string(), |d| d.to_string()),
         );
         let mut progress = |p: &Progress| {
@@ -140,10 +156,12 @@ fn main() {
             }
             None => {
                 println!(
-                    "{{\"bench\": \"proto_check\", \"cores\": {}, \"lines\": {}, \
+                    "{{\"bench\": \"proto_check\", \"wide\": {}, \
+                     \"cores\": {}, \"lines\": {}, \
                      \"depth\": {}, \"states\": {}, \"transitions\": {}, \
                      \"max_depth\": {}, \"truncated\": {}, \"wall_s\": {:.3}, \
                      \"violations\": 0}}",
+                    a.wide,
                     a.cores,
                     a.lines,
                     a.depth.map_or(-1i64, |d| d as i64),

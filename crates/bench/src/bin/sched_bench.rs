@@ -50,12 +50,18 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if protocol_mode { 1 } else { 16 });
     let bench_name = if protocol_mode {
-        "protocol_1thread_hashtable"
+        "protocol_1thread_hashtable".to_string()
     } else {
-        "sched_16core_hashtable"
+        format!("sched_{threads}core_hashtable")
     };
 
+    // The machine keeps the paper's 16-way geometry for the recorded
+    // benches; wider thread counts get a correspondingly wider machine
+    // (the Fig. 4-style 64-core series).
     let mut config = MachineConfig::paper_default();
+    if threads > config.cores {
+        config = config.with_cores(threads);
+    }
     config.strict_lockstep = strict;
     let machine = Machine::new(config);
     let mut wl = HashTable::paper();

@@ -63,7 +63,11 @@ pub fn canon(d: &Driver) -> u128 {
     let cfg = d.config();
     let mut h = Hash128::new();
 
-    for (i, core) in d.st.cores.iter().enumerate() {
+    // Only mapped cores: unmapped cores of a wide machine never run an
+    // op and stay in their initial state, so hashing them would only
+    // slow every fork down. Identity maps cover every core.
+    for (i, &id) in cfg.core_ids.iter().enumerate() {
+        let core = &d.st.cores[id];
         h.word(0xC0DE_0000 | i as u64);
 
         // L1 residency, sorted by line so fill order (way choice) does
@@ -96,9 +100,11 @@ pub fn canon(d: &Driver) -> u128 {
             h.word(*w);
         }
         let (rw, wr, ww) = core.csts.snapshot();
-        h.word(rw);
-        h.word(wr);
-        h.word(ww);
+        for set in [rw, wr, ww] {
+            for &w in set.words() {
+                h.word(w);
+            }
+        }
         h.word(core.aloaded.map_or(u64::MAX, |l| l.index()));
         h.word(alert_code(&core.alert_pending));
 
@@ -136,8 +142,11 @@ pub fn canon(d: &Driver) -> u128 {
         if d.st.l2.has_dir_info(line) {
             let e = d.st.l2.dir(line);
             h.word(1);
-            h.word(e.sharers);
-            h.word(e.owners);
+            for set in [e.sharers, e.owners] {
+                for &w in set.words() {
+                    h.word(w);
+                }
+            }
         } else {
             h.word(0);
         }
@@ -163,9 +172,11 @@ pub fn canon(d: &Driver) -> u128 {
             h.word(l as u64);
             h.word(v);
         }
-        h.word(sh.rw);
-        h.word(sh.wr);
-        h.word(sh.ww);
+        for set in [sh.rw, sh.wr, sh.ww] {
+            for &w in set.words() {
+                h.word(w);
+            }
+        }
     }
 
     h.finish()

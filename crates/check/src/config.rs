@@ -49,6 +49,12 @@ pub struct CheckConfig {
     pub lines: usize,
     /// Which ops the explorer enumerates.
     pub alphabet: Alphabet,
+    /// Machine core id behind each checker core. Identity under
+    /// [`CheckConfig::new`]; [`CheckConfig::wide`] spreads the ids
+    /// across the `ProcSet` word seam so CST/directory/owner bits land
+    /// in the second 64-bit word — the machine is wide, the explored
+    /// state space is not.
+    pub core_ids: Vec<usize>,
 }
 
 impl CheckConfig {
@@ -60,7 +66,49 @@ impl CheckConfig {
             cores,
             lines,
             alphabet: Alphabet::Full,
+            core_ids: (0..cores).collect(),
         }
+    }
+
+    /// Like [`CheckConfig::new`], but checker core 0 drives machine
+    /// core 0 and checker core `i ≥ 1` drives machine core `63 + i` —
+    /// every cross-core interaction then mixes both `ProcSet` words.
+    /// The machine itself has `64 + cores` processors, all idle except
+    /// the mapped ones.
+    pub fn wide(cores: usize, lines: usize) -> Self {
+        let mut cfg = Self::new(cores, lines);
+        cfg.core_ids = std::iter::once(0)
+            .chain((1..cores).map(|i| 63 + i))
+            .collect();
+        assert!(
+            cfg.machine_cores() <= flextm_sig::MAX_CORES,
+            "wide checker config exceeds MAX_CORES"
+        );
+        cfg
+    }
+
+    /// The machine core id behind checker core `c`.
+    pub fn machine_core(&self, c: usize) -> usize {
+        self.core_ids[c]
+    }
+
+    /// The checker core driving machine core `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is not a mapped core — the hardware can
+    /// only ever report conflicts with cores the checker drives.
+    pub fn checker_core(&self, machine: usize) -> usize {
+        self.core_ids
+            .iter()
+            .position(|&id| id == machine)
+            .unwrap_or_else(|| panic!("machine core {machine} is not driven by the checker"))
+    }
+
+    /// Width of the simulated machine: just enough cores to reach the
+    /// highest mapped id.
+    pub fn machine_cores(&self) -> usize {
+        self.core_ids.iter().max().expect("at least one core") + 1
     }
 
     /// The simulated machine: real latencies, tiny 64-bit signatures
@@ -82,7 +130,7 @@ impl CheckConfig {
             signature: SignatureConfig::tiny(),
             ot_copyback_per_line: 0,
             record_events: false,
-            ..MachineConfig::small_test().with_cores(self.cores)
+            ..MachineConfig::small_test().with_cores(self.machine_cores())
         }
     }
 

@@ -6,7 +6,7 @@ use crate::config::CheckConfig;
 use crate::op::Op;
 use flextm_sim::{
     procs_in_mask, AbortCause, AccessKind, AccessResult, AlertCause, CasCommitOutcome,
-    ConflictKind, CstKind, MachineConfig, SimState,
+    ConflictKind, CstKind, MachineConfig, ProcSet, SimState,
 };
 use std::collections::BTreeMap;
 
@@ -36,11 +36,11 @@ pub struct ShadowCore {
     /// True write set: line index → last value stored.
     pub writes: BTreeMap<usize, u64>,
     /// Shadow CSTs, folded from the conflicts the hardware reported.
-    pub rw: u64,
+    pub rw: ProcSet,
     /// Shadow W-R.
-    pub wr: u64,
+    pub wr: ProcSet,
     /// Shadow W-W.
-    pub ww: u64,
+    pub ww: ProcSet,
 }
 
 impl ShadowCore {
@@ -49,9 +49,9 @@ impl ShadowCore {
         self.doomed = false;
         self.reads.clear();
         self.writes.clear();
-        self.rw = 0;
-        self.wr = 0;
-        self.ww = 0;
+        self.rw = ProcSet::empty();
+        self.wr = ProcSet::empty();
+        self.ww = ProcSet::empty();
     }
 }
 
@@ -112,7 +112,8 @@ impl Driver {
     pub fn enabled_ops(&self) -> Vec<Op> {
         let mut ops = Vec::new();
         for c in 0..self.cfg.cores {
-            if self.st.cores[c].alert_pending.is_some() {
+            let mc = self.cfg.machine_core(c);
+            if self.st.cores[mc].alert_pending.is_some() {
                 // Most ops on this core are consumed by the alert
                 // handler; one representative avoids redundant
                 // successors. Commit stays schedulable on a live shadow
@@ -134,7 +135,7 @@ impl Driver {
                     ops.push(Op::Write(c, l));
                 }
                 if self.cfg.alphabet.evictions()
-                    && self.st.cores[c].l1.peek(self.cfg.data_line(l)).is_some()
+                    && self.st.cores[mc].l1.peek(self.cfg.data_line(l)).is_some()
                 {
                     ops.push(Op::Evict(c, l));
                 }
@@ -156,7 +157,11 @@ impl Driver {
         // A pending alert preempts the scheduled op — except Commit,
         // which models the runtime masking alerts across its critical
         // section and lets CAS-Commit itself discover the lost TSW.
-        if self.st.cores[c].alert_pending.is_some() && !matches!(op, Op::Commit(_)) {
+        if self.st.cores[self.cfg.machine_core(c)]
+            .alert_pending
+            .is_some()
+            && !matches!(op, Op::Commit(_))
+        {
             self.service_alert(c);
             self.post_op_checks();
             return;
@@ -167,7 +172,8 @@ impl Driver {
             Op::Read(c, l) => self.plain_read(c, l),
             Op::Write(c, l) => self.plain_write(c, l),
             Op::Evict(c, l) => {
-                self.st.evict_line(c, self.cfg.data_line(l));
+                self.st
+                    .evict_line(self.cfg.machine_core(c), self.cfg.data_line(l));
             }
             Op::Commit(c) => self.commit(c),
             Op::Abort(c) => self.abort(c),
@@ -178,7 +184,8 @@ impl Driver {
     /// The user-mode alert handler (runtime `Alert` upcall): ack the
     /// alert, figure out who died, and clean up.
     fn service_alert(&mut self, c: usize) {
-        let cause = self.st.cores[c]
+        let mc = self.cfg.machine_core(c);
+        let cause = self.st.cores[mc]
             .alert_pending
             .take()
             .expect("service_alert called with no alert");
@@ -190,7 +197,7 @@ impl Driver {
                 if v == TSW_ACTIVE {
                     // Spurious (e.g. conservative alert from an uncached
                     // ALoad): re-arm and continue.
-                    self.st.aload(c, self.cfg.tsw_addr(c));
+                    self.st.aload(mc, self.cfg.tsw_addr(c));
                     return;
                 }
                 assert_eq!(
@@ -202,7 +209,7 @@ impl Driver {
                     "core {c}: TSW flipped to ABORTED without any enemy CAS"
                 );
                 if self.shadow[c].active {
-                    self.st.abort_tx(c, AbortCause::AouAlert);
+                    self.st.abort_tx(mc, AbortCause::AouAlert);
                 }
                 self.shadow[c].clear_tx();
                 self.shadow[c].tsw = TSW_ABORTED;
@@ -211,13 +218,13 @@ impl Driver {
                 // The hardware already aborted the transaction; the
                 // handler just has to retire the TSW.
                 assert!(
-                    !self.st.cores[c].has_tx_footprint(),
+                    !self.st.cores[mc].has_tx_footprint(),
                     "core {c}: strong-isolation alert but signatures still live"
                 );
                 if self.shadow[c].tsw == TSW_ACTIVE {
                     let (old, _) = self
                         .st
-                        .cas(c, self.cfg.tsw_addr(c), TSW_ACTIVE, TSW_ABORTED);
+                        .cas(mc, self.cfg.tsw_addr(c), TSW_ACTIVE, TSW_ABORTED);
                     assert_eq!(old, TSW_ACTIVE, "core {c}: TSW raced the handler");
                     self.shadow[c].tsw = TSW_ABORTED;
                 }
@@ -231,15 +238,16 @@ impl Driver {
 
     /// Implicit begin: publish ACTIVE, arm AOU, mark the attempt.
     fn begin(&mut self, c: usize) {
+        let mc = self.cfg.machine_core(c);
         assert!(
-            self.st.cores[c].csts.is_clear(),
+            self.st.cores[mc].csts.is_clear(),
             "core {c}: stale CSTs at transaction begin"
         );
         let _ = self
             .st
-            .access(c, self.cfg.tsw_addr(c), AccessKind::Store, TSW_ACTIVE);
-        self.st.aload(c, self.cfg.tsw_addr(c));
-        self.st.begin_attempt(c);
+            .access(mc, self.cfg.tsw_addr(c), AccessKind::Store, TSW_ACTIVE);
+        self.st.aload(mc, self.cfg.tsw_addr(c));
+        self.st.begin_attempt(mc);
         self.shadow[c].clear_tx();
         self.shadow[c].active = true;
         self.shadow[c].tsw = TSW_ACTIVE;
@@ -249,20 +257,25 @@ impl Driver {
     /// CSTs. The (access kind, conflict kind) pair identifies exactly
     /// which pair of registers `record_conflict` updated.
     fn fold_conflicts(&mut self, c: usize, kind: AccessKind, r: &AccessResult) {
+        let mc = self.cfg.machine_core(c);
         for conflict in &r.conflicts {
+            // The hardware names machine cores; shadow CSTs store them
+            // verbatim (they are compared against hardware registers),
+            // while shadow *indexing* goes through the checker map.
             let o = conflict.with;
+            let lo = self.cfg.checker_core(o);
             match (kind, conflict.kind) {
                 (AccessKind::TLoad, ConflictKind::Threatened) => {
-                    self.shadow[c].rw |= 1 << o;
-                    self.shadow[o].wr |= 1 << c;
+                    self.shadow[c].rw.insert(o);
+                    self.shadow[lo].wr.insert(mc);
                 }
                 (AccessKind::TStore, ConflictKind::Threatened) => {
-                    self.shadow[c].ww |= 1 << o;
-                    self.shadow[o].ww |= 1 << c;
+                    self.shadow[c].ww.insert(o);
+                    self.shadow[lo].ww.insert(mc);
                 }
                 (AccessKind::TStore, ConflictKind::ExposedRead) => {
-                    self.shadow[c].wr |= 1 << o;
-                    self.shadow[o].rw |= 1 << c;
+                    self.shadow[c].wr.insert(o);
+                    self.shadow[lo].rw.insert(mc);
                 }
                 (k, ck) => panic!("core {c}: unexpected conflict report {ck:?} on {k:?}"),
             }
@@ -273,9 +286,12 @@ impl Driver {
         if !self.shadow[c].active {
             self.begin(c);
         }
-        let r = self
-            .st
-            .access(c, self.cfg.data_addr(l), AccessKind::TLoad, 0);
+        let r = self.st.access(
+            self.cfg.machine_core(c),
+            self.cfg.data_addr(l),
+            AccessKind::TLoad,
+            0,
+        );
         assert!(r.summary_hits.is_empty(), "no descheduling in checker");
         // `r.nacked` is possible here (a committed remote OT copying
         // back): the machine charges the retry wait as stall latency
@@ -304,9 +320,12 @@ impl Driver {
             self.begin(c);
         }
         let v = Self::tx_val(c, l);
-        let r = self
-            .st
-            .access(c, self.cfg.data_addr(l), AccessKind::TStore, v);
+        let r = self.st.access(
+            self.cfg.machine_core(c),
+            self.cfg.data_addr(l),
+            AccessKind::TStore,
+            v,
+        );
         assert!(r.summary_hits.is_empty(), "no descheduling in checker");
         self.fold_conflicts(c, AccessKind::TStore, &r);
         self.shadow[c].writes.insert(l, v);
@@ -316,9 +335,12 @@ impl Driver {
         if self.shadow[c].active {
             return; // disabled op replayed while shrinking
         }
-        let r = self
-            .st
-            .access(c, self.cfg.data_addr(l), AccessKind::Load, 0);
+        let r = self.st.access(
+            self.cfg.machine_core(c),
+            self.cfg.data_addr(l),
+            AccessKind::Load,
+            0,
+        );
         // Strong isolation, observer side: a plain load sees committed
         // data only, never anyone's speculative value.
         assert_eq!(
@@ -332,9 +354,12 @@ impl Driver {
             return; // disabled op replayed while shrinking
         }
         let v = Self::plain_val(c, l);
-        let _ = self
-            .st
-            .access(c, self.cfg.data_addr(l), AccessKind::Store, v);
+        let _ = self.st.access(
+            self.cfg.machine_core(c),
+            self.cfg.data_addr(l),
+            AccessKind::Store,
+            v,
+        );
         self.shadow_mem[l] = v;
     }
 
@@ -344,23 +369,25 @@ impl Driver {
         if !self.shadow[c].active {
             return; // disabled op replayed while shrinking
         }
-        let wr = self.st.cores[c].csts.copy_and_clear(CstKind::WR);
-        let ww = self.st.cores[c].csts.copy_and_clear(CstKind::WW);
-        self.shadow[c].wr = 0;
-        self.shadow[c].ww = 0;
+        let mc = self.cfg.machine_core(c);
+        let wr = self.st.cores[mc].csts.copy_and_clear(CstKind::WR);
+        let ww = self.st.cores[mc].csts.copy_and_clear(CstKind::WW);
+        self.shadow[c].wr = ProcSet::empty();
+        self.shadow[c].ww = ProcSet::empty();
         for e in procs_in_mask(wr | ww) {
-            if self.shadow[e].tsw == TSW_ACTIVE {
+            let le = self.cfg.checker_core(e);
+            if self.shadow[le].tsw == TSW_ACTIVE {
                 let (old, _) = self
                     .st
-                    .cas(c, self.cfg.tsw_addr(e), TSW_ACTIVE, TSW_ABORTED);
+                    .cas(mc, self.cfg.tsw_addr(le), TSW_ACTIVE, TSW_ABORTED);
                 assert_eq!(old, TSW_ACTIVE, "core {c}: enemy {e} TSW raced the CAS");
-                self.shadow[e].tsw = TSW_ABORTED;
-                self.shadow[e].doomed = true;
+                self.shadow[le].tsw = TSW_ABORTED;
+                self.shadow[le].doomed = true;
             }
         }
         let outcome = self
             .st
-            .cas_commit(c, self.cfg.tsw_addr(c), TSW_ACTIVE, TSW_COMMITTED);
+            .cas_commit(mc, self.cfg.tsw_addr(c), TSW_ACTIVE, TSW_COMMITTED);
         match outcome {
             CasCommitOutcome::Committed(_) => {
                 // Commit progress/locality: CAS-Commit can only succeed
@@ -385,12 +412,12 @@ impl Driver {
                 );
                 // The instruction already hardware-aborted us; the
                 // pending AOU alert (from the enemy CAS) is now moot.
-                self.st.cores[c].alert_pending = None;
+                self.st.cores[mc].alert_pending = None;
                 self.shadow[c].clear_tx();
             }
             CasCommitOutcome::ConflictsPending { wr, ww } => panic!(
                 "core {c}: CAS-Commit reported pending conflicts \
-                 (wr={wr:#b}, ww={ww:#b}) right after copy-and-clear \
+                 (wr={wr:?}, ww={ww:?}) right after copy-and-clear \
                  in a sequential schedule"
             ),
         }
@@ -402,15 +429,16 @@ impl Driver {
         if !self.shadow[c].active {
             return; // disabled op replayed while shrinking
         }
+        let mc = self.cfg.machine_core(c);
         let (old, _) = self
             .st
-            .cas(c, self.cfg.tsw_addr(c), TSW_ACTIVE, TSW_ABORTED);
+            .cas(mc, self.cfg.tsw_addr(c), TSW_ACTIVE, TSW_ABORTED);
         assert_eq!(
             old, TSW_ACTIVE,
             "core {c}: abort raced an enemy CAS without an alert"
         );
         self.shadow[c].tsw = TSW_ABORTED;
-        self.st.abort_tx(c, AbortCause::Explicit);
+        self.st.abort_tx(mc, AbortCause::Explicit);
         self.shadow[c].clear_tx();
     }
 
@@ -420,10 +448,11 @@ impl Driver {
         //    transactional victims of plain writes asynchronously; the
         //    shadow learns of it from the emptied signatures.
         for v in 0..self.cfg.cores {
-            if self.shadow[v].active && !self.st.cores[v].has_tx_footprint() {
+            let mv = self.cfg.machine_core(v);
+            if self.shadow[v].active && !self.st.cores[mv].has_tx_footprint() {
                 assert!(
                     matches!(
-                        self.st.cores[v].alert_pending,
+                        self.st.cores[mv].alert_pending,
                         Some(AlertCause::StrongIsolation(_))
                     ) || self.shadow[v].doomed,
                     "core {v}: transaction state vanished without strong \
@@ -443,7 +472,7 @@ impl Driver {
         //    clears, including the history-dependent asymmetry after a
         //    committer's copy-and-clear.
         for (i, sh) in self.shadow.iter().enumerate() {
-            let (rw, wr, ww) = self.st.cores[i].csts.snapshot();
+            let (rw, wr, ww) = self.st.cores[self.cfg.machine_core(i)].csts.snapshot();
             assert_eq!(
                 (rw, wr, ww),
                 (sh.rw, sh.wr, sh.ww),
@@ -453,15 +482,16 @@ impl Driver {
 
         // 3. Signature conservativeness: true access sets are covered.
         for (i, sh) in self.shadow.iter().enumerate() {
+            let mi = self.cfg.machine_core(i);
             for &l in sh.reads.keys() {
                 assert!(
-                    self.st.cores[i].rsig.contains(self.cfg.data_line(l)),
+                    self.st.cores[mi].rsig.contains(self.cfg.data_line(l)),
                     "core {i}: true read L{l} missing from Rsig"
                 );
             }
             for &l in sh.writes.keys() {
                 assert!(
-                    self.st.cores[i].wsig.contains(self.cfg.data_line(l)),
+                    self.st.cores[mi].wsig.contains(self.cfg.data_line(l)),
                     "core {i}: true write L{l} missing from Wsig"
                 );
             }
@@ -496,13 +526,14 @@ impl Driver {
     pub fn check_quiescence(&self) {
         let mut d = self.fork();
         for c in 0..d.cfg.cores {
-            if d.st.cores[c].alert_pending.is_some() {
+            let mc = d.cfg.machine_core(c);
+            if d.st.cores[mc].alert_pending.is_some() {
                 d.service_alert(c);
             }
             if d.shadow[c].active {
                 d.abort(c);
             }
-            if d.st.cores[c].alert_pending.is_some() {
+            if d.st.cores[mc].alert_pending.is_some() {
                 d.service_alert(c);
             }
         }
@@ -513,7 +544,7 @@ impl Driver {
             );
         }
         for c in 0..d.cfg.cores {
-            let core = &d.st.cores[c];
+            let core = &d.st.cores[d.cfg.machine_core(c)];
             assert!(
                 !core.has_tx_footprint(),
                 "quiescence: core {c} keeps live signatures after abort-all"

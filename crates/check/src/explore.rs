@@ -310,6 +310,74 @@ mod tests {
     }
 
     #[test]
+    fn wide_2x1_explores_a_graph_isomorphic_to_the_narrow_one() {
+        // Same alphabet as the 2x1 run, but the two checker cores are
+        // machine cores 0 and 64 of a 65-core machine — every CST,
+        // directory sharer/owner set, and activity mask crosses the
+        // ProcSet word seam. Core ids must be protocol-irrelevant: the
+        // wide run's state graph is the narrow one with bits relabeled,
+        // so state and transition counts match exactly. (Bounded depth
+        // keeps the 65-core fork cost out of the unit suite; verify.sh
+        // runs the wide config to a true fixpoint in release mode.)
+        let depth = Some(6);
+        let narrow = explore(
+            &CheckConfig {
+                alphabet: Alphabet::TxOnly,
+                ..CheckConfig::new(2, 1)
+            },
+            depth,
+            None,
+        );
+        let wide_cfg = CheckConfig {
+            alphabet: Alphabet::TxOnly,
+            ..CheckConfig::wide(2, 1)
+        };
+        assert_eq!(wide_cfg.machine_cores(), 65);
+        let wide = explore(&wide_cfg, depth, None);
+        assert!(
+            wide.violation.is_none(),
+            "{}",
+            wide.violation
+                .as_ref()
+                .map(|v| v.render())
+                .unwrap_or_default()
+        );
+        assert_eq!(
+            (wide.states, wide.transitions),
+            (narrow.states, narrow.transitions),
+            "relocating checker cores across the word seam changed the state graph"
+        );
+    }
+
+    #[test]
+    fn word_seam_conflict_lands_in_the_second_cst_word() {
+        // Checker-derived regression for the multi-word ProcSet
+        // plumbing: a W-W conflict between machine cores 0 and 64 must
+        // set bit 64 — the first bit of the second CST word — on core
+        // 0, and bit 0 on core 64. Before ProcSet, this entire
+        // configuration was unbuildable (`assert!(proc < 64)`).
+        let cfg = CheckConfig::wide(2, 1);
+        let mut d = Driver::new(cfg.clone());
+        d.apply(Op::TWrite(0, 0));
+        d.apply(Op::TWrite(1, 0));
+        let (_, _, ww0) = d.st.cores[0].csts.snapshot();
+        let (_, _, ww64) = d.st.cores[64].csts.snapshot();
+        assert!(
+            ww0.contains(64),
+            "core 0 W-W missed machine core 64: {ww0:?}"
+        );
+        assert_ne!(ww0.words()[1], 0, "conflict bit not in the second word");
+        assert!(
+            ww64.contains(0),
+            "core 64 W-W missed machine core 0: {ww64:?}"
+        );
+        // The schedule must still commit cleanly from here.
+        d.apply(Op::Commit(1));
+        d.apply(Op::Abort(0));
+        d.check_quiescence();
+    }
+
+    #[test]
     fn canon_converges_on_commuting_schedules() {
         let cfg = CheckConfig::new(2, 2);
         let mut a = Driver::new(cfg.clone());

@@ -11,7 +11,7 @@
 
 use crate::runtime::FlexTmThread;
 use crate::tsw::{tsw_tag, TSW_ABORTED, TSW_ACTIVE};
-use flextm_sig::{LineAddr, Signature};
+use flextm_sig::{LineAddr, ProcSet, Signature};
 use flextm_sim::{AbortCause, Addr, SavedTx};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -29,9 +29,9 @@ struct Entry {
     rsig: Signature,
     wsig: Signature,
     /// Virtual CSTs accumulated while suspended: `(R-W, W-R, W-W)`
-    /// bit-masks over processor ids, merged into the hardware CSTs at
-    /// reschedule time.
-    virtual_csts: (u64, u64, u64),
+    /// processor sets, merged into the hardware CSTs at reschedule
+    /// time.
+    virtual_csts: (ProcSet, ProcSet, ProcSet),
     saved: SavedTx,
 }
 
@@ -73,7 +73,7 @@ impl Cmt {
                 tsw,
                 rsig,
                 wsig,
-                virtual_csts: (0, 0, 0),
+                virtual_csts: (ProcSet::empty(), ProcSet::empty(), ProcSet::empty()),
                 saved,
             },
         );
@@ -109,22 +109,21 @@ impl Cmt {
         let entry = entries.get_mut(&tid)?;
         let wrote = entry.wsig.contains(line);
         let read = entry.rsig.contains(line);
-        let bit = 1u64 << requester_core;
         let mut real = false;
         if requester_is_write && read {
             // Suspended read vs. running write: their R-W gains us.
-            entry.virtual_csts.0 |= bit;
+            entry.virtual_csts.0.insert(requester_core);
             real = true;
         }
         if requester_is_write && wrote {
             // Write-write: their W-W gains us.
-            entry.virtual_csts.2 |= bit;
+            entry.virtual_csts.2.insert(requester_core);
             real = true;
         }
         if !requester_is_write && wrote {
             // Running read vs. suspended write: their W-R gains us (they
             // abort us when they commit).
-            entry.virtual_csts.1 |= bit;
+            entry.virtual_csts.1.insert(requester_core);
             real = true;
         }
         real.then_some(SuspendedInfo { tsw: entry.tsw })

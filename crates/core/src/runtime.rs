@@ -19,7 +19,9 @@ use crate::cm::{CmContext, CmDecision, ContentionManager};
 use crate::os::Cmt;
 use crate::tsw::{tsw_tag, tsw_word, DescriptorTable, TSW_ABORTED, TSW_ACTIVE, TSW_COMMITTED};
 use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, TxRetry, Txn, TxnBody};
-use flextm_sim::{procs_in_mask, Addr, AlertCause, Conflict, CstKind, Machine, ProcHandle};
+use flextm_sim::{
+    procs_in_mask, Addr, AlertCause, Conflict, CstKind, Machine, ProcHandle, ProcSet,
+};
 use flextm_sim::{AbortCause, AccessResult, CasCommitOutcome, CmEvent};
 use flextm_trace::{ConflictClass, TraceEv, TraceRecord};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -187,7 +189,7 @@ impl FlexTm {
             cm: self.cm.build(thread_id),
             proc,
             suspended_enemies: Vec::new(),
-            enemies_this_txn: 0,
+            enemies_this_txn: ProcSet::empty(),
             seq: 0,
             stats: ThreadTxStats::default(),
             pending_abort: None,
@@ -223,8 +225,8 @@ pub struct ThreadTxStats {
 }
 
 impl ThreadTxStats {
-    fn record_commit_conflicts(&mut self, enemies: u64) {
-        let n = enemies.count_ones() as usize;
+    fn record_commit_conflicts(&mut self, enemies: flextm_sim::ProcSet) {
+        let n = enemies.count() as usize;
         if self.conflict_histogram.len() <= n {
             self.conflict_histogram.resize(n + 1, 0);
         }
@@ -280,9 +282,9 @@ pub struct FlexTmThread<'r> {
     /// Descheduled thread ids this transaction write-conflicted with;
     /// aborted during commit (virtualized CST, §5).
     suspended_enemies: Vec<usize>,
-    /// Bitmask of distinct processors this attempt conflicted with
-    /// (feeds the Fig. 4 conflict histogram).
-    enemies_this_txn: u64,
+    /// Set of distinct processors this attempt conflicted with (feeds
+    /// the Fig. 4 conflict histogram).
+    enemies_this_txn: ProcSet,
     /// Per-transaction sequence number (TSW versioning; see `tsw_word`).
     seq: u64,
     stats: ThreadTxStats,
@@ -385,7 +387,7 @@ impl<'r> FlexTmThread<'r> {
             if enemy == self.proc.core() {
                 continue;
             }
-            self.enemies_this_txn |= 1 << enemy;
+            self.enemies_this_txn.insert(enemy);
             self.emit(TraceEv::Conflict {
                 enemy: enemy as u64,
                 kind: ConflictClass::from(c.kind),
@@ -618,7 +620,7 @@ impl<'r> FlexTmThread<'r> {
         self.proc.abort_tx(cause);
         self.emit(TraceEv::Abort { cause, enemy });
         self.suspended_enemies.clear();
-        self.enemies_this_txn = 0;
+        self.enemies_this_txn = ProcSet::empty();
         self.stats.aborts += 1;
         let backoff = self.cm.on_abort();
         self.proc.stall(backoff);
@@ -665,7 +667,9 @@ impl TmThread for FlexTmThread<'_> {
             self.stats.commits += 1;
             let enemies = std::mem::take(&mut self.enemies_this_txn);
             self.stats.record_commit_conflicts(enemies);
-            self.emit(TraceEv::Commit { enemies });
+            self.emit(TraceEv::Commit {
+                enemies: enemies.to_u128(),
+            });
             AttemptOutcome::Committed
         } else {
             self.abort_attempt();

@@ -158,7 +158,7 @@ fn suspended_writer_conflict_marks_running_reader() {
                     // The merged CSTs were restored into hardware.
                     proc.read_cst(flextm_sim::CstKind::WR)
                 };
-                assert_ne!(wr_mask & (1 << 1), 0, "virtual W-R lost the reader");
+                assert!(wr_mask.contains(1), "virtual W-R lost the reader");
                 let out = proc
                     .cas_commit(
                         tm.descriptors().descriptor(0).tsw,

@@ -29,10 +29,12 @@
 #![forbid(unsafe_code)]
 
 mod hasher;
+mod procset;
 mod signature;
 mod summary;
 
 pub use hasher::{HashScheme, LineHasher, SigKey};
+pub use procset::{ProcIter, ProcSet, MAX_CORES, PROC_WORDS};
 pub use signature::{Signature, SignatureConfig};
 pub use summary::SummarySignature;
 

@@ -1,0 +1,145 @@
+//! Property suite for `ProcSet`: randomized op sequences are replayed
+//! against a `HashSet<usize>` oracle at machine widths straddling the
+//! word boundary (1, 16, 64, 65, 128). Hand-rolled deterministic RNG,
+//! like the signature property suite — the offline build has no
+//! `proptest`.
+
+use flextm_sig::{ProcSet, MAX_CORES};
+use std::collections::HashSet;
+
+/// xorshift64* — any deterministic stream works here.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+const WIDTHS: [usize; 5] = [1, 16, 64, 65, 128];
+
+fn assert_matches_oracle(width: usize, set: &ProcSet, oracle: &HashSet<usize>, step: usize) {
+    assert_eq!(
+        set.count() as usize,
+        oracle.len(),
+        "width {width} step {step}: count diverged"
+    );
+    assert_eq!(
+        set.is_empty(),
+        oracle.is_empty(),
+        "width {width} step {step}: is_empty diverged"
+    );
+    for p in 0..width {
+        assert_eq!(
+            set.contains(p),
+            oracle.contains(&p),
+            "width {width} step {step}: membership of {p} diverged"
+        );
+    }
+    // Iteration must yield exactly the oracle, ascending.
+    let mut sorted: Vec<usize> = oracle.iter().copied().collect();
+    sorted.sort_unstable();
+    assert_eq!(
+        set.iter().collect::<Vec<_>>(),
+        sorted,
+        "width {width} step {step}: iteration order/content diverged"
+    );
+}
+
+#[test]
+fn insert_remove_round_trips_vs_oracle() {
+    for width in WIDTHS {
+        let mut rng = Rng(0x5eed ^ (width as u64) << 32);
+        let mut set = ProcSet::empty();
+        let mut oracle: HashSet<usize> = HashSet::new();
+        for step in 0..2000 {
+            let p = rng.below(width);
+            if rng.next().is_multiple_of(3) {
+                set.remove(p);
+                oracle.remove(&p);
+            } else {
+                set.insert(p);
+                oracle.insert(p);
+            }
+            if step % 61 == 0 {
+                assert_matches_oracle(width, &set, &oracle, step);
+            }
+        }
+        assert_matches_oracle(width, &set, &oracle, usize::MAX);
+    }
+}
+
+#[test]
+fn union_difference_intersection_vs_oracle() {
+    for width in WIDTHS {
+        let mut rng = Rng(0xfeed ^ (width as u64) << 24);
+        for round in 0..200 {
+            let mut a = ProcSet::empty();
+            let mut b = ProcSet::empty();
+            let mut oa: HashSet<usize> = HashSet::new();
+            let mut ob: HashSet<usize> = HashSet::new();
+            for _ in 0..rng.below(2 * width + 1) {
+                let p = rng.below(width);
+                a.insert(p);
+                oa.insert(p);
+            }
+            for _ in 0..rng.below(2 * width + 1) {
+                let p = rng.below(width);
+                b.insert(p);
+                ob.insert(p);
+            }
+            assert_matches_oracle(width, &(a | b), &(&oa | &ob), round);
+            assert_matches_oracle(width, &(a & b), &(&oa & &ob), round);
+            assert_matches_oracle(width, &a.minus(b), &(&oa - &ob), round);
+            assert_eq!(
+                a.subset_of(&b),
+                oa.is_subset(&ob),
+                "width {width} round {round}: subset_of diverged"
+            );
+            assert_eq!(
+                a.intersects(&b),
+                !oa.is_disjoint(&ob),
+                "width {width} round {round}: intersects diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn word_boundary_bits_are_exact() {
+    // The four bits around the 64-bit word seam, plus the extremes.
+    for p in [0, 62, 63, 64, 65, 126, 127] {
+        let s = ProcSet::bit(p);
+        assert_eq!(s.to_u128(), 1u128 << p, "bit {p} landed in the wrong word");
+        assert_eq!(s.words()[p / 64], 1u64 << (p % 64));
+        assert_eq!(s.words()[1 - p / 64], 0);
+        assert!(ProcSet::first_n(MAX_CORES).contains(p));
+        assert_eq!(ProcSet::first_n(p).count() as usize, p);
+        assert!(
+            !ProcSet::first_n(p).contains(p),
+            "first_n({p}) includes {p}"
+        );
+    }
+}
+
+#[test]
+fn collected_sets_round_trip_through_words() {
+    let mut rng = Rng(0xabcd);
+    for _ in 0..100 {
+        let members: Vec<usize> = (0..rng.below(40)).map(|_| rng.below(MAX_CORES)).collect();
+        let s: ProcSet = members.iter().copied().collect();
+        let rebuilt = ProcSet::from_words(*s.words());
+        assert_eq!(s, rebuilt);
+        let from_iter: ProcSet = s.iter().collect();
+        assert_eq!(s, from_iter);
+    }
+}

@@ -1,6 +1,43 @@
 //! Machine configuration: Table 3(a) of the paper.
 
-use flextm_sig::SignatureConfig;
+use flextm_sig::{SignatureConfig, MAX_CORES};
+
+/// A rejected machine configuration. Returned by
+/// [`MachineConfig::validate`] (and surfaced by `Machine::try_new`)
+/// instead of panicking deep inside the protocol — the old
+/// `assert!(proc < 64)` in the CST register file fired only on the
+/// first cross-processor conflict, long after the misconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `cores` exceeds the width of the per-processor bit vectors
+    /// (CSTs, directory owner/sharer sets, activity masks).
+    TooManyCores {
+        /// The core count the configuration asked for.
+        requested: usize,
+        /// The hard machine-width cap, `flextm_sig::MAX_CORES`.
+        max: usize,
+    },
+    /// A machine needs at least one core.
+    NoCores,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TooManyCores { requested, max } => write!(
+                f,
+                "machine configuration requests {requested} cores, but the \
+                 per-processor bit vectors (CSTs, directory owner sets, \
+                 activity masks) support at most {max}"
+            ),
+            ConfigError::NoCores => {
+                write!(f, "machine configuration requests zero cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of the simulated chip multiprocessor.
 ///
@@ -65,6 +102,13 @@ pub struct MachineConfig {
     /// exists so the determinism suite can pin that equivalence and so
     /// regressions can be bisected to scheduling vs. protocol changes.
     pub strict_lockstep: bool,
+    /// Run each simulated thread on its own OS thread instead of the
+    /// default stackful-fiber engine. The schedule — and every event,
+    /// counter, and clock — is identical either way; the fiber engine
+    /// just replaces futex park/unpark with userspace context switches.
+    /// Off x86_64 (where the fiber engine's context switch is not
+    /// implemented) OS threads are always used and this knob is moot.
+    pub os_threads: bool,
 }
 
 impl MachineConfig {
@@ -90,6 +134,7 @@ impl MachineConfig {
             unbounded_tmi_victim: false,
             record_events: false,
             strict_lockstep: false,
+            os_threads: false,
         }
     }
 
@@ -112,6 +157,22 @@ impl MachineConfig {
     pub fn with_cores(mut self, cores: usize) -> Self {
         self.cores = cores;
         self
+    }
+
+    /// Validates machine-wide limits that the protocol state relies on.
+    /// Called by `Machine::new`/`Machine::try_new`; every processor id
+    /// that reaches a `ProcSet` afterwards is in range by construction.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::NoCores);
+        }
+        if self.cores > MAX_CORES {
+            return Err(ConfigError::TooManyCores {
+                requested: self.cores,
+                max: MAX_CORES,
+            });
+        }
+        Ok(())
     }
 
     /// Number of 64-byte lines per L1 set. Panics on malformed geometry.
@@ -196,5 +257,38 @@ mod tests {
         let mut c = MachineConfig::paper_default();
         c.l1_ways = 3;
         let _ = c.l1_sets();
+    }
+
+    #[test]
+    fn validate_accepts_every_supported_width() {
+        for cores in [1, 16, 64, 65, 128] {
+            assert_eq!(
+                MachineConfig::paper_default().with_cores(cores).validate(),
+                Ok(()),
+                "{cores} cores must validate"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_names_the_requested_core_count() {
+        let err = MachineConfig::paper_default()
+            .with_cores(129)
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::TooManyCores {
+                requested: 129,
+                max: MAX_CORES
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("129"), "message must name the request: {msg}");
+        assert!(msg.contains("128"), "message must name the cap: {msg}");
+        assert_eq!(
+            MachineConfig::paper_default().with_cores(0).validate(),
+            Err(ConfigError::NoCores)
+        );
     }
 }

@@ -11,6 +11,8 @@
 //! line-by-line, which is what lets a lazy transaction commit with
 //! purely local work: abort everyone in `W-R | W-W`, then CAS-Commit.
 
+use flextm_sig::ProcSet;
+
 /// Which of the three conflict summary tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CstKind {
@@ -23,13 +25,14 @@ pub enum CstKind {
 }
 
 /// The three CST registers of one processor. Bits index processors
-/// (full-map bit vector, as wide as the machine; we use `u64` which
-/// bounds the simulator at 64 cores — the paper's machines have ≤16).
+/// (full-map bit vector, as wide as the machine; [`ProcSet`] carries
+/// `flextm_sig::MAX_CORES` bits — machine width is validated against it
+/// at construction, see `MachineConfig::validate`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CstSet {
-    rw: u64,
-    wr: u64,
-    ww: u64,
+    rw: ProcSet,
+    wr: ProcSet,
+    ww: ProcSet,
 }
 
 impl CstSet {
@@ -38,7 +41,7 @@ impl CstSet {
         CstSet::default()
     }
 
-    fn reg(&self, kind: CstKind) -> u64 {
+    fn reg(&self, kind: CstKind) -> ProcSet {
         match kind {
             CstKind::RW => self.rw,
             CstKind::WR => self.wr,
@@ -46,7 +49,7 @@ impl CstSet {
         }
     }
 
-    fn reg_mut(&mut self, kind: CstKind) -> &mut u64 {
+    fn reg_mut(&mut self, kind: CstKind) -> &mut ProcSet {
         match kind {
             CstKind::RW => &mut self.rw,
             CstKind::WR => &mut self.wr,
@@ -57,35 +60,34 @@ impl CstSet {
     /// Sets the bit for `proc` in table `kind` (hardware action on a
     /// conflicting coherence request/response).
     pub fn set(&mut self, kind: CstKind, proc: usize) {
-        assert!(proc < 64, "CST supports at most 64 processors");
-        *self.reg_mut(kind) |= 1 << proc;
+        self.reg_mut(kind).insert(proc);
     }
 
     /// Clears the bit for `proc` in table `kind` (software "clean
     /// myself out of X's W-R" optimization, paper §3.6).
     pub fn clear_bit(&mut self, kind: CstKind, proc: usize) {
-        *self.reg_mut(kind) &= !(1 << proc);
+        self.reg_mut(kind).remove(proc);
     }
 
-    /// Reads table `kind` as a bit mask.
-    pub fn read(&self, kind: CstKind) -> u64 {
+    /// Reads table `kind` as a processor set.
+    pub fn read(&self, kind: CstKind) -> ProcSet {
         self.reg(kind)
     }
 
     /// The atomic copy-and-clear instruction (like SPARC `clruw`) used
     /// by the lazy `Commit()` routine (Fig. 3, line 1).
-    pub fn copy_and_clear(&mut self, kind: CstKind) -> u64 {
+    pub fn copy_and_clear(&mut self, kind: CstKind) -> ProcSet {
         std::mem::take(self.reg_mut(kind))
     }
 
     /// True if the processor has a write conflict outstanding — the
     /// condition under which hardware fails a CAS-Commit (paper §3.6).
     pub fn has_write_conflicts(&self) -> bool {
-        self.wr | self.ww != 0
+        !(self.wr | self.ww).is_empty()
     }
 
     /// `W-R | W-W`: the set of transactions a lazy committer must abort.
-    pub fn write_conflict_mask(&self) -> u64 {
+    pub fn write_conflict_mask(&self) -> ProcSet {
         self.wr | self.ww
     }
 
@@ -93,7 +95,7 @@ impl CstSet {
     /// any table — the metric of the Fig. 4 "conflicting transactions"
     /// side table.
     pub fn conflicting_procs(&self) -> u32 {
-        (self.rw | self.wr | self.ww).count_ones()
+        (self.rw | self.wr | self.ww).count()
     }
 
     /// Clears all three tables (abort / commit / context-switch save).
@@ -103,16 +105,16 @@ impl CstSet {
 
     /// True if all three tables are zero.
     pub fn is_clear(&self) -> bool {
-        self.rw == 0 && self.wr == 0 && self.ww == 0
+        self.rw.is_empty() && self.wr.is_empty() && self.ww.is_empty()
     }
 
     /// Raw (rw, wr, ww) snapshot — software-visible for virtualization.
-    pub fn snapshot(&self) -> (u64, u64, u64) {
+    pub fn snapshot(&self) -> (ProcSet, ProcSet, ProcSet) {
         (self.rw, self.wr, self.ww)
     }
 
     /// Restores a snapshot taken with [`CstSet::snapshot`].
-    pub fn restore(&mut self, snap: (u64, u64, u64)) {
+    pub fn restore(&mut self, snap: (ProcSet, ProcSet, ProcSet)) {
         self.rw = snap.0;
         self.wr = snap.1;
         self.ww = snap.2;
@@ -127,29 +129,26 @@ impl CstSet {
     /// `flextm-check`, not here.)
     #[cfg(any(test, feature = "check"))]
     pub fn check_invariants(&self, me: usize, ncores: usize) {
-        let self_bit = 1u64 << me;
-        let legal = if ncores >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << ncores) - 1
-        };
+        let legal = ProcSet::first_n(ncores);
         for (name, reg) in [("R-W", self.rw), ("W-R", self.wr), ("W-W", self.ww)] {
             assert!(
-                reg & self_bit == 0,
-                "core {me}: {name} CST has its own bit set ({reg:#b})"
+                !reg.contains(me),
+                "core {me}: {name} CST has its own bit set ({reg:?})"
             );
             assert!(
-                reg & !legal == 0,
+                reg.subset_of(&legal),
                 "core {me}: {name} CST names nonexistent processors \
-                 ({reg:#b}, {ncores} cores)"
+                 ({reg:?}, {ncores} cores)"
             );
         }
     }
 }
 
-/// Iterator over the processor ids set in a CST mask.
-pub fn procs_in_mask(mask: u64) -> impl Iterator<Item = usize> {
-    (0..64usize).filter(move |i| mask >> i & 1 == 1)
+/// Iterator over the processor ids in a CST / owner mask, in ascending
+/// order. Kept as a free function for the software layers (the paper's
+/// "for each set bit" loops); `mask.iter()` is the same thing.
+pub fn procs_in_mask(mask: ProcSet) -> impl Iterator<Item = usize> {
+    mask.iter()
 }
 
 #[cfg(test)]
@@ -165,6 +164,17 @@ mod tests {
         assert_eq!(c.read(CstKind::WW), 0b101000);
         assert_eq!(c.read(CstKind::RW), 0b10);
         assert_eq!(c.read(CstKind::WR), 0);
+    }
+
+    #[test]
+    fn set_and_read_beyond_word_boundary() {
+        let mut c = CstSet::new();
+        c.set(CstKind::WW, 100);
+        c.set(CstKind::WW, 3);
+        assert!(c.read(CstKind::WW).contains(100));
+        assert_eq!(c.conflicting_procs(), 2);
+        c.clear_bit(CstKind::WW, 100);
+        assert_eq!(c.read(CstKind::WW), 0b1000);
     }
 
     #[test]
@@ -207,7 +217,7 @@ mod tests {
 
     #[test]
     fn mask_iteration() {
-        let procs: Vec<usize> = procs_in_mask(0b1010).collect();
+        let procs: Vec<usize> = procs_in_mask(ProcSet::from_mask(0b1010)).collect();
         assert_eq!(procs, vec![1, 3]);
     }
 
@@ -238,13 +248,13 @@ mod tests {
         cst[1].set(CstKind::WW, 0);
         for (i, j) in [(0usize, 1usize), (1, 0)] {
             assert_eq!(
-                cst[i].read(CstKind::WR) >> j & 1,
-                cst[j].read(CstKind::RW) >> i & 1,
+                cst[i].read(CstKind::WR).contains(j),
+                cst[j].read(CstKind::RW).contains(i),
                 "W-R[{i}→{j}] must mirror R-W[{j}→{i}]"
             );
             assert_eq!(
-                cst[i].read(CstKind::WW) >> j & 1,
-                cst[j].read(CstKind::WW) >> i & 1,
+                cst[i].read(CstKind::WW).contains(j),
+                cst[j].read(CstKind::WW).contains(i),
                 "W-W must be symmetric while both run"
             );
         }

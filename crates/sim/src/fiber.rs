@@ -1,0 +1,167 @@
+//! Stackful-fiber primitives for the single-OS-thread execution engine
+//! (x86_64 only; `machine.rs` falls back to OS threads elsewhere).
+//!
+//! A fiber is a call stack plus a saved stack pointer. Switching parks
+//! the current computation by pushing the SysV callee-saved registers
+//! (rbx, rbp, r12–r15) onto its stack, storing `rsp` into the
+//! suspended-context slot, and resuming another context by the mirror
+//! sequence. Caller-saved registers need no help — the switch is an
+//! ordinary `extern "C"` call, so the compiler has already spilled
+//! anything live across it. The x87 control word and MXCSR are *not*
+//! saved: nothing in the simulator changes rounding or exception masks,
+//! so both are constant machine-wide.
+//!
+//! Switching costs a few dozen nanoseconds. The OS-thread engine pays a
+//! futex park/unpark (microseconds, plus a full scheduler trip on a
+//! single-CPU host) for exactly the same handoff; that gap is the whole
+//! reason this module exists.
+//!
+//! Nothing here unwinds across a switch: the machine's fiber bodies run
+//! under `catch_unwind`, and a resumed fiber that must die re-raises the
+//! panic on its own stack (see `fiber_park` in `machine.rs`).
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+
+/// Fiber stack size. Matches the 2 MiB default of `std::thread`, which
+/// the OS-thread engine implicitly granted every simulated thread; the
+/// red-black-tree workloads recurse and were sized against that.
+pub(crate) const STACK_BYTES: usize = 2 * 1024 * 1024;
+
+/// Entry signature a prepared stack starts in. The function must never
+/// return — the word above its frame is a trap, not a return address.
+pub(crate) type Entry = extern "C" fn(*mut u8) -> !;
+
+// The context switch and the first-entry trampoline.
+//
+// `flextm_sim_fiber_switch(save: *mut u64 /* rdi */, resume: u64 /* rsi */)`
+// pushes the callee-saved registers, stores rsp through `save`, installs
+// `resume` as rsp, pops, and returns — on the *resumed* stack. A
+// suspended context is therefore always "rsp of a stack whose top holds
+// r15, r14, r13, r12, rbx, rbp, return-address", which is exactly what
+// `StackLayout::prepare` forges for first entry.
+//
+// `flextm_sim_fiber_start` is the forged return target of that first
+// entry: the prepared frame loads the task pointer into r12 and the
+// entry function into r13 (callee-saved, so the switch restores them),
+// and the trampoline moves them into place for a normal SysV call. The
+// `call` (not `jmp`) keeps the entry 16-byte stack-aligned; `ud2` traps
+// if the never-returning entry ever returns.
+#[allow(unsafe_code)]
+mod asm {
+    core::arch::global_asm!(
+        ".balign 16",
+        ".globl flextm_sim_fiber_switch",
+        ".hidden flextm_sim_fiber_switch",
+        "flextm_sim_fiber_switch:",
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov [rdi], rsp",
+        "mov rsp, rsi",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+        ".balign 16",
+        ".globl flextm_sim_fiber_start",
+        ".hidden flextm_sim_fiber_start",
+        "flextm_sim_fiber_start:",
+        "mov rdi, r12",
+        "call r13",
+        "ud2",
+    );
+}
+
+extern "C" {
+    /// Suspends the current context into `*save` and resumes `resume`.
+    ///
+    /// # Safety
+    ///
+    /// `resume` must be a context produced by this same function (or by
+    /// [`FiberStack::prepare`]) that has not been resumed since, and its
+    /// stack must still be allocated. `save` must be valid for writes
+    /// and is the only record of the suspended computation — resuming it
+    /// twice, or never, leaks or corrupts the stack above it.
+    pub(crate) fn flextm_sim_fiber_switch(save: *mut u64, resume: u64);
+
+    fn flextm_sim_fiber_start() -> !;
+}
+
+/// A heap-allocated fiber stack. Freed on drop; the owner must ensure
+/// no suspended context still points into it (the machine's driver
+/// joins every fiber — normally or by unwinding — before dropping).
+pub(crate) struct FiberStack {
+    base: *mut u8,
+}
+
+impl FiberStack {
+    fn layout() -> Layout {
+        // 16-byte alignment and a 16-multiple size keep the stack top
+        // aligned, which `prepare` relies on.
+        Layout::from_size_align(STACK_BYTES, 16).expect("static stack layout")
+    }
+
+    pub(crate) fn new() -> Self {
+        // SAFETY: the layout has non-zero size. `alloc_zeroed` keeps the
+        // pages clean (and, on Linux, lazily mapped) rather than
+        // inheriting heap garbage into backtraces.
+        #[allow(unsafe_code)]
+        let base = unsafe { alloc_zeroed(Self::layout()) };
+        assert!(!base.is_null(), "fiber stack allocation failed");
+        FiberStack { base }
+    }
+
+    /// Forges the initial suspended context: resuming the returned rsp
+    /// runs `entry(arg)` on this stack. Layout, from the returned rsp
+    /// upwards, mirroring what the switch pops:
+    ///
+    /// ```text
+    /// [0] r15 = 0
+    /// [1] r14 = 0
+    /// [2] r13 = entry          (trampoline calls it)
+    /// [3] r12 = arg            (trampoline moves it to rdi)
+    /// [4] rbx = 0
+    /// [5] rbp = 0              (terminates frame-pointer walks)
+    /// [6] ret = fiber_start    (the trampoline)
+    /// ```
+    ///
+    /// The rsp sits 56 bytes below the 16-aligned stack top, so after
+    /// the pops and the `ret` the trampoline runs 16-aligned and its
+    /// `call` gives `entry` a standard SysV frame.
+    pub(crate) fn prepare(&self, entry: Entry, arg: *mut u8) -> u64 {
+        let top = self.base as u64 + STACK_BYTES as u64;
+        let rsp = top - 7 * 8;
+        // SAFETY: the seven slots lie inside this stack's allocation,
+        // just below its top, and u64 stores at 8-byte offsets from a
+        // 16-aligned top are aligned.
+        #[allow(unsafe_code)]
+        unsafe {
+            let slot = rsp as *mut u64;
+            slot.add(0).write(0); // r15
+            slot.add(1).write(0); // r14
+            slot.add(2).write(entry as usize as u64); // r13
+            slot.add(3).write(arg as u64); // r12
+            slot.add(4).write(0); // rbx
+            slot.add(5).write(0); // rbp
+            slot.add(6)
+                .write(flextm_sim_fiber_start as *const () as u64);
+        }
+        rsp
+    }
+}
+
+impl Drop for FiberStack {
+    fn drop(&mut self) {
+        // SAFETY: `base` came from `alloc_zeroed` with the same layout.
+        #[allow(unsafe_code)]
+        unsafe {
+            dealloc(self.base, Self::layout());
+        }
+    }
+}

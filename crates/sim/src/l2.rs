@@ -15,24 +15,24 @@
 //! bits (§4.1).
 
 use crate::mem::PageHasher;
-use flextm_sig::{LineAddr, SigKey, SignatureConfig, SummarySignature};
+use flextm_sig::{LineAddr, ProcSet, SigKey, SignatureConfig, SummarySignature};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 
 /// Directory state for one line.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DirEntry {
-    /// Bitmap of processors that may hold the line in S, E or TI.
-    pub sharers: u64,
-    /// Bitmap of processors that may hold the line in M or TMI.
+    /// Processors that may hold the line in S, E or TI.
+    pub sharers: ProcSet,
+    /// Processors that may hold the line in M or TMI.
     /// Conventional MESI has at most one; TMI allows several.
-    pub owners: u64,
+    pub owners: ProcSet,
 }
 
 impl DirEntry {
     /// True if no processor is recorded as caching the line.
     pub fn is_idle(&self) -> bool {
-        self.sharers == 0 && self.owners == 0
+        self.sharers.is_empty() && self.owners.is_empty()
     }
 }
 
@@ -58,7 +58,7 @@ pub struct L2 {
     pub write_summary: SummarySignature,
     /// "Cores Summary" register: processors on which transactions are
     /// currently descheduled.
-    pub cores_summary: u64,
+    pub cores_summary: ProcSet,
 }
 
 /// Result of an L2 reference: hit, or miss with an indication of
@@ -88,7 +88,7 @@ impl L2 {
             dir: HashMap::default(),
             read_summary: SummarySignature::new(sig_config.clone()),
             write_summary: SummarySignature::new(sig_config),
-            cores_summary: 0,
+            cores_summary: ProcSet::empty(),
         }
     }
 
@@ -157,49 +157,49 @@ impl L2 {
     /// refrains, so the L1 keeps receiving coherence traffic for lines
     /// accessed by its descheduled transactions.
     pub fn drop_sharer(&mut self, line: LineAddr, proc: usize) {
-        let retained = self.cores_summary >> proc & 1 == 1
+        let retained = self.cores_summary.contains(proc)
             && (self.read_summary.contains(line) || self.write_summary.contains(line));
         if retained {
             return;
         }
         if let Some(e) = self.dir.get_mut(&line) {
-            e.sharers &= !(1 << proc);
+            e.sharers.remove(proc);
         }
     }
 
     /// [`L2::drop_sharer`] with a pre-hashed key.
     pub fn drop_sharer_key(&mut self, key: SigKey, proc: usize) {
-        let retained = self.cores_summary >> proc & 1 == 1
+        let retained = self.cores_summary.contains(proc)
             && (self.read_summary.contains_key(key) || self.write_summary.contains_key(key));
         if retained {
             return;
         }
         if let Some(e) = self.dir.get_mut(&key.line()) {
-            e.sharers &= !(1 << proc);
+            e.sharers.remove(proc);
         }
     }
 
     /// Removes `proc` from `line`'s owners (same retention rule).
     pub fn drop_owner(&mut self, line: LineAddr, proc: usize) {
-        let retained = self.cores_summary >> proc & 1 == 1
+        let retained = self.cores_summary.contains(proc)
             && (self.read_summary.contains(line) || self.write_summary.contains(line));
         if retained {
             return;
         }
         if let Some(e) = self.dir.get_mut(&line) {
-            e.owners &= !(1 << proc);
+            e.owners.remove(proc);
         }
     }
 
     /// [`L2::drop_owner`] with a pre-hashed key.
     pub fn drop_owner_key(&mut self, key: SigKey, proc: usize) {
-        let retained = self.cores_summary >> proc & 1 == 1
+        let retained = self.cores_summary.contains(proc)
             && (self.read_summary.contains_key(key) || self.write_summary.contains_key(key));
         if retained {
             return;
         }
         if let Some(e) = self.dir.get_mut(&key.line()) {
-            e.owners &= !(1 << proc);
+            e.owners.remove(proc);
         }
     }
 
@@ -262,7 +262,7 @@ mod tests {
     fn eviction_discards_directory_entry() {
         let mut c = L2::new(1, 1, SignatureConfig::paper_default());
         c.reference(LineAddr(1));
-        c.dir_mut(LineAddr(1)).sharers = 0b11;
+        c.dir_mut(LineAddr(1)).sharers = ProcSet::from_mask(0b11);
         c.reference(LineAddr(2)); // evicts line 1
         assert!(!c.has_dir_info(LineAddr(1)));
         assert_eq!(c.dir(LineAddr(1)), DirEntry::default());
@@ -272,17 +272,17 @@ mod tests {
     fn drop_sharer_respects_cores_summary() {
         let mut c = l2();
         c.reference(LineAddr(7));
-        c.dir_mut(LineAddr(7)).sharers = 0b10;
+        c.dir_mut(LineAddr(7)).sharers = ProcSet::from_mask(0b10);
         // Thread 9 descheduled on proc 1 with line 7 in its read set.
         let mut rsig = Signature::new(SignatureConfig::paper_default());
         rsig.insert(LineAddr(7));
         c.read_summary.install(9, rsig);
-        c.cores_summary = 0b10;
+        c.cores_summary = ProcSet::from_mask(0b10);
         c.drop_sharer(LineAddr(7), 1);
         assert_eq!(c.dir(LineAddr(7)).sharers, 0b10, "sticky sharer dropped");
         // Without the summary hit the sharer is dropped normally.
         c.drop_sharer(LineAddr(8), 1); // no dir info: no-op
-        c.cores_summary = 0;
+        c.cores_summary = ProcSet::empty();
         c.drop_sharer(LineAddr(7), 1);
         assert_eq!(c.dir(LineAddr(7)).sharers, 0);
     }
@@ -310,8 +310,8 @@ mod tests {
     fn dir_entry_idle() {
         assert!(DirEntry::default().is_idle());
         assert!(!DirEntry {
-            sharers: 1,
-            owners: 0
+            sharers: ProcSet::bit(0),
+            owners: ProcSet::empty()
         }
         .is_idle());
     }

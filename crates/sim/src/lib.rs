@@ -42,9 +42,11 @@
 //! ```
 
 // The one crate with `unsafe`: the scheduler's shared-state cell in
-// `machine.rs` (lease-serialized `UnsafeCell<SimState>`). Each site
-// carries a SAFETY comment and an explicit `#[allow(unsafe_code)]`;
-// everything else is denied.
+// `machine.rs` (lease-serialized `UnsafeCell<SimState>`) and the
+// stackful-fiber engine (`fiber.rs` context switches plus the fiber
+// bodies' lifetime erasure in `machine.rs`). Each site carries a
+// SAFETY comment and an explicit `#[allow(unsafe_code)]`; everything
+// else is denied.
 #![deny(unsafe_code)]
 
 pub mod api;
@@ -52,6 +54,8 @@ mod cache;
 mod config;
 mod core_state;
 mod cst;
+#[cfg(target_arch = "x86_64")]
+mod fiber;
 mod l2;
 mod machine;
 mod mem;
@@ -62,7 +66,7 @@ mod stats;
 mod vm;
 
 pub use cache::{Evicted, L1Cache, L1Slot, L1State, LineEntry};
-pub use config::MachineConfig;
+pub use config::{ConfigError, MachineConfig};
 pub use core_state::{AlertCause, CoreState};
 pub use cst::{procs_in_mask, CstKind, CstSet};
 pub use l2::{DirEntry, L2Ref, L2};
@@ -76,4 +80,4 @@ pub use stats::{
 };
 pub use vm::SavedTx;
 
-pub use flextm_sig::{LineAddr, SigKey, LINE_BYTES, LINE_SHIFT};
+pub use flextm_sig::{LineAddr, ProcSet, SigKey, LINE_BYTES, LINE_SHIFT, MAX_CORES};

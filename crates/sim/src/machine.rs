@@ -1,14 +1,13 @@
 //! The machine: shared simulator state plus the deterministic
-//! mailbox/lease scheduler that worker threads synchronize through.
+//! mailbox/lease scheduler that simulated threads synchronize through.
 //!
 //! # The deterministic order
 //!
-//! Every simulated thread runs on its own OS thread, and each simulated
-//! operation (load, store, CAS-Commit, `work`, …) is a call into the
-//! machine. Operations execute one at a time in a fixed total order:
-//! always the operation issued by the live core with the smallest
-//! `(local clock, core id)`, and only once *every* live core has an
-//! operation posted (conservative lockstep). The order therefore
+//! Each simulated operation (load, store, CAS-Commit, `work`, …) is a
+//! call into the machine. Operations execute one at a time in a fixed
+//! total order: always the operation issued by the live core with the
+//! smallest `(local clock, core id)`, and only once *every* live core
+//! has an operation posted (conservative lockstep). The order therefore
 //! depends only on the program and its seeds — fully repeatable, which
 //! the test suite relies on.
 //!
@@ -51,6 +50,26 @@
 //! clock — is identical either way; `tests/determinism.rs` pins that
 //! equivalence.
 //!
+//! # Execution engines
+//!
+//! The *schedule* above is engine-independent; what varies is how a
+//! parked core waits for its grant:
+//!
+//! * **Fibers** (default on x86_64). Every simulated thread is a
+//!   stackful fiber on the one OS thread that called [`Machine::run`];
+//!   a lease handoff is a ~50 ns userspace context switch straight
+//!   into the grantee (`fiber.rs`). With one runnable OS thread the
+//!   host scheduler is never involved, and host-side counters such as
+//!   `grants` become exactly repeatable too.
+//! * **OS threads** ([`crate::MachineConfig::os_threads`], and the
+//!   only engine on other architectures). One scoped thread per
+//!   simulated thread; a handoff is an unpark plus a futex wait —
+//!   microseconds, and worse when host cores are scarce.
+//!
+//! Both engines run the same `try_grant`/mailbox code, so every
+//! simulated event, counter, and clock is bit-identical across them;
+//! the cross-engine test in this module pins that.
+//!
 //! # Safety discipline
 //!
 //! `SimState` lives in an [`UnsafeCell`] next to (not inside) the
@@ -63,12 +82,17 @@
 //! fast paths; each lane is written only by its owning worker (or by
 //! the machine between runs), so relaxed ordering suffices.
 
+use crate::config::ConfigError;
 use crate::config::MachineConfig;
 use crate::core_state::CoreState;
+#[cfg(target_arch = "x86_64")]
+use crate::fiber;
 use crate::l2::L2;
 use crate::mem::Memory;
 use crate::stats::{EventLog, MachineReport, SchedStats};
-use flextm_sig::{LineAddr, LineHasher, SigKey};
+use flextm_sig::{LineAddr, LineHasher, ProcSet, SigKey};
+#[cfg(target_arch = "x86_64")]
+use std::cell::Cell;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{
     AtomicBool, AtomicU64, AtomicUsize,
@@ -158,14 +182,14 @@ pub struct SimState {
     /// The signature hasher every core shares (same configuration), so
     /// one access hashes its line exactly once into a [`SigKey`].
     hasher: LineHasher,
-    /// Bitmask of cores with a non-empty `Rsig` or `Wsig`. A **superset**
+    /// Set of cores with a non-empty `Rsig` or `Wsig`. A **superset**
     /// of the truth: bits are set eagerly on every insert but may linger
     /// after clears until the owner's next [`SimState::sync_core_masks`];
     /// consumers re-check the signatures, so staleness costs only a
     /// wasted test, never a missed one.
-    sig_live: u64,
-    /// Bitmask of cores with an allocated OT. Same superset discipline.
-    ot_present: u64,
+    sig_live: ProcSet,
+    /// Set of cores with an allocated OT. Same superset discipline.
+    ot_present: ProcSet,
     /// Reusable buffer for commit-time TMI drains, so steady-state
     /// commits never allocate. Always empty between commits.
     pub(crate) commit_scratch: Vec<(LineAddr, Box<[u64; crate::mem::WORDS_PER_LINE]>)>,
@@ -194,8 +218,8 @@ impl SimState {
             log,
             lanes,
             hasher,
-            sig_live: 0,
-            ot_present: 0,
+            sig_live: ProcSet::empty(),
+            ot_present: ProcSet::empty(),
             commit_scratch: Vec::new(),
             #[cfg(any(test, feature = "check"))]
             check_every_op: false,
@@ -209,15 +233,15 @@ impl SimState {
         self.hasher.key(line)
     }
 
-    /// Bitmask of cores whose `Rsig`/`Wsig` may be non-empty (superset).
+    /// Set of cores whose `Rsig`/`Wsig` may be non-empty (superset).
     #[inline]
-    pub(crate) fn sig_live_mask(&self) -> u64 {
+    pub(crate) fn sig_live_mask(&self) -> ProcSet {
         self.sig_live
     }
 
-    /// Bitmask of cores that may have an OT allocated (superset).
+    /// Set of cores that may have an OT allocated (superset).
     #[inline]
-    pub(crate) fn ot_present_mask(&self) -> u64 {
+    pub(crate) fn ot_present_mask(&self) -> ProcSet {
         self.ot_present
     }
 
@@ -225,13 +249,13 @@ impl SimState {
     /// this eagerly to preserve the superset invariant).
     #[inline]
     pub(crate) fn mark_sig_live(&mut self, core: usize) {
-        self.sig_live |= 1 << core;
+        self.sig_live.insert(core);
     }
 
     /// Marks `core` as having an OT.
     #[inline]
     pub(crate) fn mark_ot_present(&mut self, core: usize) {
-        self.ot_present |= 1 << core;
+        self.ot_present.insert(core);
     }
 
     /// Recomputes `core`'s bits in the activity masks from its actual
@@ -239,17 +263,16 @@ impl SimState {
     /// shed stale bits; everything stays correct if a call is missed,
     /// just slower.
     pub(crate) fn sync_core_masks(&mut self, core: usize) {
-        let bit = 1u64 << core;
         let c = &self.cores[core];
         if c.rsig.is_empty() && c.wsig.is_empty() {
-            self.sig_live &= !bit;
+            self.sig_live.remove(core);
         } else {
-            self.sig_live |= bit;
+            self.sig_live.insert(core);
         }
         if c.ot.is_some() {
-            self.ot_present |= bit;
+            self.ot_present.insert(core);
         } else {
-            self.ot_present &= !bit;
+            self.ot_present.remove(core);
         }
     }
 
@@ -420,13 +443,13 @@ impl SimState {
             // set bits after clears are fine, missed ones are not).
             if core.has_tx_footprint() {
                 assert!(
-                    self.sig_live >> i & 1 == 1,
+                    self.sig_live.contains(i),
                     "core {i}: live signatures but sig_live bit clear"
                 );
             }
             if core.ot.is_some() {
                 assert!(
-                    self.ot_present >> i & 1 == 1,
+                    self.ot_present.contains(i),
                     "core {i}: OT allocated but ot_present bit clear"
                 );
             }
@@ -463,15 +486,15 @@ impl SimState {
         lines.sort_unstable_by_key(|l| l.index());
         lines.dedup();
         for line in lines {
-            let mut exclusive_holders = 0u64;
-            let mut shared_holders = 0u64;
+            let mut exclusive_holders = ProcSet::empty();
+            let mut shared_holders = ProcSet::empty();
             for (i, core) in self.cores.iter().enumerate() {
                 let Some(e) = core.l1.peek(line) else {
                     continue;
                 };
                 match e.state {
-                    L1State::M | L1State::E => exclusive_holders |= 1 << i,
-                    L1State::S => shared_holders |= 1 << i,
+                    L1State::M | L1State::E => exclusive_holders.insert(i),
+                    L1State::S => shared_holders.insert(i),
                     L1State::Tmi | L1State::Ti => {}
                 }
             }
@@ -481,13 +504,13 @@ impl SimState {
             // where a conventional owner (or a committed rival's M
             // line) appears; its CSTs guarantee it can never commit.
             assert!(
-                exclusive_holders.count_ones() <= 1,
-                "line {line:?}: multiple M/E holders {exclusive_holders:#b}"
+                exclusive_holders.count() <= 1,
+                "line {line:?}: multiple M/E holders {exclusive_holders:?}"
             );
             assert!(
-                exclusive_holders == 0 || shared_holders == 0,
-                "line {line:?}: M/E holder {exclusive_holders:#b} coexists \
-                 with sharers {shared_holders:#b}"
+                exclusive_holders.is_empty() || shared_holders.is_empty(),
+                "line {line:?}: M/E holder {exclusive_holders:?} coexists \
+                 with sharers {shared_holders:?}"
             );
 
             // TI legality lives next to the threat test it mirrors;
@@ -499,20 +522,61 @@ impl SimState {
     }
 }
 
+/// Sentinel in [`Sched::posted`]: the core is computing natively, no
+/// operation is posted. Simulated clocks start at zero and advance by
+/// small latencies; they can never reach `u64::MAX`.
+const NOT_POSTED: u64 = u64::MAX;
+
 /// The scheduler table: who is live, what each live core has posted,
-/// and who currently holds the lease on the state.
+/// and who currently holds the lease on the state. Kept as dense
+/// structure-of-arrays — a [`ProcSet`] of live cores plus a flat clock
+/// array with a sentinel — so the grant scan at 64 or 128 cores walks
+/// set bits and one contiguous `u64` row instead of chasing
+/// `Vec<Option<_>>` tags.
 #[derive(Debug)]
 struct Sched {
-    live: Vec<bool>,
-    /// Mailbox slots: the issue clock of each core's posted operation
-    /// (`None` while the core is computing natively).
-    posted: Vec<Option<u64>>,
-    /// Handles for waking parked workers (registered on first post).
+    /// Set of cores with a worker between `run` entry and deregister.
+    live: ProcSet,
+    /// Mailbox slots: the issue clock of each core's posted operation,
+    /// or [`NOT_POSTED`] while the core is computing natively.
+    posted: Box<[u64]>,
+    /// Handles for waking parked workers (registered on first post;
+    /// OS-thread engine only — fibers are resumed by direct switch).
     threads: Vec<Option<std::thread::Thread>>,
     /// The core holding the exclusive lease on `Shared::state`.
     lease: Option<usize>,
     /// Rendezvous counters, folded into [`MachineReport`].
     stats: SchedStats,
+}
+
+/// Per-core fiber contexts for the single-OS-thread engine. Plain
+/// `Cell`s: everything here is touched only by the one OS thread
+/// driving [`Machine::run`] (the driver loop and the fibers it resumes
+/// all share that thread), and runs are serialized by the scheduler
+/// lock, which also publishes these cells across host threads between
+/// runs.
+#[cfg(target_arch = "x86_64")]
+struct FiberHub {
+    /// The driver's suspended context while a fiber runs.
+    driver: Cell<u64>,
+    /// Each fiber's suspended context (or prepared initial context).
+    ctx: Vec<Cell<u64>>,
+    /// Fiber `i` has been switched into at least once this run.
+    started: Vec<Cell<bool>>,
+    /// Fiber `i`'s job has completed (its context is dead).
+    finished: Vec<Cell<bool>>,
+}
+
+#[cfg(target_arch = "x86_64")]
+impl FiberHub {
+    fn new(cores: usize) -> Self {
+        FiberHub {
+            driver: Cell::new(0),
+            ctx: (0..cores).map(|_| Cell::new(0)).collect(),
+            started: (0..cores).map(|_| Cell::new(false)).collect(),
+            finished: (0..cores).map(|_| Cell::new(false)).collect(),
+        }
+    }
 }
 
 /// State shared between the [`Machine`] handle and its worker threads.
@@ -524,13 +588,22 @@ pub(crate) struct Shared {
     /// `Sched`) so parked workers can check it without the lock.
     poisoned: AtomicBool,
     strict: bool,
+    /// Run simulated threads as stackful fibers on the calling OS
+    /// thread instead of one OS thread each. Same schedule, same
+    /// results; handoffs cost a userspace switch instead of a futex.
+    use_fibers: bool,
+    #[cfg(target_arch = "x86_64")]
+    fibers: FiberHub,
 }
 
 // SAFETY: `state` is accessed only by the unique lease holder between
 // two critical sections on `sched`, or through `Machine` methods that
 // hold `sched` and assert no run is live; handoff through the lock
 // publishes the previous holder's writes (module doc, "Safety
-// discipline"). Everything else in `Shared` is Sync on its own.
+// discipline"). The `fibers` hub's cells are touched only on the OS
+// thread inside `Machine::run` (driver and fibers share it), and runs
+// are serialized — and published across host threads — by the `sched`
+// lock. Everything else in `Shared` is Sync on its own.
 #[allow(unsafe_code)]
 unsafe impl Sync for Shared {}
 
@@ -547,47 +620,47 @@ unsafe impl Sync for Shared {}
 /// lock at all. `caller` (if posting) skips its own wakeup: it
 /// re-checks its lane before parking.
 ///
-/// Returns the thread to unpark, if any. The caller must drop the
-/// `sched` guard *before* unparking: waking the grantee while still
+/// Returns the core to wake, if any (the grantee, when it is not the
+/// caller itself). On the OS-thread engine the caller must drop the
+/// `sched` guard *before* unparking it: waking the grantee while still
 /// holding the lock invites the OS to preempt the granter in favour of
 /// the grantee, which then blocks on this same lock at its next
-/// rendezvous — an extra futex round-trip on every handoff.
+/// rendezvous — an extra futex round-trip on every handoff. On the
+/// fiber engine the caller switches directly into the grantee's
+/// context (also after dropping the guard, or the grantee's next lock
+/// would self-deadlock the shared OS thread).
 #[must_use]
-fn try_grant(shared: &Shared, sched: &mut Sched, caller: Option<usize>) -> Option<Thread> {
+fn try_grant(shared: &Shared, sched: &mut Sched, caller: Option<usize>) -> Option<usize> {
     if sched.lease.is_some() || shared.poisoned.load(Relaxed) {
         return None;
     }
     let mut best: Option<(u64, usize)> = None;
     let mut second = (u64::MAX, usize::MAX);
-    for i in 0..sched.live.len() {
-        if !sched.live[i] {
-            continue;
+    for i in sched.live.iter() {
+        let clock = sched.posted[i];
+        if clock == NOT_POSTED {
+            return None; // someone is still computing natively
         }
-        match sched.posted[i] {
-            None => return None, // someone is still computing natively
-            Some(clock) => {
-                let key = (clock, i);
-                match best {
-                    None => best = Some(key),
-                    Some(b) if key < b => {
-                        second = b;
-                        best = Some(key);
-                    }
-                    Some(_) => second = second.min(key),
-                }
+        let key = (clock, i);
+        match best {
+            None => best = Some(key),
+            Some(b) if key < b => {
+                second = b;
+                best = Some(key);
             }
+            Some(_) => second = second.min(key),
         }
     }
     let (_, next) = best?;
     sched.lease = Some(next);
-    sched.posted[next] = None;
+    sched.posted[next] = NOT_POSTED;
     let lane = &shared.lanes.0[next];
     lane.horizon_clock.store(second.0, Relaxed);
     lane.horizon_id.store(second.1, Relaxed);
     lane.granted.store(true, Release);
     if caller != Some(next) {
         sched.stats.grants += 1;
-        return sched.threads[next].clone();
+        return Some(next);
     }
     None
 }
@@ -623,33 +696,41 @@ pub(crate) fn sync_op<R>(shared: &Shared, core: usize, f: impl FnOnce(&mut SimSt
 
 /// The rendezvous path: post the issue clock in the mailbox, hand the
 /// lease back, park until granted, then run `f` under the horizon the
-/// granter computed.
+/// granter computed. "Park" is a futex wait on the OS-thread engine
+/// and a context switch (to the grantee, or back to the driver) on the
+/// fiber engine.
 #[cold]
 fn slow_op<R>(shared: &Shared, core: usize, f: impl FnOnce(&mut SimState) -> R) -> R {
     let lane = &shared.lanes.0[core];
-    let wake = {
+    let (wake, wake_thread) = {
         let mut sched = shared.sched.lock().expect("scheduler lock poisoned");
-        if sched.threads[core].is_none() {
+        if !shared.use_fibers && sched.threads[core].is_none() {
             sched.threads[core] = Some(std::thread::current());
         }
-        sched.posted[core] = Some(lane.clock.load(Relaxed));
+        sched.posted[core] = lane.clock.load(Relaxed);
         sched.stats.slow_ops += 1;
         if sched.lease == Some(core) {
             sched.lease = None;
             lane.holds_lease.store(false, Relaxed);
         }
-        try_grant(shared, &mut sched, Some(core))
+        let wake = try_grant(shared, &mut sched, Some(core));
+        let wake_thread = if shared.use_fibers {
+            None
+        } else {
+            wake.and_then(|next| sched.threads[next].clone())
+        };
+        (wake, wake_thread)
     };
-    if let Some(t) = wake {
-        t.unpark();
+    #[cfg(target_arch = "x86_64")]
+    if shared.use_fibers {
+        fiber_park(shared, core, wake);
+    } else {
+        thread_park(shared, lane, wake_thread);
     }
-    // Park (lock dropped) until the grant flag shows up. An unpark can
-    // arrive before the park — the park token absorbs it.
-    while !lane.granted.load(Acquire) {
-        if shared.poisoned.load(Relaxed) {
-            panic!("a simulated thread panicked; the machine is poisoned");
-        }
-        std::thread::park();
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = wake;
+        thread_park(shared, lane, wake_thread);
     }
     lane.granted.store(false, Relaxed);
     lane.holds_lease.store(true, Relaxed);
@@ -660,6 +741,89 @@ fn slow_op<R>(shared: &Shared, core: usize, f: impl FnOnce(&mut SimState) -> R) 
     #[allow(unsafe_code)]
     let st = unsafe { &mut *shared.state.get() };
     f(st)
+}
+
+/// OS-thread park: unpark the grantee (if the caller's post granted
+/// one), then futex-wait until this core's own grant flag shows up. An
+/// unpark can arrive before the park — the park token absorbs it.
+fn thread_park(shared: &Shared, lane: &CoreLane, wake: Option<Thread>) {
+    if let Some(t) = wake {
+        t.unpark();
+    }
+    while !lane.granted.load(Acquire) {
+        if shared.poisoned.load(Relaxed) {
+            panic!("a simulated thread panicked; the machine is poisoned");
+        }
+        std::thread::park();
+    }
+}
+
+/// Fiber park: switch straight into the grantee's context (no driver
+/// round-trip), or back to the driver when the schedule is blocked on
+/// a fiber that has not started yet. Resumed exactly when granted — or
+/// when the driver is unwinding a poisoned run, in which case the
+/// panic unwinds this fiber's stack into its `catch_unwind`.
+#[cfg(target_arch = "x86_64")]
+fn fiber_park(shared: &Shared, core: usize, grant: Option<usize>) {
+    let lane = &shared.lanes.0[core];
+    let mut resume_to = grant;
+    while !lane.granted.load(Acquire) {
+        if shared.poisoned.load(Relaxed) {
+            panic!("a simulated thread panicked; the machine is poisoned");
+        }
+        let hub = &shared.fibers;
+        let save = hub.ctx[core].as_ptr();
+        let resume = match resume_to.take() {
+            Some(next) => hub.ctx[next].get(),
+            None => hub.driver.get(),
+        };
+        // SAFETY: `resume` is the suspended context of a live parked
+        // fiber (the grantee `try_grant` just picked) or of the driver
+        // — both saved by this same switch function on this OS thread
+        // and resumed exactly once, here. `save` is this core's own
+        // context cell, which whoever grants us next will resume.
+        #[allow(unsafe_code)]
+        unsafe {
+            fiber::flextm_sim_fiber_switch(save, resume)
+        };
+    }
+}
+
+/// Driver-side resume of fiber `i` (initial start, grant-blocked
+/// handback, or poison unwinding).
+#[cfg(target_arch = "x86_64")]
+fn resume_fiber(hub: &FiberHub, i: usize) {
+    let save = hub.driver.as_ptr();
+    let resume = hub.ctx[i].get();
+    // SAFETY: `ctx[i]` holds the prepared initial context of a
+    // not-yet-started fiber or the suspended context of a started,
+    // unfinished one (the driver loop checks `started`/`finished`);
+    // either is resumed at most once before being re-saved.
+    #[allow(unsafe_code)]
+    unsafe {
+        fiber::flextm_sim_fiber_switch(save, resume)
+    };
+}
+
+/// A finished fiber's last act: mark itself dead and switch to the
+/// grantee its deregistration unblocked, or back to the driver. Its
+/// own context is never resumed again.
+#[cfg(target_arch = "x86_64")]
+fn fiber_finish(shared: &Shared, core: usize, grant: Option<usize>) -> ! {
+    let hub = &shared.fibers;
+    hub.finished[core].set(true);
+    let save = hub.ctx[core].as_ptr();
+    let resume = match grant {
+        Some(next) => hub.ctx[next].get(),
+        None => hub.driver.get(),
+    };
+    // SAFETY: as in `fiber_park`; the saved context is dead (guarded by
+    // `finished`), so saving into it merely discards this stack.
+    #[allow(unsafe_code)]
+    unsafe {
+        fiber::flextm_sim_fiber_switch(save, resume)
+    };
+    unreachable!("finished fiber was resumed");
 }
 
 /// `work`: charges `cycles` of local computation. Touches only the
@@ -711,35 +875,46 @@ pub(crate) fn now_op(shared: &Shared, core: usize) -> u64 {
 
 /// Removes an exiting worker from the schedule; its absence may make
 /// the remaining cores runnable (or, on panic, poisons the machine and
-/// unparks everyone so they can bail out).
-fn deregister(shared: &Shared, core: usize, panicked: bool) {
+/// unparks everyone so they can bail out). Returns the granted core,
+/// which a finishing *fiber* must switch into ([`fiber_finish`]); the
+/// OS-thread engine has already unparked it.
+fn deregister(shared: &Shared, core: usize, panicked: bool) -> Option<usize> {
     let mut wake_all = Vec::new();
-    let wake = {
+    let (grant, wake_thread) = {
         let mut sched = shared.sched.lock().expect("scheduler lock poisoned");
         if panicked {
             shared.poisoned.store(true, Relaxed);
         }
-        sched.live[core] = false;
-        sched.posted[core] = None;
+        sched.live.remove(core);
+        sched.posted[core] = NOT_POSTED;
         sched.threads[core] = None;
         if sched.lease == Some(core) {
             sched.lease = None;
             shared.lanes.0[core].holds_lease.store(false, Relaxed);
         }
         if shared.poisoned.load(Relaxed) {
-            // Unpark everyone; parked workers see the flag and bail.
+            // Unpark every OS thread; parked workers see the flag and
+            // bail. Parked fibers are instead resumed one by one by
+            // the driver loop so each unwinds its own stack.
             wake_all = sched.threads.iter().flatten().cloned().collect();
-            None
+            (None, None)
         } else {
-            try_grant(shared, &mut sched, None)
+            let grant = try_grant(shared, &mut sched, None);
+            let wake_thread = if shared.use_fibers {
+                None
+            } else {
+                grant.and_then(|next| sched.threads[next].clone())
+            };
+            (grant, wake_thread)
         }
     };
     for t in wake_all {
         t.unpark();
     }
-    if let Some(t) = wake {
+    if let Some(t) = wake_thread {
         t.unpark();
     }
+    grant
 }
 
 /// The simulated chip multiprocessor.
@@ -769,17 +944,34 @@ impl std::fmt::Debug for Machine {
 
 impl Machine {
     /// Builds a machine per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MachineConfig::validate`]
+    /// (e.g. more cores than the per-processor bit vectors can name);
+    /// [`Machine::try_new`] is the non-panicking form.
     pub fn new(config: MachineConfig) -> Self {
+        match Self::try_new(config) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a machine per `config`, rejecting invalid configurations
+    /// instead of panicking.
+    pub fn try_new(config: MachineConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let cores = config.cores;
         let strict = config.strict_lockstep;
+        let use_fibers = cfg!(target_arch = "x86_64") && !config.os_threads;
         let state = SimState::new(config);
         let lanes = state.lanes.clone();
-        Machine {
+        Ok(Machine {
             shared: Arc::new(Shared {
                 state: UnsafeCell::new(state),
                 sched: Mutex::new(Sched {
-                    live: vec![false; cores],
-                    posted: vec![None; cores],
+                    live: ProcSet::empty(),
+                    posted: vec![NOT_POSTED; cores].into_boxed_slice(),
                     threads: vec![None; cores],
                     lease: None,
                     stats: SchedStats::default(),
@@ -787,8 +979,11 @@ impl Machine {
                 lanes,
                 poisoned: AtomicBool::new(false),
                 strict,
+                use_fibers,
+                #[cfg(target_arch = "x86_64")]
+                fibers: FiberHub::new(cores),
             }),
-        }
+        })
     }
 
     /// Locks the scheduler after checking the machine is quiescent, so
@@ -800,7 +995,7 @@ impl Machine {
             "{caller}: a simulated thread panicked; the machine is poisoned"
         );
         assert!(
-            sched.live.iter().all(|&l| !l),
+            sched.live.is_empty(),
             "{caller} called while a run is in progress"
         );
         sched
@@ -843,8 +1038,8 @@ impl Machine {
                 "asked for {threads} threads on a {cores}-core machine"
             );
             for i in 0..threads {
-                sched.live[i] = true;
-                sched.posted[i] = None;
+                sched.live.insert(i);
+                sched.posted[i] = NOT_POSTED;
             }
             for lane in self.shared.lanes.0.iter() {
                 lane.holds_lease.store(false, Relaxed);
@@ -853,9 +1048,32 @@ impl Machine {
                 lane.horizon_id.store(0, Relaxed);
             }
         }
+        #[cfg(target_arch = "x86_64")]
+        let results = if self.shared.use_fibers {
+            self.run_fibers(threads, &body)
+        } else {
+            self.run_threads(threads, &body)
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let results = self.run_threads(threads, &body);
+        let mut sched = self.shared.sched.lock().expect("scheduler lock poisoned");
+        sched.stats.host_nanos += t0.elapsed().as_nanos() as u64;
+        drop(sched);
+        results
+    }
+
+    /// The OS-thread engine: one scoped thread per simulated thread,
+    /// synchronized through the mailbox scheduler. The only engine off
+    /// x86_64; on x86_64 it is kept behind
+    /// [`MachineConfig::os_threads`] so the cross-engine determinism
+    /// suite can pin fiber/thread equivalence.
+    fn run_threads<R: Send>(
+        &self,
+        threads: usize,
+        body: &(impl Fn(crate::proc::ProcHandle) -> R + Sync),
+    ) -> Vec<R> {
         let shared = &self.shared;
-        let body = &body;
-        let results: Vec<R> = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|i| {
                     scope.spawn(move || {
@@ -864,7 +1082,7 @@ impl Machine {
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(proc)));
                         // Deregister even on panic, or parked siblings
                         // would wait forever on this core's mailbox.
-                        deregister(shared, i, result.is_err());
+                        let _ = deregister(shared, i, result.is_err());
                         match result {
                             Ok(r) => r,
                             Err(payload) => std::panic::resume_unwind(payload),
@@ -876,10 +1094,127 @@ impl Machine {
                 .into_iter()
                 .map(|h| h.join().expect("simulated thread panicked"))
                 .collect()
-        });
-        let mut sched = self.shared.sched.lock().expect("scheduler lock poisoned");
-        sched.stats.host_nanos += t0.elapsed().as_nanos() as u64;
-        drop(sched);
+        })
+    }
+
+    /// The fiber engine: every simulated thread is a stackful fiber on
+    /// the calling OS thread. The schedule is decided by exactly the
+    /// same mailbox/lease logic as the OS-thread engine — the only
+    /// difference is that "park/unpark" is a ~50 ns userspace context
+    /// switch instead of a futex round-trip (microseconds, plus a full
+    /// OS scheduler trip when host cores are scarce).
+    ///
+    /// The driver starts fibers one at a time; each runs natively until
+    /// its first rendezvous. Once all are started, grants flow directly
+    /// fiber-to-fiber and the driver is only resumed when everyone has
+    /// finished — or, after a poisoning panic, to resume each parked
+    /// survivor so it unwinds its own stack before the stacks are
+    /// freed.
+    #[cfg(target_arch = "x86_64")]
+    fn run_fibers<R: Send>(
+        &self,
+        threads: usize,
+        body: &(impl Fn(crate::proc::ProcHandle) -> R + Sync),
+    ) -> Vec<R> {
+        use std::cell::RefCell;
+        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+        /// One fiber's one-shot job, reached through the raw pointer
+        /// its stack was prepared with.
+        struct Task {
+            job: Option<Box<dyn FnOnce()>>,
+        }
+        extern "C" fn fiber_main(arg: *mut u8) -> ! {
+            // SAFETY: `arg` is the `*mut Task` this fiber's stack was
+            // prepared with below; the boxed task outlives the fiber.
+            #[allow(unsafe_code)]
+            let task = unsafe { &mut *arg.cast::<Task>() };
+            (task.job.take().expect("fiber started twice"))();
+            // The job's last act is `fiber_finish`, which never
+            // returns here.
+            std::process::abort();
+        }
+
+        let shared = &self.shared;
+        let hub = &shared.fibers;
+        for i in 0..threads {
+            hub.started[i].set(false);
+            hub.finished[i].set(false);
+        }
+
+        let outcomes: Vec<RefCell<Option<std::thread::Result<R>>>> =
+            (0..threads).map(|_| RefCell::new(None)).collect();
+        let mut tasks: Vec<Box<Task>> = (0..threads)
+            .map(|i| {
+                let outcome = &outcomes[i];
+                let job: Box<dyn FnOnce() + '_> = Box::new(move || {
+                    let proc = crate::proc::ProcHandle::new(Arc::clone(shared), i);
+                    let result = catch_unwind(AssertUnwindSafe(|| body(proc)));
+                    let panicked = result.is_err();
+                    *outcome.borrow_mut() = Some(result);
+                    // Deregister even on panic, or the schedule would
+                    // wait forever on this core's mailbox.
+                    let grant = deregister(shared, i, panicked);
+                    fiber_finish(shared, i, grant);
+                });
+                // SAFETY: lifetime erasure only. Every job finishes —
+                // normally or by poison-unwinding — inside the driver
+                // loop below, strictly before `outcomes`, `body`, and
+                // the stacks are dropped.
+                #[allow(unsafe_code)]
+                let job: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(job) };
+                Box::new(Task { job: Some(job) })
+            })
+            .collect();
+        let stacks: Vec<fiber::FiberStack> =
+            (0..threads).map(|_| fiber::FiberStack::new()).collect();
+        for (i, stack) in stacks.iter().enumerate() {
+            let arg = (&mut *tasks[i] as *mut Task).cast::<u8>();
+            hub.ctx[i].set(stack.prepare(fiber_main, arg));
+        }
+
+        let mut next_start = 0;
+        loop {
+            if shared.poisoned.load(Relaxed) {
+                // Resume parked survivors (never-started fibers have
+                // nothing to unwind) until all have bailed out.
+                match (0..threads).find(|&i| hub.started[i].get() && !hub.finished[i].get()) {
+                    Some(i) => resume_fiber(hub, i),
+                    None => break,
+                }
+                continue;
+            }
+            if next_start < threads {
+                let i = next_start;
+                next_start += 1;
+                hub.started[i].set(true);
+                resume_fiber(hub, i);
+                continue;
+            }
+            if (0..threads).all(|i| hub.finished[i].get()) {
+                break;
+            }
+            // All fibers started, none runnable, no poison: the lease
+            // logic guarantees this cannot happen.
+            unreachable!("fiber driver resumed while fibers are runnable");
+        }
+        drop(tasks);
+        drop(stacks);
+
+        let mut results = Vec::with_capacity(threads);
+        let mut first_panic = None;
+        for cell in outcomes {
+            match cell.into_inner() {
+                Some(Ok(r)) => results.push(r),
+                Some(Err(payload)) => {
+                    first_panic.get_or_insert(payload);
+                }
+                None => {} // poisoned before this fiber started
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
         results
     }
 
@@ -1001,6 +1336,25 @@ mod tests {
     }
 
     #[test]
+    fn try_new_rejects_unsupported_core_counts() {
+        let err = Machine::try_new(MachineConfig::small_test().with_cores(200)).unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::TooManyCores {
+                requested: 200,
+                max: flextm_sig::MAX_CORES
+            }
+        );
+        assert!(Machine::try_new(MachineConfig::small_test().with_cores(128)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "200 cores")]
+    fn new_panics_with_the_requested_core_count() {
+        let _ = Machine::new(MachineConfig::small_test().with_cores(200));
+    }
+
+    #[test]
     fn sequential_runs_accumulate_clocks() {
         let m = Machine::new(MachineConfig::small_test());
         m.run(1, |p| p.work(5));
@@ -1103,6 +1457,56 @@ mod tests {
         for (i, c) in r.cores.iter().enumerate() {
             assert_eq!(c.cycle_sum(), r.core_cycles[i]);
         }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn fiber_and_thread_engines_simulate_identically() {
+        // The execution engine must be invisible to the simulation:
+        // same clocks, same per-core counters, same event order. (Host
+        // `sched` stats are excluded — the thread engine's `grants`
+        // depends on which racing thread wins the handoff lock.)
+        let run = |os_threads: bool| {
+            let mut cfg = MachineConfig::small_test();
+            cfg.os_threads = os_threads;
+            let m = Machine::new(cfg);
+            m.with_state(|st| st.mem.write(crate::mem::Addr::new(0x40), 1));
+            m.run(4, |p| {
+                let a = crate::mem::Addr::new(0x40);
+                for i in 0..12 {
+                    let v = p.load(a.offset((p.core() as u64 + i) % 7));
+                    p.store(a.offset(7 + v % 5), v + 1);
+                    p.work(1 + p.core() as u64);
+                }
+            });
+            let r = m.report();
+            let events = m.with_state(|st| st.log.take());
+            (r.core_cycles.clone(), r.cores.clone(), events)
+        };
+        let (fiber_clocks, fiber_cores, fiber_events) = run(false);
+        let (thread_clocks, thread_cores, thread_events) = run(true);
+        assert_eq!(fiber_clocks, thread_clocks);
+        assert_eq!(fiber_cores, thread_cores);
+        assert_eq!(fiber_events, thread_events);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_poisons_on_thread_engine() {
+        let mut cfg = MachineConfig::small_test();
+        cfg.os_threads = true;
+        let m = Machine::new(cfg);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(2, |p| {
+                if p.core() == 1 {
+                    panic!("boom");
+                }
+                for _ in 0..4 {
+                    p.load(crate::mem::Addr::new(0x100));
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.report())).is_err());
     }
 
     #[test]

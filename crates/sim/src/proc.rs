@@ -15,6 +15,7 @@ use crate::mem::Addr;
 use crate::proto::{AccessKind, AccessResult, CasCommitOutcome};
 use crate::stats::{AbortCause, CmEvent};
 use crate::vm::SavedTx;
+use flextm_sig::ProcSet;
 
 /// Which access signature a signature instruction targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,7 +192,7 @@ impl ProcHandle {
     }
 
     /// Reads a CST register.
-    pub fn read_cst(&self, kind: CstKind) -> u64 {
+    pub fn read_cst(&self, kind: CstKind) -> ProcSet {
         sync_op(&self.shared, self.core, |st| {
             st.charge_mem(self.core, st.config.l1_latency);
             st.cores[self.core].csts.read(kind)
@@ -199,7 +200,7 @@ impl ProcHandle {
     }
 
     /// Atomic copy-and-clear of a CST register (Fig. 3, line 1).
-    pub fn copy_and_clear_cst(&self, kind: CstKind) -> u64 {
+    pub fn copy_and_clear_cst(&self, kind: CstKind) -> ProcSet {
         sync_op(&self.shared, self.core, |st| {
             st.charge_mem(self.core, st.config.l1_latency);
             st.cores[self.core].csts.copy_and_clear(kind)
@@ -305,9 +306,9 @@ impl ProcHandle {
     pub fn set_descheduled(&self, descheduled: bool) {
         sync_op(&self.shared, self.core, |st| {
             if descheduled {
-                st.l2.cores_summary |= 1 << self.core;
+                st.l2.cores_summary.insert(self.core);
             } else {
-                st.l2.cores_summary &= !(1 << self.core);
+                st.l2.cores_summary.remove(self.core);
             }
             st.charge_mem(self.core, st.config.l2_round_trip());
         });

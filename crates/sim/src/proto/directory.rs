@@ -22,26 +22,26 @@ impl SimState {
         let mut entry = crate::l2::DirEntry::default();
         for (i, core) in self.cores.iter().enumerate() {
             debug_assert!(
-                (core.rsig.is_empty() && core.wsig.is_empty()) || sig_live >> i & 1 == 1,
+                (core.rsig.is_empty() && core.wsig.is_empty()) || sig_live.contains(i),
                 "sig_live mask dropped core {i} with live signatures"
             );
             let l1_state = core.l1.peek(line).map(|e| e.state);
             let owner = matches!(
                 l1_state,
                 Some(L1State::M) | Some(L1State::E) | Some(L1State::Tmi)
-            ) || (sig_live >> i & 1 == 1 && core.wsig.contains_key(key))
-                || (ot_mask >> i & 1 == 1
+            ) || (sig_live.contains(i) && core.wsig.contains_key(key))
+                || (ot_mask.contains(i)
                     && core
                         .ot
                         .as_ref()
                         .is_some_and(|ot| !ot.is_committed() && ot.maybe_contains_key(key)));
             let sharer = matches!(l1_state, Some(L1State::S) | Some(L1State::Ti))
-                || (sig_live >> i & 1 == 1 && core.rsig.contains_key(key));
+                || (sig_live.contains(i) && core.rsig.contains_key(key));
             if owner {
-                entry.owners |= 1 << i;
+                entry.owners.insert(i);
             }
             if sharer {
-                entry.sharers |= 1 << i;
+                entry.sharers.insert(i);
             }
         }
         entry
@@ -65,16 +65,16 @@ impl SimState {
             };
             match e.state {
                 L1State::M | L1State::E | L1State::Tmi => assert!(
-                    dir.owners >> i & 1 == 1,
+                    dir.owners.contains(i),
                     "line {line:?}: core {i} holds {:?} but is not a \
-                     directory owner ({:#b})",
+                     directory owner ({:?})",
                     e.state,
                     dir.owners
                 ),
                 L1State::S | L1State::Ti => assert!(
-                    dir.sharers >> i & 1 == 1,
+                    dir.sharers.contains(i),
                     "line {line:?}: core {i} holds {:?} but is not a \
-                     directory sharer ({:#b})",
+                     directory sharer ({:?})",
                     e.state,
                     dir.sharers
                 ),
@@ -96,7 +96,7 @@ impl SimState {
         let mut forwarded = false;
         let mut threatened = false;
 
-        for o in procs_in_mask(dir.owners & !Self::me_bit(me)) {
+        for o in procs_in_mask(dir.owners.without(me)) {
             let slot = self.cores[o].l1.peek_slot(line);
             let l1_state = slot.map(|s| self.cores[o].l1.slot(s).state);
             if l1_state == Some(L1State::M) || l1_state == Some(L1State::E) {
@@ -108,8 +108,8 @@ impl SimState {
                 }
                 self.cores[o].l1.slot_mut(slot.expect("peeked")).state = L1State::S;
                 let d = self.l2.dir_mut(line);
-                d.owners &= !(1 << o);
-                d.sharers |= 1 << o;
+                d.owners.remove(o);
+                d.sharers.insert(o);
             } else if self.threatens_with(o, l1_state, key) {
                 forwarded = true;
                 threatened = true;
@@ -132,7 +132,7 @@ impl SimState {
                         kind: ConflictKind::Threatened,
                     });
                 }
-            } else if self.sig_live_mask() >> o & 1 == 1 && self.cores[o].reads_line_key(key) {
+            } else if self.sig_live_mask().contains(o) && self.cores[o].reads_line_key(key) {
                 // Stickiness (§4.1): the exclusive copy is gone (silent
                 // eviction) but the owner's transaction still *reads*
                 // the line — a later write must still find it to abort
@@ -140,8 +140,8 @@ impl SimState {
                 // to a sharer bit instead of dropping coverage.
                 forwarded = true;
                 let d = self.l2.dir_mut(line);
-                d.owners &= !(1 << o);
-                d.sharers |= 1 << o;
+                d.owners.remove(o);
+                d.sharers.insert(o);
             } else {
                 // Stale owner bit (committed/aborted long ago).
                 self.l2.drop_owner_key(key, o);
@@ -168,7 +168,7 @@ impl SimState {
             // (A conflict with a transaction descheduled from *this*
             // processor cannot be named — CSTs have no self bit — and
             // stays justified by the summary regime instead.)
-            for o in procs_in_mask(self.l2.cores_summary & !Self::me_bit(me)) {
+            for o in procs_in_mask(self.l2.cores_summary.without(me)) {
                 self.cores[me].csts.set(CstKind::RW, o);
             }
         }
@@ -189,13 +189,13 @@ impl SimState {
                 // Upgrade-in-place never happens for TLoad misses (any
                 // cached state would have hit), so fill directly.
                 latency += self.fill_line(me, line, fill_state, data).1;
-                self.l2.dir_mut(line).sharers |= Self::me_bit(me);
+                self.l2.dir_mut(line).sharers.insert(me);
             }
             AccessKind::Load => {
                 if !threatened && self.cores[me].l1.peek(line).is_none() {
                     let dir_now = self.l2.dir(line);
-                    let alone = dir_now.sharers & !Self::me_bit(me) == 0
-                        && dir_now.owners & !Self::me_bit(me) == 0;
+                    let alone = dir_now.sharers.without(me).is_empty()
+                        && dir_now.owners.without(me).is_empty();
                     if alone {
                         // Exclusive grant: track as owner (E silently
                         // upgrades to M). Any stale sharer bit from an
@@ -205,11 +205,11 @@ impl SimState {
                         // decided to preserve.
                         latency += self.fill_line(me, line, L1State::E, None).1;
                         let d = self.l2.dir_mut(line);
-                        d.owners |= Self::me_bit(me);
-                        d.sharers &= !Self::me_bit(me);
+                        d.owners.insert(me);
+                        d.sharers.remove(me);
                     } else {
                         latency += self.fill_line(me, line, L1State::S, None).1;
-                        self.l2.dir_mut(line).sharers |= Self::me_bit(me);
+                        self.l2.dir_mut(line).sharers.insert(me);
                     }
                 }
                 // Threatened ⇒ the non-transactional read stays
@@ -234,11 +234,11 @@ impl SimState {
         let mut forwarded = false;
 
         let sig_live = self.sig_live_mask();
-        for o in procs_in_mask((dir.owners | dir.sharers) & !Self::me_bit(me)) {
+        for o in procs_in_mask((dir.owners | dir.sharers).without(me)) {
             forwarded = true;
             let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
             let transactional = self.threatens_with(o, l1_state, key)
-                || (sig_live >> o & 1 == 1 && self.cores[o].reads_line_key(key));
+                || (sig_live.contains(o) && self.cores[o].reads_line_key(key));
             if transactional {
                 // §3.5 strong isolation: a non-transactional write
                 // aborts every transactional reader/writer of the line.
@@ -272,8 +272,8 @@ impl SimState {
             self.cores[me].l1.retire_data(d);
         }
         let d = self.l2.dir_mut(line);
-        d.owners |= Self::me_bit(me);
-        d.sharers &= !Self::me_bit(me);
+        d.owners.insert(me);
+        d.sharers.remove(me);
         self.mem.write(addr, store_val);
         result.value = store_val;
         latency
@@ -299,7 +299,7 @@ impl SimState {
         let mut forwarded = false;
 
         let sig_live = self.sig_live_mask();
-        for o in procs_in_mask(dir.owners & !Self::me_bit(me)) {
+        for o in procs_in_mask(dir.owners.without(me)) {
             let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
             if l1_state == Some(L1State::M) || l1_state == Some(L1State::E) {
                 // Exclusive owner: flush (if dirty) + invalidate. If it
@@ -318,9 +318,9 @@ impl SimState {
                 }
                 self.invalidate_at(o, line);
                 let d = self.l2.dir_mut(line);
-                d.owners &= !(1 << o);
-                if sig_live >> o & 1 == 1 && self.cores[o].reads_line_key(key) {
-                    self.l2.dir_mut(line).sharers |= 1 << o;
+                d.owners.remove(o);
+                if sig_live.contains(o) && self.cores[o].reads_line_key(key) {
+                    self.l2.dir_mut(line).sharers.insert(o);
                     self.record_conflict(
                         me,
                         o,
@@ -346,7 +346,7 @@ impl SimState {
                     line,
                     result,
                 );
-                if sig_live >> o & 1 == 1 && self.cores[o].reads_line_key(key) {
+                if sig_live.contains(o) && self.cores[o].reads_line_key(key) {
                     // Piggybacked Exposed-Read: they also read it.
                     self.record_conflict(
                         me,
@@ -358,13 +358,13 @@ impl SimState {
                         result,
                     );
                 }
-            } else if sig_live >> o & 1 == 1 && self.cores[o].reads_line_key(key) {
+            } else if sig_live.contains(o) && self.cores[o].reads_line_key(key) {
                 // Stale owner bit but a live transactional reader:
                 // conflict + sticky demotion to sharer.
                 forwarded = true;
                 let d = self.l2.dir_mut(line);
-                d.owners &= !(1 << o);
-                d.sharers |= 1 << o;
+                d.owners.remove(o);
+                d.sharers.insert(o);
                 self.record_conflict(
                     me,
                     o,
@@ -379,7 +379,7 @@ impl SimState {
             }
         }
 
-        for s in procs_in_mask(dir.sharers & !Self::me_bit(me)) {
+        for s in procs_in_mask(dir.sharers.without(me)) {
             // A TMI holder reached through a stale sharer bit is a
             // co-writer the owner loop already handled; invalidating it
             // here would silently destroy its speculative data.
@@ -391,7 +391,7 @@ impl SimState {
                 continue;
             }
             forwarded = true;
-            if sig_live >> s & 1 == 1 && self.cores[s].reads_line_key(key) {
+            if sig_live.contains(s) && self.cores[s].reads_line_key(key) {
                 // Exposed-Read: requester W-R, responder R-W.
                 self.record_conflict(
                     me,
@@ -403,7 +403,7 @@ impl SimState {
                     result,
                 );
             }
-            if sig_live >> s & 1 == 1
+            if sig_live.contains(s)
                 && self.cores[s].writes_line_key(key)
                 && !procs_in_mask(dir.owners).any(|o| o == s)
             {
@@ -424,7 +424,7 @@ impl SimState {
             // requests for this line — a later non-transactional write
             // still has to find and abort it. Only non-transactional
             // sharers are dropped.
-            let live = sig_live >> s & 1 == 1;
+            let live = sig_live.contains(s);
             if !(live && (self.cores[s].reads_line_key(key) || self.cores[s].writes_line_key(key)))
             {
                 self.l2.drop_sharer_key(key, s);
@@ -450,8 +450,8 @@ impl SimState {
             None => latency += self.fill_line(me, line, L1State::Tmi, Some(data)).1,
         }
         let d = self.l2.dir_mut(line);
-        d.owners |= Self::me_bit(me);
-        d.sharers &= !Self::me_bit(me);
+        d.owners.insert(me);
+        d.sharers.remove(me);
         result.value = store_val;
         latency
     }

@@ -1,6 +1,8 @@
 //! Shared protocol vocabulary: access kinds, conflict edges, and the
 //! result/outcome types every handler speaks.
 
+use flextm_sig::ProcSet;
+
 /// The four access flavours of the simulator's "ISA".
 ///
 /// Protocol refinement (pinned by tests): the request itself encodes
@@ -74,8 +76,8 @@ pub enum CasCommitOutcome {
     /// state is retained; software re-runs the Commit() loop.
     ConflictsPending {
         /// Snapshot of `W-R` at the failed commit.
-        wr: u64,
+        wr: ProcSet,
         /// Snapshot of `W-W` at the failed commit.
-        ww: u64,
+        ww: ProcSet,
     },
 }

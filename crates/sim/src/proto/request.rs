@@ -13,10 +13,6 @@ use crate::stats::Event;
 use flextm_sig::{LineAddr, SigKey};
 
 impl SimState {
-    pub(super) fn me_bit(me: usize) -> u64 {
-        1 << me
-    }
-
     /// Installs `line` in `me`'s L1, spilling whatever gets displaced.
     /// Returns a handle to the new entry plus the extra latency incurred
     /// by write-backs / OT traps. (The eviction handling below touches
@@ -273,7 +269,7 @@ impl SimState {
         // Local overflow-table lookaside (§4.1): an overflowed TMI line
         // is still ours; fetch it back instead of asking the directory.
         debug_assert!(
-            self.cores[me].ot.is_none() || self.ot_present_mask() >> me & 1 == 1,
+            self.cores[me].ot.is_none() || self.ot_present_mask().contains(me),
             "ot_present mask lost core {me}"
         );
         let ot_hit = self.cores[me]
@@ -373,8 +369,8 @@ impl SimState {
         // activity mask (a superset of cores with an OT) are visited —
         // mask-driven iteration is ascending, like the full scan it
         // replaces.
-        let ot_mask = self.ot_present_mask() & !Self::me_bit(me);
-        if ot_mask != 0 {
+        let ot_mask = self.ot_present_mask().without(me);
+        if !ot_mask.is_empty() {
             let now = self.now(me);
             let mut nacks: Vec<(usize, u64)> = Vec::new();
             for o in procs_in_mask(ot_mask) {
@@ -398,7 +394,7 @@ impl SimState {
         }
         debug_assert!(
             (0..self.cores.len())
-                .all(|o| self.cores[o].ot.is_none() || self.ot_present_mask() >> o & 1 == 1),
+                .all(|o| self.cores[o].ot.is_none() || self.ot_present_mask().contains(o)),
             "ot_present mask dropped a core with a live OT"
         );
 

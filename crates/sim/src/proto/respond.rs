@@ -20,8 +20,8 @@ impl SimState {
     /// gated on the activity masks so idle cores cost two bit tests.
     pub(super) fn threatens_with(&self, o: usize, l1_state: Option<L1State>, key: SigKey) -> bool {
         l1_state == Some(L1State::Tmi)
-            || (self.sig_live_mask() >> o & 1 == 1 && self.cores[o].writes_line_key(key))
-            || (self.ot_present_mask() >> o & 1 == 1
+            || (self.sig_live_mask().contains(o) && self.cores[o].writes_line_key(key))
+            || (self.ot_present_mask().contains(o)
                 && self.cores[o]
                     .ot
                     .as_ref()
@@ -122,8 +122,8 @@ impl SimState {
         });
         // The victim no longer holds any speculative claim on the line.
         let d = self.l2.dir_mut(line);
-        d.owners &= !(1 << victim);
-        d.sharers &= !(1 << victim);
+        d.owners.remove(victim);
+        d.sharers.remove(victim);
     }
 
     /// Plain store hitting the local TMI copy: sweep remote
@@ -134,14 +134,14 @@ impl SimState {
         let dir = self.l2.dir(line);
         let mut latency = self.config.l2_round_trip();
         let mut forwarded = false;
-        let sweep = (dir.owners | dir.sharers) & !Self::me_bit(me);
-        let key = (sweep != 0).then(|| self.sig_key(line));
+        let sweep = (dir.owners | dir.sharers).without(me);
+        let key = (!sweep.is_empty()).then(|| self.sig_key(line));
         for o in procs_in_mask(sweep) {
             forwarded = true;
             let key = key.expect("sweep mask is non-empty");
             let l1_state = self.cores[o].l1.peek(line).map(|e| e.state);
             let transactional = self.threatens_with(o, l1_state, key)
-                || (self.sig_live_mask() >> o & 1 == 1 && self.cores[o].reads_line_key(key));
+                || (self.sig_live_mask().contains(o) && self.cores[o].reads_line_key(key));
             if transactional {
                 self.strong_isolation_abort(o, me, line);
             } else {

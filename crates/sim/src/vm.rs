@@ -4,7 +4,7 @@
 
 use crate::machine::SimState;
 use crate::ot::OverflowTable;
-use flextm_sig::{LineAddr, Signature};
+use flextm_sig::{LineAddr, ProcSet, Signature};
 
 /// A descheduled transaction's hardware state, held in (simulated)
 /// virtual memory by the OS. Mirrors the paper's list: TMI lines (moved
@@ -16,7 +16,7 @@ pub struct SavedTx {
     /// Raw words of the saved write signature.
     pub wsig: Vec<u64>,
     /// `(R-W, W-R, W-W)` snapshot.
-    pub csts: (u64, u64, u64),
+    pub csts: (ProcSet, ProcSet, ProcSet),
     /// The overflow table, now holding every TMI line the transaction
     /// had buffered.
     pub ot: Option<OverflowTable>,
@@ -195,7 +195,7 @@ mod tests {
         st.access(0, a, AccessKind::TStore, 9);
         let saved = st.save_tx_state(0);
         st.install_summary(0, 77, &saved);
-        st.l2.cores_summary = 1 << 0;
+        st.l2.cores_summary = ProcSet::bit(0);
         // A running transaction on core 1 touches the same line: the L1
         // miss must report a summary hit for thread 77.
         let r = st.access(1, a, AccessKind::TLoad, 0);

@@ -34,7 +34,7 @@ fn summary_hit_tload_records_rw_cst() {
     s.install_summary(0, 77, &saved);
     // The OS also marks the processor in the Cores Summary register
     // (`Processor::set_descheduled` does both in the full stack).
-    s.l2.cores_summary |= 1 << 0;
+    s.l2.cores_summary.insert(0);
 
     // Core 1's transactional read hits the write summary: TI fill.
     let r = s.access(1, a(0x2000), AccessKind::TLoad, 0);
@@ -106,9 +106,8 @@ fn exclusive_grant_clears_stale_sharer_bit() {
     s.access(0, a(0x4000), AccessKind::Load, 0); // alone again: E grant
     let d = s.l2.dir(line);
     assert_eq!(d.owners, 1 << 0);
-    assert_eq!(
-        d.sharers & 1,
-        0,
+    assert!(
+        !d.sharers.contains(0),
         "E grant must clear the requester's stale sharer bit"
     );
 }
@@ -129,7 +128,7 @@ fn tmi_co_writer_survives_stale_sharer_sweep() {
     // predates fix #3a; forced directly so this test keeps guarding
     // the sweep even now that grants are clean).
     s.access(0, a(0x5000), AccessKind::TStore, 41);
-    s.l2.dir_mut(line).sharers |= 1 << 0;
+    s.l2.dir_mut(line).sharers.insert(0);
 
     let r = s.access(1, a(0x5000), AccessKind::TStore, 42);
     assert!(

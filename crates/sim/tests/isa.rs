@@ -3,7 +3,8 @@
 //! including the deterministic scheduler's cross-core interleavings.
 
 use flextm_sim::{
-    AbortCause, Addr, AlertCause, CasCommitOutcome, CstKind, Machine, MachineConfig, SigKind,
+    AbortCause, Addr, AlertCause, CasCommitOutcome, CstKind, Machine, MachineConfig, ProcSet,
+    SigKind,
 };
 
 fn machine(cores: usize) -> Machine {
@@ -69,10 +70,13 @@ fn cst_instructions() {
         } else {
             proc.work(500);
             proc.tload(a).expect("no alert");
-            (0, 0, 0)
+            (ProcSet::empty(), ProcSet::empty(), ProcSet::empty())
         }
     });
-    assert_eq!(masks[0], (1 << 1, 1 << 1, 0));
+    assert_eq!(
+        masks[0],
+        (ProcSet::bit(1), ProcSet::bit(1), ProcSet::empty())
+    );
 }
 
 #[test]
@@ -91,11 +95,14 @@ fn clear_cst_bit_is_surgical() {
             _ => {
                 proc.work(300 * proc.core() as u64);
                 proc.tload(a).expect("no alert");
-                (0, 0)
+                (ProcSet::empty(), ProcSet::empty())
             }
         }
     });
-    assert_eq!(wr[0], (0b110, 0b100));
+    assert_eq!(
+        wr[0],
+        (ProcSet::from_mask(0b110), ProcSet::from_mask(0b100))
+    );
 }
 
 #[test]

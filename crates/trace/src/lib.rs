@@ -66,10 +66,12 @@ pub enum TraceEv {
         enemy: Option<u64>,
     },
     /// The attempt committed; `enemies` is the bitmask of cores this
-    /// committer had to abort on its way out (lazy mode).
+    /// committer had to abort on its way out (lazy mode). Wide enough
+    /// for machines beyond 64 cores (`flextm_sim::MAX_CORES`); values
+    /// below 2^64 encode exactly as before.
     Commit {
         /// Bitmask of enemy cores aborted at commit.
-        enemies: u64,
+        enemies: u128,
     },
 }
 
@@ -193,9 +195,11 @@ impl std::fmt::Display for TraceParseError {
 impl std::error::Error for TraceParseError {}
 
 /// A parsed JSON scalar: this schema only ever holds unsigned integers
-/// and plain (escape-free) strings.
+/// and plain (escape-free) strings. Numbers are carried at the widest
+/// width any field needs (the commit enemy mask is 128-bit); narrower
+/// fields range-check on extraction.
 enum Val<'a> {
-    Num(u64),
+    Num(u128),
     Str(&'a str),
 }
 
@@ -221,7 +225,7 @@ fn parse_object(line: &str) -> Result<Vec<(&str, Val<'_>)>, String> {
             let end = r.find(',').unwrap_or(r.len());
             let (digits, tail) = r.split_at(end);
             let n = digits
-                .parse::<u64>()
+                .parse::<u128>()
                 .map_err(|_| format!("bad number {digits:?}"))?;
             (Val::Num(n), tail)
         };
@@ -257,7 +261,7 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
             message,
         };
         let pairs = parse_object(line).map_err(err)?;
-        let num = |key: &str| -> Result<u64, TraceParseError> {
+        let wide = |key: &str| -> Result<u128, TraceParseError> {
             pairs
                 .iter()
                 .find_map(|(k, v)| match v {
@@ -265,6 +269,11 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
                     _ => None,
                 })
                 .ok_or_else(|| err(format!("missing numeric field {key:?}")))
+        };
+        let num = |key: &str| -> Result<u64, TraceParseError> {
+            wide(key)?
+                .try_into()
+                .map_err(|_| err(format!("field {key:?} overflows u64")))
         };
         let text_field = |key: &str| -> Result<&str, TraceParseError> {
             pairs
@@ -291,7 +300,7 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
                 enemy: num("enemy").ok(),
             },
             "commit" => TraceEv::Commit {
-                enemies: num("enemies")?,
+                enemies: wide("enemies")?,
             },
             other => return Err(err(format!("unknown ev {other:?}"))),
         };

@@ -16,7 +16,7 @@ use flextm_watcher::{RaceMonitor, RaceReport};
 fn show(label: &str, reports: &[RaceReport]) {
     for (core, r) in reports.iter().enumerate() {
         println!(
-            "  {label} core {core}: R-W {:#04b}  W-R {:#04b}  W-W {:#04b}  (racing: {:#04b})",
+            "  {label} core {core}: R-W {:?}  W-R {:?}  W-W {:?}  (racing: {:?})",
             r.read_write,
             r.write_read,
             r.write_write,
@@ -57,10 +57,12 @@ fn main() {
     let racy = racy();
     show("racy", &racy);
     let detected = racy.iter().any(|r| r.any());
-    let implicates_write = racy
+    let implicates_write = !racy
         .iter()
-        .fold(0, |m, r| m | r.write_write | r.read_write | r.write_read)
-        != 0;
+        .fold(flextm_sim::ProcSet::empty(), |m, r| {
+            m | r.write_write | r.read_write | r.write_read
+        })
+        .is_empty();
 
     println!("clean disjoint workers (2 threads, private regions):");
     let clean = clean();

@@ -14,7 +14,7 @@
 //! (as the paper notes for FlexWatcher generally); false negatives
 //! cannot happen for traced accesses.
 
-use flextm_sim::{CstKind, ProcHandle, SigKind};
+use flextm_sim::{CstKind, ProcHandle, ProcSet, SigKind};
 
 /// A per-thread race monitor: shadow plain accesses into signatures and
 /// read conflicts out of the CSTs.
@@ -27,21 +27,21 @@ pub struct RaceMonitor<'p> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RaceReport {
     /// Processors whose writes collided with our reads.
-    pub read_write: u64,
+    pub read_write: ProcSet,
     /// Processors whose reads collided with our writes.
-    pub write_read: u64,
+    pub write_read: ProcSet,
     /// Processors whose writes collided with our writes.
-    pub write_write: u64,
+    pub write_write: ProcSet,
 }
 
 impl RaceReport {
     /// True if any race was observed.
     pub fn any(&self) -> bool {
-        self.read_write | self.write_read | self.write_write != 0
+        !self.racing_procs().is_empty()
     }
 
-    /// Bitmask of all racing processors.
-    pub fn racing_procs(&self) -> u64 {
+    /// The set of all racing processors.
+    pub fn racing_procs(&self) -> ProcSet {
         self.read_write | self.write_read | self.write_write
     }
 }
@@ -133,7 +133,7 @@ mod tests {
             | reports[1].write_write
             | reports[0].read_write
             | reports[1].read_write;
-        assert_ne!(ww, 0, "conflict kind should implicate a write");
+        assert!(!ww.is_empty(), "conflict kind should implicate a write");
     }
 
     #[test]
@@ -174,8 +174,8 @@ mod tests {
         });
         // Reader (core 0) should implicate core 1 in R-W, or the writer
         // implicates core 0 in W-R — at least one direction must fire.
-        let reader_saw = reports[0].read_write & (1 << 1) != 0;
-        let writer_saw = reports[1].write_read & 1 != 0;
+        let reader_saw = reports[0].read_write.contains(1);
+        let writer_saw = reports[1].write_read.contains(0);
         assert!(
             reader_saw || writer_saw,
             "read/write race missed: {reports:?}"

@@ -10,6 +10,22 @@
 use flextm_sim::{Addr, Arena, Heap};
 use std::sync::Mutex;
 
+/// The runtime crates reserve a block of arena ids for metadata that
+/// must sit outside every workload arena: 60 holds the serialized
+/// commit token, 61 the CGL lock word, 62 the STM orec table
+/// ([`flextm_stm`]'s `METADATA_ARENA`), and 63 the TSW descriptor table
+/// ([`flextm::DESCRIPTOR_ARENA`]). A worker thread whose natural arena
+/// (`tid + 1`) lands in this block would alias that metadata — on a
+/// 64-thread machine, thread 62's nodes would share lines with the
+/// TSWs.
+const RESERVED_LO: usize = 60;
+const RESERVED_HI: usize = flextm::DESCRIPTOR_ARENA;
+
+/// Where the colliding worker arenas are relocated to: a block above
+/// both the timed range (`tid + 1` ≤ 129) and the warm-up range
+/// (`tid + 129` ≤ 257, see `harness::run_measured`).
+const RELOCATED_BASE: usize = 384;
+
 /// A per-thread node allocator.
 #[derive(Debug)]
 pub struct NodeAlloc {
@@ -26,9 +42,21 @@ impl NodeAlloc {
     }
 
     /// Allocator for worker thread `tid`.
+    ///
+    /// Thread `tid` normally allocates from arena `tid + 1`; the few
+    /// threads whose natural arena falls in the reserved metadata
+    /// block are relocated to [`RELOCATED_BASE`]. Every other thread
+    /// keeps its historical arena, so runs on machines narrow enough
+    /// never to hit the block stay address-identical.
     pub fn for_thread(tid: usize) -> Self {
+        let natural = tid + 1;
+        let id = if (RESERVED_LO..=RESERVED_HI).contains(&natural) {
+            RELOCATED_BASE + (natural - RESERVED_LO)
+        } else {
+            natural
+        };
         NodeAlloc {
-            arena: Mutex::new(Heap::arena(tid + 1)),
+            arena: Mutex::new(Heap::arena(id)),
         }
     }
 
@@ -52,6 +80,39 @@ impl NodeAlloc {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_arenas_avoid_runtime_metadata_at_every_width() {
+        // Regression for the 64-thread collision: thread 62's natural
+        // arena is 63 — the TSW descriptor arena — so its node
+        // allocations aliased the status words and transactional reads
+        // returned TSW tags as pointers. Worker and warm-up arenas must
+        // stay clear of the reserved block at every supported width.
+        let descriptor_base = flextm_sim::Heap::arena(flextm::DESCRIPTOR_ARENA)
+            .alloc(1)
+            .raw();
+        let reserved_lines: Vec<u64> = (RESERVED_LO..=RESERVED_HI)
+            .map(|id| flextm_sim::Heap::arena(id).alloc(1).raw())
+            .collect();
+        for tid in 0..flextm_sim::MAX_CORES {
+            for base in [tid, tid + 128] {
+                let addr = NodeAlloc::for_thread(base).alloc(8).raw();
+                assert!(
+                    !reserved_lines.iter().any(|&r| addr >> 6 == r >> 6),
+                    "thread {tid} (arena input {base}) allocates on a reserved \
+                     metadata line {addr:#x} (descriptors at {descriptor_base:#x})"
+                );
+            }
+        }
+        // Relocation must stay deterministic and per-thread disjoint.
+        let relocated: Vec<u64> = (RESERVED_LO..=RESERVED_HI)
+            .map(|id| NodeAlloc::for_thread(id - 1).alloc(8).raw())
+            .collect();
+        let mut unique = relocated.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), relocated.len(), "relocated arenas overlap");
+    }
 
     #[test]
     fn thread_allocators_are_disjoint_and_deterministic() {

@@ -118,6 +118,66 @@ fn rbtree_accounting_invariants_hold() {
     assert_accounting_invariants("RBTree", &report);
 }
 
+/// One measured run at an arbitrary machine width; returns the event
+/// log, the machine report, and the attempt trace as JSONL bytes.
+fn run_wide(threads: usize) -> (Vec<Event>, MachineReport, String) {
+    let mut config = MachineConfig::paper_default().with_cores(threads);
+    config.record_events = true;
+    let machine = Machine::new(config);
+    let mut workload: Box<dyn Workload> = Box::new(HashTable::paper());
+    workload.setup(&machine);
+    let tm = FlexTm::new(&machine, FlexTmConfig::lazy(threads));
+    tm.set_tracing(true);
+    run_measured(
+        &machine,
+        &tm,
+        workload.as_ref(),
+        RunConfig {
+            threads,
+            txns_per_thread: 8,
+            warmup_per_thread: 2,
+            seed: 0xF1E7,
+        },
+    );
+    let trace = flextm_trace::to_jsonl(&tm.take_trace());
+    let events = machine.with_state(|st| st.log.take());
+    (events, machine.report(), trace)
+}
+
+/// The determinism and accounting guarantees must not be a property of
+/// the 8/16-core comfort zone: machines wider than one CST word (and
+/// the 32-core midpoint) replay byte-identically and keep the
+/// per-core accounting invariants.
+#[test]
+fn wide_machines_replay_identically_with_invariants() {
+    for threads in [32usize, 64] {
+        let name = format!("HashTable/{threads}c");
+        let (events_a, report_a, trace_a) = run_wide(threads);
+        let (events_b, report_b, trace_b) = run_wide(threads);
+        assert!(
+            !events_a.is_empty(),
+            "{name}: no protocol events recorded — the comparison is vacuous"
+        );
+        assert_eq!(
+            events_a, events_b,
+            "{name}: two identical runs diverged in protocol events"
+        );
+        assert_eq!(
+            report_a, report_b,
+            "{name}: two identical runs diverged in machine counters"
+        );
+        assert!(
+            !trace_a.is_empty(),
+            "{name}: traced run produced no records"
+        );
+        assert_eq!(
+            trace_a, trace_b,
+            "{name}: two identical runs serialized different attempt traces"
+        );
+        assert_accounting_invariants(&name, &report_a);
+    }
+}
+
 /// One traced measured run; returns the trace serialized as JSONL.
 fn traced_jsonl(mut workload: Box<dyn Workload>) -> String {
     let config = MachineConfig::paper_default().with_cores(THREADS);

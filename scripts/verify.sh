@@ -8,11 +8,15 @@
 #   4. cargo bench --workspace --no-run (benches must keep compiling)
 #   5. proto_check smoke: the model checker exhaustively explores the
 #      2-core x 1-line config to a fixpoint with zero invariant
-#      violations (seconds)
+#      violations (seconds), then the same config on a 65-core wide
+#      machine (checker cores 0 and 64, multi-word ProcSets) — the two
+#      runs must produce identical state/transition counts
 #   6. trace-enabled determinism pass (release): the attempt-trace
 #      JSONL must be byte-identical across seeded runs
 #   7. sched_bench --trace smoke: the abort-attribution table and
 #      JSONL trace render end to end
+#   8. 64-core smoke: the wide HashTable run completes with the
+#      always-on invariant layer armed (release determinism test)
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -34,7 +38,24 @@ echo "== benches compile (no run) =="
 cargo bench --workspace --no-run
 
 echo "== proto_check smoke (exhaustive 2 cores x 1 line) =="
-cargo run -q --release -p flextm-bench --bin proto_check -- --cores 2 --lines 1
+narrow_json="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 2 --lines 1)"
+echo "$narrow_json"
+
+echo "== proto_check wide smoke (same alphabet, cores 0 and 64 of a 65-core machine) =="
+wide_json="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 2 --lines 1 --wide)"
+echo "$wide_json"
+graph_of() {
+    # Graph shape only: states/transitions/depth/violations, not wall time.
+    echo "$1" | sed 's/.*"states"/"states"/; s/ "wall_s": [0-9.]*,//'
+}
+narrow_graph="$(graph_of "$narrow_json")"
+wide_graph="$(graph_of "$wide_json")"
+if [ "$narrow_graph" != "$wide_graph" ]; then
+    echo "wide machine changed the explored state graph:"
+    echo "  narrow: $narrow_graph"
+    echo "  wide:   $wide_graph"
+    exit 1
+fi
 
 echo "== trace determinism (release) =="
 cargo test -q --release -p flextm-workloads --test determinism \
@@ -47,5 +68,9 @@ FLEXTM_SCHED_TXNS=8 FLEXTM_TRACE_OUT="$trace_out" \
     > /dev/null
 test -s "$trace_out" || { echo "sched_bench --trace wrote no records"; exit 1; }
 rm -f "$trace_out"
+
+echo "== 64-core smoke (wide machine, invariants + byte-identical replay) =="
+cargo test -q --release -p flextm-workloads --test determinism \
+    wide_machines_replay_identically_with_invariants
 
 echo "verify: all checks passed"
