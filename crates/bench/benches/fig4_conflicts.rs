@@ -3,6 +3,11 @@
 //! count of `W-R | W-W` plus eagerly-resolved enemies), at 8 and 16
 //! threads — the evidence for Result 1b (CSTs beat global arbitration
 //! because conflict sets are small).
+//!
+//! `FLEXTM_CONFLICT_WIDE=1` runs the 64/128-thread columns instead —
+//! the two-word `ProcSet` machines — to show the result extends past
+//! one CST word: conflict sets stay tiny even when the machine is 8×
+//! the paper's width.
 
 use flextm::{FlexTm, FlexTmConfig, ThreadTxStats};
 use flextm_bench::{max_threads, txns_per_thread, WorkloadKind};
@@ -39,10 +44,16 @@ fn conflict_stats(workload_kind: WorkloadKind, threads: usize) -> ThreadTxStats 
 }
 
 fn main() {
+    let wide = std::env::var("FLEXTM_CONFLICT_WIDE").as_deref() == Ok("1");
+    let (lo, hi) = if wide { (64, 128) } else { (8, 16) };
     println!("== Fig 4 side table: conflicting transactions per committed txn ==");
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>9}",
-        "Workload", "8T Md", "8T Mx", "16T Md", "16T Mx"
+        "Workload",
+        format!("{lo}T Md"),
+        format!("{lo}T Mx"),
+        format!("{hi}T Md"),
+        format!("{hi}T Mx")
     );
     let workloads = [
         WorkloadKind::HashTable,
@@ -54,8 +65,8 @@ fn main() {
         WorkloadKind::Delaunay,
     ];
     for wl in workloads {
-        let t8 = conflict_stats(wl, 8.min(max_threads()));
-        let t16 = conflict_stats(wl, 16.min(max_threads()));
+        let t8 = conflict_stats(wl, lo.min(max_threads()));
+        let t16 = conflict_stats(wl, hi.min(max_threads()));
         println!(
             "{:<14} {:>9} {:>9} {:>9} {:>9}",
             wl.label(),

@@ -13,6 +13,10 @@
 //!
 //! Two trees implementing the same simulated machine must print the
 //! same line; anything else is a semantic change, not a refactor.
+//! `FLEXTM_FP_OS_THREADS=1` runs the OS-thread engine instead of the
+//! fiber engine and `FLEXTM_FP_EPOCH=n` overrides the lease batching
+//! width (`MachineConfig::epoch_width`) — both must reproduce the
+//! exact same digests, which `scripts/verify.sh` checks on every run.
 
 use flextm::{FlexTm, FlexTmConfig};
 use flextm_sim::{Machine, MachineConfig, MachineReport};
@@ -43,6 +47,13 @@ fn main() {
 
     let mut config = MachineConfig::paper_default().with_cores(threads);
     config.record_events = true;
+    config.os_threads = std::env::var("FLEXTM_FP_OS_THREADS").as_deref() == Ok("1");
+    if let Some(width) = std::env::var("FLEXTM_FP_EPOCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        config.epoch_width = width;
+    }
     let machine = Machine::new(config);
     let mut wl = HashTable::paper();
     wl.setup(&machine);

@@ -22,6 +22,12 @@
 //! abort-attribution/cycle-bucket table goes to stderr and the JSONL
 //! trace to `FLEXTM_TRACE_OUT` (or stderr when unset), keeping the
 //! stdout JSON line machine-readable either way.
+//! `FLEXTM_SCHED_EPOCH` overrides the lease batching width
+//! (`MachineConfig::epoch_width`; simulated results are
+//! width-invariant, only host speed moves). Passing `--json` (or
+//! setting `FLEXTM_SCHED_JSON=1`) extends the stdout record with the
+//! run parameters a sampling harness needs to archive the sample
+//! as-is: engine, epoch width, warmup and seed.
 
 use flextm::{FlexTm, FlexTmConfig};
 use flextm_sim::{Machine, MachineConfig, MachineReport};
@@ -45,6 +51,8 @@ fn main() {
     let strict = std::env::var("FLEXTM_SCHED_STRICT").as_deref() == Ok("1");
     let protocol_mode = std::env::args().any(|a| a == "--protocol");
     let trace_mode = std::env::args().any(|a| a == "--trace");
+    let json_mode = std::env::args().any(|a| a == "--json")
+        || std::env::var("FLEXTM_SCHED_JSON").as_deref() == Ok("1");
     let threads: usize = std::env::var("FLEXTM_SCHED_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -63,6 +71,13 @@ fn main() {
         config = config.with_cores(threads);
     }
     config.strict_lockstep = strict;
+    if let Some(width) = std::env::var("FLEXTM_SCHED_EPOCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        config.epoch_width = width;
+    }
+    let epoch_width = config.epoch_width;
     let machine = Machine::new(config);
     let mut wl = HashTable::paper();
     wl.setup(&machine);
@@ -90,17 +105,21 @@ fn main() {
     let cycles_per_s = report.elapsed_cycles() as f64 / wall_s;
 
     // One JSON object per line, ready to paste into BENCH_sched.json
-    // or BENCH_protocol.json.
-    println!(
+    // or BENCH_protocol.json. `--json` appends the run parameters a
+    // sampling harness needs to archive the record without consulting
+    // the invoking environment.
+    let mut line = format!(
         concat!(
             "{{\"bench\": \"{}\", ",
             "\"strict_lockstep\": {}, ",
             "\"threads\": {}, \"txns_per_thread\": {}, ",
             "\"committed\": {}, \"attempts\": {}, ",
             "\"sim_ops\": {}, \"sim_cycles\": {}, ",
-            "\"fast_ops\": {}, \"slow_ops\": {}, \"grants\": {}, ",
+            "\"fast_ops\": {}, \"epoch_ops\": {}, \"slow_ops\": {}, ",
+            "\"grants\": {}, \"bank_conflict_grants\": {}, ",
+            "\"rendezvous_per_op\": {:.4}, ",
             "\"wall_s\": {:.3}, ",
-            "\"sim_ops_per_s\": {:.0}, \"sim_cycles_per_s\": {:.0}}}"
+            "\"sim_ops_per_s\": {:.0}, \"sim_cycles_per_s\": {:.0}"
         ),
         bench_name,
         strict,
@@ -111,12 +130,31 @@ fn main() {
         ops,
         report.elapsed_cycles(),
         report.sched.fast_ops,
+        report.sched.epoch_ops,
         report.sched.slow_ops,
         report.sched.grants,
+        report.sched.bank_conflict_grants,
+        report.rendezvous_per_op(),
         wall_s,
         ops_per_s,
         cycles_per_s,
     );
+    if json_mode {
+        line.push_str(&format!(
+            concat!(
+                ", \"engine\": \"{}\", \"epoch_width\": {}, ",
+                "\"warmup_per_thread\": 8, \"seed\": \"0xF1E7\""
+            ),
+            if cfg!(target_arch = "x86_64") {
+                "fiber"
+            } else {
+                "os_threads"
+            },
+            epoch_width,
+        ));
+    }
+    line.push('}');
+    println!("{line}");
 
     if trace_mode {
         eprint!("{}", result.abort_table());

@@ -169,6 +169,42 @@ impl ProcSet {
         }
     }
 
+    /// The smallest member with index `>= from`, if any. Bank-owner
+    /// scans use this to resume a walk mid-set without restarting the
+    /// iterator.
+    #[inline]
+    pub fn first_set_from(&self, from: usize) -> Option<usize> {
+        if from >= MAX_CORES {
+            return None;
+        }
+        let mut word = from / 64;
+        let mut bits = self.words[word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word == PROC_WORDS {
+                return None;
+            }
+            bits = self.words[word];
+        }
+    }
+
+    /// Iterates members with index `>= from` in ascending order.
+    #[inline]
+    pub fn iter_from(self, from: usize) -> ProcIter {
+        let mut words = self.words;
+        let word = (from / 64).min(PROC_WORDS);
+        for w in words.iter_mut().take(word) {
+            *w = 0;
+        }
+        if word < PROC_WORDS {
+            words[word] &= !0u64 << (from % 64);
+        }
+        ProcIter { words, word }
+    }
+
     /// The raw backing words, lowest processors first.
     #[inline]
     pub fn words(&self) -> &[u64; PROC_WORDS] {

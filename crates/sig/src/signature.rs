@@ -228,6 +228,41 @@ impl Signature {
         self.test_banks(key.line(), key.packed())
     }
 
+    /// True iff `contains_key(test)` would report `true` after
+    /// `insert_key(ins)`: per bank, `test`'s bit is either already set
+    /// or about to be set because the two keys share that bank index.
+    /// Equivalent to cloning the signature, inserting `ins`, and
+    /// re-probing — without the clone. The scheduler's run-ahead path
+    /// uses it to prove an insert cannot change how this core answers
+    /// a parked rival's membership probe.
+    #[inline]
+    pub fn insert_would_alias(&self, test: SigKey, ins: SigKey) -> bool {
+        debug_assert_eq!(
+            test.packed(),
+            self.hasher.key(test.line()).packed(),
+            "SigKey built from a different configuration"
+        );
+        debug_assert_eq!(
+            ins.packed(),
+            self.hasher.key(ins.line()).packed(),
+            "SigKey built from a different configuration"
+        );
+        let ib = self.hasher.index_bits();
+        if let (Some(tp), Some(ip)) = (test.packed(), ins.packed()) {
+            (0..self.config.banks).all(|bank| {
+                let t = (tp >> (bank as u32 * ib)) as u32 & ((1 << ib) - 1);
+                let i = (ip >> (bank as u32 * ib)) as u32 & ((1 << ib) - 1);
+                t == i || self.get_bit(self.bit_pos(bank, t))
+            })
+        } else {
+            (0..self.config.banks).all(|bank| {
+                let t = self.hasher.index(bank, test.line().index());
+                let i = self.hasher.index(bank, ins.line().index());
+                t == i || self.get_bit(self.bit_pos(bank, t))
+            })
+        }
+    }
+
     /// Flash-clears the signature (the `clear Sig` instruction of the
     /// FlexWatcher API extension, Table 4(a), and part of the abort /
     /// context-switch sequence).
@@ -402,6 +437,39 @@ mod tests {
             assert!(u.contains(LineAddr(i)));
             assert!(u.contains(LineAddr(i + 1000)));
         }
+    }
+
+    /// `insert_would_alias` vs the clone-insert-reprobe oracle, over
+    /// enough key pairs to hit both aliasing and non-aliasing banks.
+    #[test]
+    fn insert_would_alias_matches_oracle() {
+        let mut s = sig();
+        for i in 0..200u64 {
+            s.insert(LineAddr(i * 5 + 3));
+        }
+        let mut aliases = 0u32;
+        for t in 0..40u64 {
+            for i in 0..40u64 {
+                let test = s.key(LineAddr(t * 911 + 17));
+                let ins = s.key(LineAddr(i * 733 + 29));
+                let mut oracle = s.clone();
+                oracle.insert_key(ins);
+                let want = oracle.contains_key(test);
+                assert_eq!(
+                    s.insert_would_alias(test, ins),
+                    want,
+                    "test line {} ins line {}",
+                    test.line().index(),
+                    ins.line().index()
+                );
+                aliases += u32::from(want);
+            }
+        }
+        // Same-line pairs alias by definition; the suite must exercise
+        // both outcomes or the oracle comparison is vacuous.
+        assert!(aliases > 0 && aliases < 40 * 40);
+        let k = s.key(LineAddr(0xdead));
+        assert!(s.insert_would_alias(k, k));
     }
 
     #[test]

@@ -114,6 +114,58 @@ fn union_difference_intersection_vs_oracle() {
     }
 }
 
+/// `first_set_from` / `iter_from` (the bank-owner scan helpers) vs the
+/// oracle: for random sets and every resume point — including the word
+/// seam and out-of-range starts — `first_set_from(i)` is the smallest
+/// member `>= i` and `iter_from(i)` is the ascending member suffix.
+#[test]
+fn resumable_scans_match_oracle() {
+    let mut rng = Rng(0xba2c ^ 0x5eed);
+    for round in 0..200 {
+        let width = WIDTHS[rng.below(WIDTHS.len())];
+        let mut set = ProcSet::empty();
+        let mut oracle: Vec<usize> = Vec::new();
+        for _ in 0..rng.below(2 * width + 1) {
+            let p = rng.below(width);
+            set.insert(p);
+            if !oracle.contains(&p) {
+                oracle.push(p);
+            }
+        }
+        oracle.sort_unstable();
+        let starts = [0, 1, 62, 63, 64, 65, 127, 128, rng.below(MAX_CORES + 4)];
+        for from in starts {
+            let want_first = oracle.iter().copied().find(|&p| p >= from);
+            assert_eq!(
+                set.first_set_from(from),
+                want_first,
+                "round {round} width {width}: first_set_from({from}) diverged"
+            );
+            let want_suffix: Vec<usize> = oracle.iter().copied().filter(|&p| p >= from).collect();
+            assert_eq!(
+                set.iter_from(from).collect::<Vec<_>>(),
+                want_suffix,
+                "round {round} width {width}: iter_from({from}) diverged"
+            );
+        }
+        // Resuming past every member must terminate cleanly.
+        assert_eq!(set.first_set_from(MAX_CORES), None);
+        assert_eq!(set.iter_from(MAX_CORES).count(), 0);
+        // A full resumable walk must reproduce plain iteration.
+        let mut walked = Vec::new();
+        let mut cursor = 0usize;
+        while let Some(p) = set.first_set_from(cursor) {
+            walked.push(p);
+            cursor = p + 1;
+        }
+        assert_eq!(
+            walked,
+            set.iter().collect::<Vec<_>>(),
+            "round {round} width {width}: first_set_from walk diverged from iter"
+        );
+    }
+}
+
 #[test]
 fn word_boundary_bits_are_exact() {
     // The four bits around the 64-bit word seam, plus the extremes.

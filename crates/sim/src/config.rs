@@ -109,6 +109,17 @@ pub struct MachineConfig {
     /// Off x86_64 (where the fiber engine's context switch is not
     /// implemented) OS threads are always used and this knob is moot.
     pub os_threads: bool,
+    /// Epoch width for batched grant scans. The granter keeps the
+    /// `epoch_width + 1` smallest posted `(clock, core)` keys in a
+    /// sorted grant buffer and serves grants from it, rescanning the
+    /// full mailbox only when the buffer drains — amortizing the
+    /// `O(cores)` scan over ~`epoch_width` grants instead of paying it
+    /// per grant. Values `0` and `1` both mean "rescan every grant"
+    /// (the original strict engine, byte for byte). The grant sequence
+    /// — and therefore every simulated event, counter, and clock — is
+    /// identical for every width (pinned by the determinism suite's
+    /// epoch sweep); only host-side speed moves.
+    pub epoch_width: usize,
 }
 
 impl MachineConfig {
@@ -135,6 +146,7 @@ impl MachineConfig {
             record_events: false,
             strict_lockstep: false,
             os_threads: false,
+            epoch_width: 8,
         }
     }
 

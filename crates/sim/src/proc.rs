@@ -10,7 +10,9 @@
 
 use crate::core_state::AlertCause;
 use crate::cst::CstKind;
-use crate::machine::{now_op, stall_op, sync_op, work_op, SharedMachine};
+use crate::machine::{
+    now_op, stall_op, sync_commit_op, sync_mem_op, sync_op, sync_pure_op, work_op, SharedMachine,
+};
 use crate::mem::Addr;
 use crate::proto::{AccessKind, AccessResult, CasCommitOutcome};
 use crate::stats::{AbortCause, CmEvent};
@@ -81,13 +83,13 @@ impl ProcHandle {
     /// work/mem cycles accrued from here are reclassified into
     /// `wasted_cycles` if the attempt aborts. Zero simulated cost.
     pub fn begin_attempt(&self) {
-        sync_op(&self.shared, self.core, |st| st.begin_attempt(self.core));
+        sync_pure_op(&self.shared, self.core, |st| st.begin_attempt(self.core));
     }
 
     /// Records a zero-latency contention-management note into the
     /// abort-attribution diagnostics (tie-breaks taken, enemy kills).
     pub fn note_cm_event(&self, event: CmEvent) {
-        sync_op(&self.shared, self.core, |st| {
+        sync_pure_op(&self.shared, self.core, |st| {
             let causes = &mut st.cores[self.core].stats.abort_causes;
             match event {
                 CmEvent::PriorityTie => causes.mutual_abort += 1,
@@ -98,14 +100,14 @@ impl ProcHandle {
 
     /// Non-transactional load.
     pub fn load(&self, addr: Addr) -> u64 {
-        sync_op(&self.shared, self.core, |st| {
+        sync_mem_op(&self.shared, self.core, addr.line(), |st| {
             st.access(self.core, addr, AccessKind::Load, 0).value
         })
     }
 
     /// Non-transactional store.
     pub fn store(&self, addr: Addr, value: u64) {
-        sync_op(&self.shared, self.core, |st| {
+        sync_mem_op(&self.shared, self.core, addr.line(), |st| {
             st.access(self.core, addr, AccessKind::Store, value);
         });
     }
@@ -119,7 +121,7 @@ impl ProcHandle {
     /// Returns the pending [`AlertCause`] when this core has been
     /// alerted (aborted remotely, strong-isolation kill, …).
     pub fn tload(&self, addr: Addr) -> Result<AccessResult, AlertCause> {
-        sync_op(&self.shared, self.core, |st| {
+        sync_mem_op(&self.shared, self.core, addr.line(), |st| {
             if let Some(cause) = st.cores[self.core].alert_pending.take() {
                 return Err(cause);
             }
@@ -135,7 +137,7 @@ impl ProcHandle {
     /// Returns the pending [`AlertCause`] when this core has been
     /// alerted.
     pub fn tstore(&self, addr: Addr, value: u64) -> Result<AccessResult, AlertCause> {
-        sync_op(&self.shared, self.core, |st| {
+        sync_mem_op(&self.shared, self.core, addr.line(), |st| {
             if let Some(cause) = st.cores[self.core].alert_pending.take() {
                 return Err(cause);
             }
@@ -145,7 +147,7 @@ impl ProcHandle {
 
     /// Plain atomic compare-and-swap; returns the previous value.
     pub fn cas(&self, addr: Addr, expected: u64, new: u64) -> u64 {
-        sync_op(&self.shared, self.core, |st| {
+        sync_mem_op(&self.shared, self.core, addr.line(), |st| {
             st.cas(self.core, addr, expected, new).0
         })
     }
@@ -162,7 +164,7 @@ impl ProcHandle {
         expected: u64,
         new: u64,
     ) -> Result<CasCommitOutcome, AlertCause> {
-        sync_op(&self.shared, self.core, |st| {
+        sync_commit_op(&self.shared, self.core, tsw.line(), |st| {
             if let Some(cause) = st.cores[self.core].alert_pending.take() {
                 return Err(cause);
             }
@@ -174,26 +176,28 @@ impl ProcHandle {
     /// CSTs and the AOU mark, recording `cause` in the abort
     /// attribution counters. Returns the number of lines discarded.
     pub fn abort_tx(&self, cause: AbortCause) -> usize {
-        sync_op(&self.shared, self.core, |st| st.abort_tx(self.core, cause))
+        sync_pure_op(&self.shared, self.core, |st| st.abort_tx(self.core, cause))
     }
 
     /// ALoad: cache `addr`'s line with the alert mark set, returning the
     /// current value.
     pub fn aload(&self, addr: Addr) -> u64 {
-        sync_op(&self.shared, self.core, |st| st.aload(self.core, addr))
+        sync_mem_op(&self.shared, self.core, addr.line(), |st| {
+            st.aload(self.core, addr)
+        })
     }
 
     /// Consumes and returns a pending alert, if any (zero simulated
     /// cost: the trap logic polls for free).
     pub fn take_alert(&self) -> Option<AlertCause> {
-        sync_op(&self.shared, self.core, |st| {
+        sync_pure_op(&self.shared, self.core, |st| {
             st.cores[self.core].alert_pending.take()
         })
     }
 
     /// Reads a CST register.
     pub fn read_cst(&self, kind: CstKind) -> ProcSet {
-        sync_op(&self.shared, self.core, |st| {
+        sync_pure_op(&self.shared, self.core, |st| {
             st.charge_mem(self.core, st.config.l1_latency);
             st.cores[self.core].csts.read(kind)
         })
@@ -201,7 +205,7 @@ impl ProcHandle {
 
     /// Atomic copy-and-clear of a CST register (Fig. 3, line 1).
     pub fn copy_and_clear_cst(&self, kind: CstKind) -> ProcSet {
-        sync_op(&self.shared, self.core, |st| {
+        sync_pure_op(&self.shared, self.core, |st| {
             st.charge_mem(self.core, st.config.l1_latency);
             st.cores[self.core].csts.copy_and_clear(kind)
         })
@@ -210,7 +214,7 @@ impl ProcHandle {
     /// Clears one bit of a CST register (the "clean myself out of X's
     /// W-R" optimization — here applied to the local CSTs).
     pub fn clear_cst_bit(&self, kind: CstKind, proc: usize) {
-        sync_op(&self.shared, self.core, |st| {
+        sync_pure_op(&self.shared, self.core, |st| {
             st.charge_mem(self.core, st.config.l1_latency);
             st.cores[self.core].csts.clear_bit(kind, proc);
         });
@@ -219,7 +223,7 @@ impl ProcHandle {
     /// `insert [%r], Sig` (Table 4(a)): adds `addr`'s line to a
     /// signature without touching the cache.
     pub fn sig_insert(&self, kind: SigKind, addr: Addr) {
-        sync_op(&self.shared, self.core, |st| {
+        sync_pure_op(&self.shared, self.core, |st| {
             st.charge_mem(self.core, st.config.l1_latency);
             let me = self.core;
             let core = &mut st.cores[me];
@@ -233,7 +237,7 @@ impl ProcHandle {
 
     /// `member [%r], Sig`: conservative membership test.
     pub fn sig_member(&self, kind: SigKind, addr: Addr) -> bool {
-        sync_op(&self.shared, self.core, |st| {
+        sync_pure_op(&self.shared, self.core, |st| {
             st.charge_mem(self.core, st.config.l1_latency);
             let core = &st.cores[self.core];
             match kind {
@@ -245,7 +249,7 @@ impl ProcHandle {
 
     /// `clear Sig`: zeroes a signature.
     pub fn sig_clear(&self, kind: SigKind) {
-        sync_op(&self.shared, self.core, |st| {
+        sync_pure_op(&self.shared, self.core, |st| {
             st.charge_mem(self.core, st.config.l1_latency);
             let me = self.core;
             let core = &mut st.cores[me];
@@ -260,7 +264,7 @@ impl ProcHandle {
     /// `activate Sig` (FlexWatcher, §8): screen local loads (reads) and
     /// stores (writes) against the corresponding signature.
     pub fn watch_activate(&self, reads: bool, writes: bool) {
-        sync_op(&self.shared, self.core, |st| {
+        sync_pure_op(&self.shared, self.core, |st| {
             st.charge_mem(self.core, st.config.l1_latency);
             st.cores[self.core].watch_reads = reads;
             st.cores[self.core].watch_writes = writes;

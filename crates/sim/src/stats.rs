@@ -239,11 +239,21 @@ pub struct SchedStats {
     /// Operations completed on a fast path (lease batching or the
     /// lock-free `work`/`now` paths) — no scheduler rendezvous.
     pub fast_ops: u64,
+    /// Lease grants served from the epoch grant buffer — no full
+    /// mailbox rescan, just a pop of the buffered minimum key. A
+    /// subset of the grant decisions behind `slow_ops`; zero at epoch
+    /// width 1 (strict second-minimum, rescan every grant).
+    pub epoch_ops: u64,
     /// Operations that went through the full mailbox rendezvous.
     pub slow_ops: u64,
     /// Driver wakeups: lease grants that unparked a waiting worker
     /// (grants a core gave itself while posting are not counted).
     pub grants: u64,
+    /// Grants of a `Line`/`Commit` op whose scheduler bank was
+    /// simultaneously owned by another posted core — rendezvous that
+    /// even a per-bank lease could not have avoided (true line-space
+    /// contention, by bank hash).
+    pub bank_conflict_grants: u64,
     /// Host wall-clock nanoseconds spent inside [`crate::Machine::run`].
     pub host_nanos: u64,
 }
@@ -253,8 +263,10 @@ impl SchedStats {
     pub fn minus(&self, earlier: &SchedStats) -> SchedStats {
         SchedStats {
             fast_ops: self.fast_ops - earlier.fast_ops,
+            epoch_ops: self.epoch_ops - earlier.epoch_ops,
             slow_ops: self.slow_ops - earlier.slow_ops,
             grants: self.grants - earlier.grants,
+            bank_conflict_grants: self.bank_conflict_grants - earlier.bank_conflict_grants,
             host_nanos: self.host_nanos - earlier.host_nanos,
         }
     }
@@ -266,8 +278,10 @@ impl SchedStats {
 impl PartialEq for SchedStats {
     fn eq(&self, other: &Self) -> bool {
         self.fast_ops == other.fast_ops
+            && self.epoch_ops == other.epoch_ops
             && self.slow_ops == other.slow_ops
             && self.grants == other.grants
+            && self.bank_conflict_grants == other.bank_conflict_grants
     }
 }
 
@@ -323,6 +337,19 @@ impl MachineReport {
     pub fn sim_ops(&self) -> u64 {
         self.total(|c| c.loads + c.stores + c.tloads + c.tstores)
             + self.total(|c| c.commits + c.failed_commits + c.tx_aborts)
+    }
+
+    /// Scheduler rendezvous per simulated operation: lease grants
+    /// divided by `sim_ops` (0.0 when no ops ran). The lease-batching
+    /// figure of merit — strict lockstep pays ~1 grant per op, batched
+    /// horizons push this toward 0.
+    pub fn rendezvous_per_op(&self) -> f64 {
+        let ops = self.sim_ops();
+        if ops == 0 {
+            0.0
+        } else {
+            self.sched.grants as f64 / ops as f64
+        }
     }
 
     /// Simulator-side throughput: simulated operations per host
@@ -503,6 +530,18 @@ impl EventLog {
         &self.events
     }
 
+    /// Number of recorded events (0 when disabled). The scheduler's
+    /// run-ahead debug guard snapshots this to assert a relaxed op
+    /// emitted nothing.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
     /// Drains the log (tests consume between phases).
     pub fn take(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.events)
@@ -536,8 +575,10 @@ mod tests {
             cores: vec![CoreStats::default()],
             sched: SchedStats {
                 fast_ops: 3,
+                epoch_ops: 7,
                 slow_ops: 2,
                 grants: 1,
+                bank_conflict_grants: 1,
                 host_nanos: 123,
             },
         };
@@ -547,8 +588,28 @@ mod tests {
         b.sched.fast_ops = 4;
         assert_ne!(a, b);
         b.sched.fast_ops = 3;
+        b.sched.epoch_ops = 8;
+        assert_ne!(a, b, "epoch_ops must participate in equality");
+        b.sched.epoch_ops = 7;
+        b.sched.bank_conflict_grants = 2;
+        assert_ne!(a, b, "bank_conflict_grants must participate in equality");
+        b.sched.bank_conflict_grants = 1;
         a.cores[0].commits = 1;
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rendezvous_per_op_divides_grants_by_ops() {
+        let mut r = MachineReport {
+            core_cycles: vec![0],
+            cores: vec![CoreStats::default()],
+            sched: SchedStats::default(),
+        };
+        assert_eq!(r.rendezvous_per_op(), 0.0, "no ops must not divide by zero");
+        r.cores[0].loads = 8;
+        r.cores[0].commits = 2;
+        r.sched.grants = 5;
+        assert!((r.rendezvous_per_op() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -558,8 +619,10 @@ mod tests {
             cores: vec![CoreStats::default(); 2],
             sched: SchedStats {
                 fast_ops: 10,
+                epoch_ops: 4,
                 slow_ops: 5,
                 grants: 2,
+                bank_conflict_grants: 1,
                 host_nanos: 1_000,
             },
         };

@@ -150,7 +150,7 @@ fn run_wide(threads: usize) -> (Vec<Event>, MachineReport, String) {
 /// per-core accounting invariants.
 #[test]
 fn wide_machines_replay_identically_with_invariants() {
-    for threads in [32usize, 64] {
+    for threads in [32usize, 64, 128] {
         let name = format!("HashTable/{threads}c");
         let (events_a, report_a, trace_a) = run_wide(threads);
         let (events_b, report_b, trace_b) = run_wide(threads);
@@ -251,5 +251,65 @@ fn strict_lockstep_is_semantically_identical() {
     assert_eq!(
         report_strict.sched.fast_ops, 0,
         "strict_lockstep left a fast path enabled"
+    );
+    assert_eq!(
+        report_strict.sched.epoch_ops, 0,
+        "strict_lockstep left the epoch-batched lease enabled"
+    );
+}
+
+/// One traced, event-recorded run at an explicit epoch width.
+fn run_epoch(width: usize) -> (Vec<Event>, MachineReport, String) {
+    let mut config = MachineConfig::paper_default().with_cores(THREADS);
+    config.record_events = true;
+    config.epoch_width = width;
+    let machine = Machine::new(config);
+    let mut workload: Box<dyn Workload> = Box::new(HashTable::paper());
+    workload.setup(&machine);
+    let tm = FlexTm::new(&machine, FlexTmConfig::lazy(THREADS));
+    tm.set_tracing(true);
+    run_measured(&machine, &tm, workload.as_ref(), small_run());
+    let trace = flextm_trace::to_jsonl(&tm.take_trace());
+    let events = machine.with_state(|st| st.log.take());
+    (events, machine.report(), trace)
+}
+
+/// The epoch-batched lease horizon is pure performance: every width
+/// must produce the same protocol events, the same per-core counters,
+/// the same simulated cycles and the same attempt trace. Only the
+/// host-side fast/epoch/slow split may move. Width 1 is the strict
+/// second-minimum rule, so this also pins "batching off" against
+/// "batching on".
+#[test]
+fn epoch_width_sweep_is_semantically_identical() {
+    let (events_1, report_1, trace_1) = run_epoch(1);
+    let mut batched_ran = 0u64;
+    for width in [4usize, 16] {
+        let (events_w, report_w, trace_w) = run_epoch(width);
+        assert_eq!(
+            events_1, events_w,
+            "epoch width {width} changed the protocol event stream"
+        );
+        assert_eq!(
+            report_1.cores, report_w.cores,
+            "epoch width {width} changed simulated per-core counters"
+        );
+        assert_eq!(
+            report_1.core_cycles, report_w.core_cycles,
+            "epoch width {width} changed simulated time"
+        );
+        assert_eq!(
+            trace_1, trace_w,
+            "epoch width {width} changed the attempt trace"
+        );
+        batched_ran += report_w.sched.epoch_ops;
+    }
+    assert_eq!(
+        report_1.sched.epoch_ops, 0,
+        "width 1 must mean strict second-minimum only"
+    );
+    assert!(
+        batched_ran > 0,
+        "no op ever took the relaxed epoch path — the sweep is vacuous"
     );
 }

@@ -15,8 +15,12 @@
 #      JSONL must be byte-identical across seeded runs
 #   7. sched_bench --trace smoke: the abort-attribution table and
 #      JSONL trace render end to end
-#   8. 64-core smoke: the wide HashTable run completes with the
-#      always-on invariant layer armed (release determinism test)
+#   8. 64- and 128-core smoke: the wide HashTable runs complete with
+#      the always-on invariant layer armed (release determinism test)
+#   9. fingerprint gate: the 16-core HashTable event/counter digests
+#      must match the recorded values on the fiber engine at epoch
+#      widths 1 and 16 and on the OS-thread engine — any drift is a
+#      semantic change to the simulated machine, not a refactor
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -69,8 +73,31 @@ FLEXTM_SCHED_TXNS=8 FLEXTM_TRACE_OUT="$trace_out" \
 test -s "$trace_out" || { echo "sched_bench --trace wrote no records"; exit 1; }
 rm -f "$trace_out"
 
-echo "== 64-core smoke (wide machine, invariants + byte-identical replay) =="
+echo "== 64/128-core smoke (wide machines, invariants + byte-identical replay) =="
 cargo test -q --release -p flextm-workloads --test determinism \
     wide_machines_replay_identically_with_invariants
+
+echo "== fingerprint gate (16-core digests, both engines, epoch widths 1 and 16) =="
+expect_event="b91bf014cd6135a9"
+expect_counter="578f521ae8b7bc3c"
+check_fp() {
+    # $1: label, rest: env assignments for the run.
+    local label="$1"
+    shift
+    local line
+    line="$(env "$@" cargo run -q --release -p flextm-bench --bin fingerprint)"
+    echo "$line"
+    case "$line" in
+    *"\"event_digest\": \"$expect_event\""*"\"counter_digest\": \"$expect_counter\""*) ;;
+    *)
+        echo "fingerprint drift ($label): expected $expect_event/$expect_counter"
+        exit 1
+        ;;
+    esac
+}
+check_fp "fiber, default epoch" FLEXTM_FP_DUMMY=0
+check_fp "fiber, epoch width 1" FLEXTM_FP_EPOCH=1
+check_fp "fiber, epoch width 16" FLEXTM_FP_EPOCH=16
+check_fp "os threads, default epoch" FLEXTM_FP_OS_THREADS=1
 
 echo "verify: all checks passed"
