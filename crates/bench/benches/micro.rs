@@ -90,7 +90,7 @@ fn bench_line_fill() {
     bench("fill_boxed", |i| {
         let line = LineAddr(i % 512);
         let (slot, _) = c.fill_slot(line, L1State::Tmi);
-        c.slot_mut(slot).data = Some(Box::new([i; WORDS_PER_LINE]));
+        c.put_data(slot, Box::new([i; WORDS_PER_LINE]));
         let entry = c.invalidate(line).expect("just filled");
         black_box(entry.data);
     });
@@ -100,7 +100,7 @@ fn bench_line_fill() {
         let (slot, _) = c.fill_slot(line, L1State::Tmi);
         let mut d = c.alloc_data();
         *d = [i; WORDS_PER_LINE];
-        c.slot_mut(slot).data = Some(d);
+        c.put_data(slot, d);
         let mut entry = c.invalidate(line).expect("just filled");
         if let Some(d) = entry.data.take() {
             c.retire_data(d);

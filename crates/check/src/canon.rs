@@ -80,7 +80,7 @@ pub fn canon(d: &Driver) -> u128 {
                     e.line.index(),
                     l1_state_code(e.state),
                     e.a_bit as u64,
-                    e.data.as_deref().map_or(u64::MAX, |dw| dw[0]),
+                    core.l1.peek_data(e.line).map_or(u64::MAX, |dw| dw[0]),
                 )
             })
             .collect();

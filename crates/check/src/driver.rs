@@ -258,7 +258,7 @@ impl Driver {
     /// which pair of registers `record_conflict` updated.
     fn fold_conflicts(&mut self, c: usize, kind: AccessKind, r: &AccessResult) {
         let mc = self.cfg.machine_core(c);
-        for conflict in &r.conflicts {
+        for conflict in r.conflicts.iter() {
             // The hardware names machine cores; shadow CSTs store them
             // verbatim (they are compared against hardware registers),
             // while shadow *indexing* goes through the checker map.

@@ -20,7 +20,7 @@ use crate::os::Cmt;
 use crate::tsw::{tsw_tag, tsw_word, DescriptorTable, TSW_ABORTED, TSW_ACTIVE, TSW_COMMITTED};
 use flextm_sim::api::{AttemptOutcome, TmRuntime, TmThread, TxRetry, Txn, TxnBody};
 use flextm_sim::{
-    procs_in_mask, Addr, AlertCause, Conflict, CstKind, Machine, ProcHandle, ProcSet,
+    procs_in_mask, Addr, AlertCause, Conflict, ConflictList, CstKind, Machine, ProcHandle, ProcSet,
 };
 use flextm_sim::{AbortCause, AccessResult, CasCommitOutcome, CmEvent};
 use flextm_trace::{ConflictClass, TraceEv, TraceRecord};
@@ -191,7 +191,13 @@ impl FlexTm {
             suspended_enemies: Vec::new(),
             enemies_this_txn: ProcSet::empty(),
             seq: 0,
-            stats: ThreadTxStats::default(),
+            stats: ThreadTxStats {
+                // A commit can conflict with at most MAX_CORES-1 peers;
+                // reserving up front keeps `record_commit_conflicts`'s
+                // resize allocation-free in steady state.
+                conflict_histogram: Vec::with_capacity(flextm_sim::MAX_CORES),
+                ..ThreadTxStats::default()
+            },
             pending_abort: None,
             tracing: false,
             trace: Vec::new(),
@@ -381,8 +387,8 @@ impl<'r> FlexTmThread<'r> {
 
     /// Eager-mode conflict resolution (the CMPC handler). Returns
     /// `false` when the local transaction must abort.
-    fn resolve_conflicts(&mut self, conflicts: &[Conflict]) -> bool {
-        for c in conflicts {
+    fn resolve_conflicts(&mut self, conflicts: &ConflictList) -> bool {
+        for c in conflicts.iter() {
             let enemy = c.with;
             if enemy == self.proc.core() {
                 continue;
@@ -413,11 +419,14 @@ impl<'r> FlexTmThread<'r> {
                 }
                 match self.cm.on_conflict(ctx) {
                     CmDecision::Stall(cycles) => {
-                        self.proc.stall(cycles);
+                        // Fused backoff + alert poll: one check per
+                        // scheduling grant, not one rendezvous per spin
+                        // step. Stalling may have got us aborted
+                        // meanwhile.
+                        let alert = self.proc.stall_poll(cycles);
                         self.emit(TraceEv::Stall { cycles });
                         stalls += 1;
-                        // Stalling may have got us aborted meanwhile.
-                        if let Some(alert) = self.proc.take_alert() {
+                        if let Some(alert) = alert {
                             self.note_alert(alert);
                             return false;
                         }
@@ -445,10 +454,10 @@ impl<'r> FlexTmThread<'r> {
     /// Handles directory summary hits: conflicts with *descheduled*
     /// transactions, resolved in software via the CMT (§5). Returns
     /// `false` if the local transaction must abort.
-    fn handle_summary_hits(&mut self, addr: Addr, is_write: bool, hits: &[usize]) -> bool {
+    fn handle_summary_hits(&mut self, addr: Addr, is_write: bool, hits: ProcSet) -> bool {
         // Charge the trap + software handler.
         self.proc.work(80);
-        for &tid in hits {
+        for tid in hits.iter() {
             self.emit(TraceEv::Conflict {
                 enemy: tid as u64,
                 kind: ConflictClass::Summary,
@@ -490,12 +499,12 @@ impl<'r> FlexTmThread<'r> {
     fn attempt_result(&mut self, res: &AccessResult, addr: Addr, is_write: bool) -> bool {
         self.cm.on_open();
         if !res.summary_hits.is_empty()
-            && !self.handle_summary_hits(addr, is_write, &res.summary_hits)
+            && !self.handle_summary_hits(addr, is_write, res.summary_hits)
         {
             return false;
         }
         if self.rt.mode == Mode::Eager && !res.conflicts.is_empty() {
-            return self.resolve_conflicts(&res.conflicts.clone());
+            return self.resolve_conflicts(&res.conflicts);
         }
         true
     }
@@ -506,15 +515,20 @@ impl<'r> FlexTmThread<'r> {
         // token like TCC/Bulk before doing any commit work.
         if let Some(token) = self.rt.commit_token {
             let mut backoff = 16u64;
+            // First poll stands alone; every later one is fused into
+            // the backoff stall so each spin iteration takes one
+            // rendezvous fewer. The op order an observer sees is
+            // unchanged: poll, load, [cas], stall, poll, load, …
+            let mut alert = self.proc.take_alert();
             loop {
-                if let Some(alert) = self.proc.take_alert() {
+                if let Some(alert) = alert {
                     self.note_alert(alert);
                     return false;
                 }
                 if self.proc.load(token) == 0 && self.proc.cas(token, 0, 1) == 0 {
                     break;
                 }
-                self.proc.stall(backoff);
+                alert = self.proc.stall_poll(backoff);
                 self.emit(TraceEv::Stall { cycles: backoff });
                 backoff = (backoff * 2).min(512);
             }
@@ -589,7 +603,7 @@ impl<'r> FlexTmThread<'r> {
                 Ok(CasCommitOutcome::ConflictsPending { wr, ww }) => {
                     // Line 5: still active with fresh conflicts → loop.
                     if self.rt.mode == Mode::Eager {
-                        let conflicts: Vec<Conflict> = procs_in_mask(wr | ww)
+                        let conflicts: ConflictList = procs_in_mask(wr | ww)
                             .map(|p| Conflict {
                                 with: p,
                                 kind: flextm_sim::ConflictKind::Threatened,

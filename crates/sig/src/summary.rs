@@ -11,7 +11,7 @@
 //! keeps the per-contributor signatures around.
 
 use crate::hasher::SigKey;
-use crate::{LineAddr, Signature, SignatureConfig};
+use crate::{LineAddr, ProcSet, Signature, SignatureConfig, MAX_CORES};
 use std::collections::BTreeMap;
 
 /// A recomputable union of per-thread signatures, keyed by an opaque
@@ -64,6 +64,12 @@ impl SummarySignature {
             self.config,
             "contributor signature configuration mismatch"
         );
+        // Contributor ids are software thread ids; the allocation-free
+        // hit-set path packs them into a ProcSet, so they must fit.
+        debug_assert!(
+            id < MAX_CORES,
+            "contributor id {id} exceeds ProcSet width {MAX_CORES}"
+        );
         self.contributors.insert(id, sig);
         self.recompute();
     }
@@ -113,6 +119,30 @@ impl SummarySignature {
             .filter(|(_, sig)| sig.contains_key(key))
             .map(|(&id, _)| id)
             .collect()
+    }
+
+    /// [`SummarySignature::hit_contributors`] as a [`ProcSet`] — the
+    /// allocation-free form the L2's miss-path summary check uses.
+    /// `ProcSet` iteration is ascending, matching the sorted `Vec`.
+    pub fn hit_set(&self, line: LineAddr) -> ProcSet {
+        let mut hits = ProcSet::empty();
+        for (&id, sig) in &self.contributors {
+            if sig.contains(line) {
+                hits.insert(id);
+            }
+        }
+        hits
+    }
+
+    /// [`SummarySignature::hit_set`] with a pre-hashed key.
+    pub fn hit_set_key(&self, key: SigKey) -> ProcSet {
+        let mut hits = ProcSet::empty();
+        for (&id, sig) in &self.contributors {
+            if sig.contains_key(key) {
+                hits.insert(id);
+            }
+        }
+        hits
     }
 
     /// True if no transactions are currently descheduled.
@@ -185,6 +215,19 @@ mod tests {
         assert_eq!(ss.hit_contributors(LineAddr(11)), vec![4, 9]);
         assert_eq!(ss.hit_contributors(LineAddr(12)), vec![9]);
         assert!(ss.hit_contributors(LineAddr(13)).is_empty());
+    }
+
+    #[test]
+    fn hit_set_matches_hit_contributors() {
+        let mut ss = SummarySignature::new(cfg());
+        ss.install(4, sig_with(&[10, 11]));
+        ss.install(90, sig_with(&[11, 12])); // above the word seam
+        for l in [10u64, 11, 12, 13] {
+            let vec_hits = ss.hit_contributors(LineAddr(l));
+            let set_hits: Vec<usize> = ss.hit_set(LineAddr(l)).iter().collect();
+            assert_eq!(vec_hits, set_hits, "line {l}");
+        }
+        assert_eq!(ss.hit_set(LineAddr(11)), ProcSet::bit(4) | ProcSet::bit(90));
     }
 
     #[test]

@@ -12,6 +12,17 @@
 //! diverge from memory — `TMI` (speculative new values) and `TI` (a
 //! snapshot of the pre-transaction value, which must stay readable even
 //! after a remote writer commits).
+//!
+//! Layout: the main array is struct-of-arrays. Tag probes, state tests
+//! and LRU updates — the operations every access and every remote sweep
+//! performs — touch three dense planes (`tags`, `meta`, `lru`: 8 + 1 +
+//! 8 bytes per way), so an associative search walks a handful of host
+//! cache lines instead of hopping across 48-byte AoS entries whose data
+//! pointers it never needs. The cold plane (`data`) holds the boxed
+//! speculative payloads and is reached only on actual data movement.
+//! The tiny victim buffer keeps the materialized [`LineEntry`] form:
+//! entries constantly enter and leave it whole, and it is 32 entries at
+//! most.
 
 use crate::mem::WORDS_PER_LINE;
 use flextm_sig::LineAddr;
@@ -51,8 +62,49 @@ impl L1State {
     }
 }
 
-/// One L1 line: tag, state, alert bit, and (for speculative states) a
-/// private data buffer.
+/// Vacant-slot sentinel in the tag plane. Line indexes are byte
+/// addresses shifted right by the line-offset bits, so `u64::MAX` is
+/// unreachable.
+const EMPTY_TAG: u64 = u64::MAX;
+
+/// A-bit flag in the meta plane (state code lives in the low bits).
+const A_FLAG: u8 = 0x80;
+
+fn encode_state(s: L1State) -> u8 {
+    match s {
+        L1State::M => 0,
+        L1State::E => 1,
+        L1State::S => 2,
+        L1State::Tmi => 3,
+        L1State::Ti => 4,
+    }
+}
+
+fn decode_state(m: u8) -> L1State {
+    match m & !A_FLAG {
+        0 => L1State::M,
+        1 => L1State::E,
+        2 => L1State::S,
+        3 => L1State::Tmi,
+        _ => L1State::Ti,
+    }
+}
+
+/// By-value snapshot of one resident line's hot metadata, returned by
+/// [`L1Cache::peek`] and [`L1Cache::iter_all`]. Data payloads are read
+/// through [`L1Cache::peek_data`] or a slot handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineView {
+    /// Which line this entry caches.
+    pub line: LineAddr,
+    /// TMESI state.
+    pub state: L1State,
+    /// Alert-on-update mark (AOU, paper §3.4).
+    pub a_bit: bool,
+}
+
+/// One L1 line in materialized (struct) form: what [`L1Cache::invalidate`]
+/// returns and what the victim buffer stores.
 #[derive(Debug, Clone)]
 pub struct LineEntry {
     /// Which line this entry caches.
@@ -68,22 +120,10 @@ pub struct LineEntry {
     pub lru: u64,
 }
 
-impl LineEntry {
-    fn new(line: LineAddr, state: L1State, lru: u64) -> Self {
-        LineEntry {
-            line,
-            state,
-            a_bit: false,
-            data: None,
-            lru,
-        }
-    }
-}
-
 /// Opaque handle to a resident L1 line, returned by
-/// [`L1Cache::probe_slot`] / [`L1Cache::fill_slot`] so hot paths that
-/// probe and then mutate the same entry pay one associative lookup
-/// instead of two.
+/// [`L1Cache::probe_slot`] / [`L1Cache::peek_slot`] /
+/// [`L1Cache::fill_slot`] so hot paths that probe and then mutate the
+/// same entry pay one associative lookup instead of two.
 ///
 /// The handle is positional: it stays valid only until the next
 /// structural change to the cache (any fill, invalidate, or flash
@@ -117,11 +157,19 @@ const DATA_POOL_CAP: usize = 64;
 /// proper never copies a cache.
 #[derive(Debug, Clone)]
 pub struct L1Cache {
-    /// Main array, set-major: `nsets * ways` slots. One contiguous
-    /// allocation instead of a `Vec` per set — with 256 sets per core
-    /// and 16 cores, per-set `Vec`s scatter thousands of tiny
-    /// allocations across the host heap and thrash the host TLB.
-    slots: Vec<Option<LineEntry>>,
+    /// Tag plane, set-major: `nsets * ways` line indexes
+    /// ([`EMPTY_TAG`] marks a vacant way). One contiguous allocation —
+    /// the associative search a probe performs reads only this plane.
+    tags: Vec<u64>,
+    /// State + A-bit plane, parallel to `tags` (don't-care where
+    /// vacant).
+    meta: Vec<u8>,
+    /// LRU timestamp plane, parallel to `tags`.
+    lru: Vec<u64>,
+    /// Cold plane: boxed speculative payloads, parallel to `tags`.
+    /// Always `None` for vacant ways and non-PDI states.
+    #[allow(clippy::vec_box)]
+    data: Vec<Option<Box<[u64; WORDS_PER_LINE]>>>,
     nsets: usize,
     ways: usize,
     victim: Vec<LineEntry>,
@@ -141,7 +189,7 @@ pub struct L1Cache {
     /// Free list of line data buffers, recycled between speculative
     /// fills so steady-state transactions never touch the allocator.
     /// The boxes are the point: entries move between the pool and
-    /// `L1Entry::data`/OT slots without copying the 64-byte payload.
+    /// the data plane / OT slots without copying the 64-byte payload.
     #[allow(clippy::vec_box)]
     data_pool: Vec<Box<[u64; WORDS_PER_LINE]>>,
 }
@@ -167,8 +215,12 @@ impl L1Cache {
     /// `victim_cap`-entry victim buffer.
     pub fn new(sets: usize, ways: usize, victim_cap: usize) -> Self {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let n = sets * ways;
         L1Cache {
-            slots: (0..sets * ways).map(|_| None).collect(),
+            tags: vec![EMPTY_TAG; n],
+            meta: vec![0; n],
+            lru: vec![0; n],
+            data: (0..n).map(|_| None).collect(),
             nsets: sets,
             ways,
             victim: Vec::new(),
@@ -197,9 +249,8 @@ impl L1Cache {
     }
 
     /// Records that `line` may have entered a speculative state via an
-    /// in-place transition on a `&mut LineEntry` (speculative fills are
-    /// recorded automatically). Flash commit/abort only visit recorded
-    /// lines.
+    /// in-place transition (speculative fills are recorded
+    /// automatically). Flash commit/abort only visit recorded lines.
     pub fn note_speculative(&mut self, line: LineAddr) {
         self.spec_touched.push(line);
     }
@@ -221,27 +272,31 @@ impl L1Cache {
         self.tick
     }
 
-    /// Looks up `line`, promoting a victim-buffer hit back into the main
-    /// array (which may displace another line). Returns a reference to
-    /// the entry if present, along with anything evicted by the swap.
-    pub fn probe(&mut self, line: LineAddr) -> Option<&mut LineEntry> {
-        let slot = self.probe_slot(line)?;
-        Some(self.slot_mut(slot))
+    /// Pulls the line at main-array position `i` out whole, vacating the
+    /// way.
+    fn extract_main(&mut self, i: usize) -> LineEntry {
+        debug_assert_ne!(self.tags[i], EMPTY_TAG, "extract of a vacant way");
+        let m = self.meta[i];
+        let e = LineEntry {
+            line: LineAddr(self.tags[i]),
+            state: decode_state(m),
+            a_bit: m & A_FLAG != 0,
+            data: self.data[i].take(),
+            lru: self.lru[i],
+        };
+        self.tags[i] = EMPTY_TAG;
+        e
     }
 
-    /// [`L1Cache::probe`], but returning a positional [`L1Slot`] handle
-    /// so the caller can come back to the entry without a second
-    /// associative search. Bumps the LRU clock exactly as `probe` does.
+    /// Looks up `line` and bumps the LRU clock, returning a positional
+    /// [`L1Slot`] handle so the caller can come back to the entry
+    /// without a second associative search.
     pub fn probe_slot(&mut self, line: LineAddr) -> Option<L1Slot> {
         let tick = self.bump();
         let range = self.set_range(line);
         let base = range.start;
-        if let Some(i) = self.slots[range]
-            .iter()
-            .position(|s| s.as_ref().is_some_and(|e| e.line == line))
-        {
-            let e = self.slots[base + i].as_mut().expect("just matched");
-            e.lru = tick;
+        if let Some(i) = self.tags[range].iter().position(|&t| t == line.index()) {
+            self.lru[base + i] = tick;
             return Some(L1Slot {
                 loc: SlotLoc::Main(base + i),
                 line,
@@ -260,36 +315,13 @@ impl L1Cache {
         None
     }
 
-    /// Dereferences a slot handle.
-    pub fn slot(&self, s: L1Slot) -> &LineEntry {
-        let e = match s.loc {
-            SlotLoc::Main(i) => self.slots[i].as_ref().expect("stale L1 slot handle"),
-            SlotLoc::Victim(i) => &self.victim[i],
-        };
-        debug_assert_eq!(e.line, s.line, "L1 slot handle went stale");
-        e
-    }
-
-    /// Mutably dereferences a slot handle.
-    pub fn slot_mut(&mut self, s: L1Slot) -> &mut LineEntry {
-        let e = match s.loc {
-            SlotLoc::Main(i) => self.slots[i].as_mut().expect("stale L1 slot handle"),
-            SlotLoc::Victim(i) => &mut self.victim[i],
-        };
-        debug_assert_eq!(e.line, s.line, "L1 slot handle went stale");
-        e
-    }
-
-    /// [`L1Cache::peek`], but returning a positional handle so a
-    /// responder that tests the state and then mutates the same entry
-    /// searches the set once. Does **not** bump the LRU clock.
+    /// [`L1Cache::probe_slot`] without the LRU update (used by
+    /// responders, which must not perturb the requester-side
+    /// replacement order).
     pub fn peek_slot(&self, line: LineAddr) -> Option<L1Slot> {
         let range = self.set_range(line);
         let base = range.start;
-        if let Some(i) = self.slots[range]
-            .iter()
-            .position(|s| s.as_ref().is_some_and(|e| e.line == line))
-        {
+        if let Some(i) = self.tags[range].iter().position(|&t| t == line.index()) {
             return Some(L1Slot {
                 loc: SlotLoc::Main(base + i),
                 line,
@@ -304,27 +336,137 @@ impl L1Cache {
             })
     }
 
-    /// Read-only lookup without LRU update (used by responders and
-    /// assertions).
-    pub fn peek(&self, line: LineAddr) -> Option<&LineEntry> {
-        self.slots[self.set_range(line)]
+    /// Read-only metadata lookup without LRU update (used by responders
+    /// and assertions).
+    pub fn peek(&self, line: LineAddr) -> Option<LineView> {
+        let range = self.set_range(line);
+        let base = range.start;
+        if let Some(i) = self.tags[range].iter().position(|&t| t == line.index()) {
+            let m = self.meta[base + i];
+            return Some(LineView {
+                line,
+                state: decode_state(m),
+                a_bit: m & A_FLAG != 0,
+            });
+        }
+        self.victim
             .iter()
-            .flatten()
             .find(|e| e.line == line)
-            .or_else(|| self.victim.iter().find(|e| e.line == line))
+            .map(|e| LineView {
+                line,
+                state: e.state,
+                a_bit: e.a_bit,
+            })
     }
 
-    /// Mutable lookup without LRU update.
-    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut LineEntry> {
+    /// Read-only view of `line`'s private data buffer, if it carries
+    /// one (TMI/TI only). No LRU update.
+    pub fn peek_data(&self, line: LineAddr) -> Option<&[u64; WORDS_PER_LINE]> {
         let range = self.set_range(line);
-        if let Some(e) = self.slots[range]
-            .iter_mut()
-            .flatten()
-            .find(|e| e.line == line)
-        {
-            return Some(e);
+        let base = range.start;
+        if let Some(i) = self.tags[range].iter().position(|&t| t == line.index()) {
+            return self.data[base + i].as_deref();
         }
-        self.victim.iter_mut().find(|e| e.line == line)
+        self.victim
+            .iter()
+            .find(|e| e.line == line)
+            .and_then(|e| e.data.as_deref())
+    }
+
+    #[inline]
+    fn check_handle(&self, s: L1Slot) {
+        match s.loc {
+            SlotLoc::Main(i) => {
+                debug_assert_eq!(self.tags[i], s.line.index(), "L1 slot handle went stale")
+            }
+            SlotLoc::Victim(i) => {
+                debug_assert_eq!(self.victim[i].line, s.line, "L1 slot handle went stale")
+            }
+        }
+    }
+
+    /// TMESI state behind a slot handle.
+    pub fn state(&self, s: L1Slot) -> L1State {
+        self.check_handle(s);
+        match s.loc {
+            SlotLoc::Main(i) => decode_state(self.meta[i]),
+            SlotLoc::Victim(i) => self.victim[i].state,
+        }
+    }
+
+    /// Rewrites the TMESI state behind a slot handle (the in-place
+    /// transition primitive; the A bit is untouched).
+    pub fn set_state(&mut self, s: L1Slot, state: L1State) {
+        self.check_handle(s);
+        match s.loc {
+            SlotLoc::Main(i) => self.meta[i] = (self.meta[i] & A_FLAG) | encode_state(state),
+            SlotLoc::Victim(i) => self.victim[i].state = state,
+        }
+    }
+
+    /// A-bit behind a slot handle.
+    pub fn a_bit(&self, s: L1Slot) -> bool {
+        self.check_handle(s);
+        match s.loc {
+            SlotLoc::Main(i) => self.meta[i] & A_FLAG != 0,
+            SlotLoc::Victim(i) => self.victim[i].a_bit,
+        }
+    }
+
+    /// Sets or clears the A-bit behind a slot handle.
+    pub fn set_a_bit(&mut self, s: L1Slot, a_bit: bool) {
+        self.check_handle(s);
+        match s.loc {
+            SlotLoc::Main(i) => {
+                if a_bit {
+                    self.meta[i] |= A_FLAG;
+                } else {
+                    self.meta[i] &= !A_FLAG;
+                }
+            }
+            SlotLoc::Victim(i) => self.victim[i].a_bit = a_bit,
+        }
+    }
+
+    /// Read-only view of the data buffer behind a slot handle.
+    pub fn data(&self, s: L1Slot) -> Option<&[u64; WORDS_PER_LINE]> {
+        self.check_handle(s);
+        match s.loc {
+            SlotLoc::Main(i) => self.data[i].as_deref(),
+            SlotLoc::Victim(i) => self.victim[i].data.as_deref(),
+        }
+    }
+
+    /// Mutable view of the data buffer behind a slot handle.
+    pub fn data_mut(&mut self, s: L1Slot) -> Option<&mut [u64; WORDS_PER_LINE]> {
+        self.check_handle(s);
+        match s.loc {
+            SlotLoc::Main(i) => self.data[i].as_deref_mut(),
+            SlotLoc::Victim(i) => self.victim[i].data.as_deref_mut(),
+        }
+    }
+
+    /// Detaches and returns the data buffer behind a slot handle.
+    pub fn take_data(&mut self, s: L1Slot) -> Option<Box<[u64; WORDS_PER_LINE]>> {
+        self.check_handle(s);
+        match s.loc {
+            SlotLoc::Main(i) => self.data[i].take(),
+            SlotLoc::Victim(i) => self.victim[i].data.take(),
+        }
+    }
+
+    /// Attaches `data` behind a slot handle, returning whatever buffer
+    /// it displaced (for the caller to retire).
+    pub fn put_data(
+        &mut self,
+        s: L1Slot,
+        data: Box<[u64; WORDS_PER_LINE]>,
+    ) -> Option<Box<[u64; WORDS_PER_LINE]>> {
+        self.check_handle(s);
+        match s.loc {
+            SlotLoc::Main(i) => self.data[i].replace(data),
+            SlotLoc::Victim(i) => self.victim[i].data.replace(data),
+        }
     }
 
     /// Installs `line` in `state`, returning what (if anything) had to
@@ -356,7 +498,9 @@ impl L1Cache {
         let range = self.set_range(line);
         let base = range.start;
         let mut evicted = None;
-        let free = self.slots[range.clone()].iter().position(Option::is_none);
+        let free = self.tags[range.clone()]
+            .iter()
+            .position(|&t| t == EMPTY_TAG);
         let slot = if let Some(free) = free {
             base + free
         } else {
@@ -365,8 +509,8 @@ impl L1Cache {
             // keeps the marked line resident); fall back to evicting a
             // marked line — with the conservative alert — only when the
             // whole set is marked.
-            let lru_pos = base + Self::pick_victim(&self.slots[range]);
-            let victim_line = self.slots[lru_pos].take().expect("chosen victim occupied");
+            let lru_pos = self.pick_victim(range);
+            let victim_line = self.extract_main(lru_pos);
             if self.victim_cap == 0 && !(self.unbounded_tmi && victim_line.state == L1State::Tmi) {
                 evicted = Some(self.classify_eviction(victim_line));
             } else {
@@ -383,24 +527,20 @@ impl L1Cache {
                     self.victim.len() >= self.victim_cap
                 };
                 if over_cap {
-                    let candidates: Vec<usize> = if self.unbounded_tmi {
-                        (0..self.victim.len())
-                            .filter(|&i| self.victim[i].state != L1State::Tmi)
-                            .collect()
-                    } else {
-                        (0..self.victim.len()).collect()
-                    };
-                    let vb_pos = candidates
-                        .iter()
-                        .copied()
-                        .filter(|&i| !self.victim[i].a_bit)
-                        .min_by_key(|&i| self.victim[i].lru)
-                        .or_else(|| {
-                            candidates
-                                .iter()
-                                .copied()
-                                .min_by_key(|&i| self.victim[i].lru)
-                        })
+                    // Allocation-free candidate scan (this runs on
+                    // every over-capacity eviction): TMI residents are
+                    // exempt in unbounded mode, ALoaded lines only go
+                    // when nothing else can. Ascending index order
+                    // keeps `min_by_key` tie-breaking identical to the
+                    // old materialized candidate list.
+                    let unbounded = self.unbounded_tmi;
+                    let vb = &self.victim;
+                    let candidates =
+                        || (0..vb.len()).filter(|&i| !unbounded || vb[i].state != L1State::Tmi);
+                    let vb_pos = candidates()
+                        .filter(|&i| !vb[i].a_bit)
+                        .min_by_key(|&i| vb[i].lru)
+                        .or_else(|| candidates().min_by_key(|&i| vb[i].lru))
                         .expect("victim buffer over capacity implies a candidate");
                     let out = self.victim.swap_remove(vb_pos);
                     evicted = Some(self.classify_eviction(out));
@@ -409,7 +549,10 @@ impl L1Cache {
             }
             lru_pos
         };
-        self.slots[slot] = Some(LineEntry::new(line, state, tick));
+        self.tags[slot] = line.index();
+        self.meta[slot] = encode_state(state);
+        self.lru[slot] = tick;
+        debug_assert!(self.data[slot].is_none(), "vacant way carried data");
         (
             L1Slot {
                 loc: SlotLoc::Main(slot),
@@ -420,14 +563,18 @@ impl L1Cache {
     }
 
     /// LRU victim among unmarked lines; a marked (ALoaded) line only
-    /// when nothing else is available. Returns an offset within the
-    /// (fully occupied) set slice.
-    fn pick_victim(slots: &[Option<LineEntry>]) -> usize {
-        let entry = |i: usize| slots[i].as_ref().expect("victim selection on full set");
-        (0..slots.len())
-            .filter(|&i| !entry(i).a_bit)
-            .min_by_key(|&i| entry(i).lru)
-            .or_else(|| (0..slots.len()).min_by_key(|&i| entry(i).lru))
+    /// when nothing else is available. Returns an absolute main-array
+    /// position within the (fully occupied) set.
+    fn pick_victim(&self, range: std::ops::Range<usize>) -> usize {
+        debug_assert!(
+            self.tags[range.clone()].iter().all(|&t| t != EMPTY_TAG),
+            "victim selection on a set with free ways"
+        );
+        range
+            .clone()
+            .filter(|&i| self.meta[i] & A_FLAG == 0)
+            .min_by_key(|&i| self.lru[i])
+            .or_else(|| range.min_by_key(|&i| self.lru[i]))
             .expect("victim selection on empty entry list")
     }
 
@@ -453,21 +600,19 @@ impl L1Cache {
     /// entry, if any.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<LineEntry> {
         let range = self.set_range(line);
-        for slot in &mut self.slots[range] {
-            if slot.as_ref().is_some_and(|e| e.line == line) {
-                return slot.take();
-            }
+        let base = range.start;
+        if let Some(i) = self.tags[range].iter().position(|&t| t == line.index()) {
+            return Some(self.extract_main(base + i));
         }
-        if let Some(pos) = self.victim.iter().position(|e| e.line == line) {
-            return Some(self.victim.swap_remove(pos));
-        }
-        None
+        self.victim
+            .iter()
+            .position(|e| e.line == line)
+            .map(|pos| self.victim.swap_remove(pos))
     }
 
     /// Flash commit (CAS-Commit success): every `TMI` line reverts to
     /// `M` and every `TI` line to `I`. Returns the speculative data of
-    /// all TMI lines so the machine can propagate it to memory, plus
-    /// whether any A-bit line was touched.
+    /// all TMI lines so the machine can propagate it to memory.
     pub fn flash_commit(&mut self) -> Vec<(LineAddr, Box<[u64; WORDS_PER_LINE]>)> {
         let mut committed = Vec::new();
         self.flash_commit_into(&mut committed);
@@ -485,12 +630,12 @@ impl L1Cache {
             // through a duplicate) — only the current state decides.
             // One slot lookup serves both the state test and the drain.
             let slot = self.peek_slot(line);
-            match slot.map(|s| self.slot(s).state) {
+            match slot.map(|s| self.state(s)) {
                 Some(L1State::Tmi) => {
-                    let e = self.slot_mut(slot.expect("just peeked"));
-                    let data = e.data.take().expect("TMI line must carry data");
+                    let s = slot.expect("just peeked");
+                    let data = self.take_data(s).expect("TMI line must carry data");
                     out.push((line, data));
-                    e.state = L1State::M;
+                    self.set_state(s, L1State::M);
                 }
                 Some(L1State::Ti) => {
                     if let Some(d) = self.invalidate(line).and_then(|e| e.data) {
@@ -543,9 +688,9 @@ impl L1Cache {
     /// overflow table (paper §5).
     pub fn drain_tmi(&mut self) -> Vec<(LineAddr, Box<[u64; WORDS_PER_LINE]>)> {
         let mut out = Vec::new();
-        for slot in &mut self.slots {
-            if slot.as_ref().is_some_and(|e| e.state == L1State::Tmi) {
-                let e = slot.take().expect("just matched");
+        for i in 0..self.tags.len() {
+            if self.tags[i] != EMPTY_TAG && decode_state(self.meta[i]) == L1State::Tmi {
+                let e = self.extract_main(i);
                 out.push((e.line, e.data.expect("TMI line must carry data")));
             }
         }
@@ -562,9 +707,23 @@ impl L1Cache {
         out
     }
 
-    /// Iterates over every resident entry (main array + victim buffer).
-    pub fn iter_all(&self) -> impl Iterator<Item = &LineEntry> {
-        self.slots.iter().flatten().chain(self.victim.iter())
+    /// Iterates over every resident line's metadata (main array +
+    /// victim buffer), by value.
+    pub fn iter_all(&self) -> impl Iterator<Item = LineView> + '_ {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t != EMPTY_TAG)
+            .map(|(i, &t)| LineView {
+                line: LineAddr(t),
+                state: decode_state(self.meta[i]),
+                a_bit: self.meta[i] & A_FLAG != 0,
+            })
+            .chain(self.victim.iter().map(|e| LineView {
+                line: e.line,
+                state: e.state,
+                a_bit: e.a_bit,
+            }))
     }
 
     /// Number of resident lines in a given state.
@@ -574,7 +733,7 @@ impl L1Cache {
 
     /// Total resident lines.
     pub fn len(&self) -> usize {
-        self.slots.iter().flatten().count() + self.victim.len()
+        self.tags.iter().filter(|&&t| t != EMPTY_TAG).count() + self.victim.len()
     }
 
     /// True if no lines are resident.
@@ -586,14 +745,35 @@ impl L1Cache {
     /// L1: a line is resident at most once (main array + victim buffer
     /// form one cache), a private data buffer exists iff the line is in
     /// a PDI state (TMI holds speculative values, TI a pre-transaction
-    /// snapshot; everything else reads through simulated memory), and
-    /// the victim buffer respects its capacity (modulo the §7.3
-    /// unbounded-TMI ablation, where only non-speculative residents
-    /// count).
+    /// snapshot; everything else reads through simulated memory), the
+    /// data plane carries nothing for vacant ways, and the victim
+    /// buffer respects its capacity (modulo the §7.3 unbounded-TMI
+    /// ablation, where only non-speculative residents count).
     #[cfg(any(test, feature = "check"))]
     pub fn check_invariants(&self, me: usize) {
         let mut seen = std::collections::HashSet::new();
-        for e in self.iter_all() {
+        for i in 0..self.tags.len() {
+            if self.tags[i] == EMPTY_TAG {
+                assert!(
+                    self.data[i].is_none(),
+                    "core {me}: vacant way {i} holds a data buffer"
+                );
+                continue;
+            }
+            let line = LineAddr(self.tags[i]);
+            assert!(
+                seen.insert(line),
+                "core {me}: line {line:?} resident twice in L1"
+            );
+            let state = decode_state(self.meta[i]);
+            assert_eq!(
+                self.data[i].is_some(),
+                state.is_speculative(),
+                "core {me}: line {line:?} in {state:?} has data buffer: {}",
+                self.data[i].is_some()
+            );
+        }
+        for e in &self.victim {
             assert!(
                 seen.insert(e.line),
                 "core {me}: line {:?} resident twice in L1",
@@ -642,12 +822,21 @@ mod tests {
         L1Cache::new(4, 2, 2)
     }
 
+    /// Attaches a data buffer to a resident line (test shorthand for
+    /// the probe-then-put ritual).
+    fn attach(c: &mut L1Cache, l: LineAddr, word0: u64) {
+        let s = c.peek_slot(l).expect("line resident");
+        let old = c.put_data(s, Box::new([word0; WORDS_PER_LINE]));
+        assert!(old.is_none(), "line already carried data");
+    }
+
     #[test]
     fn fill_then_probe_hits() {
         let mut c = cache();
         assert!(c.fill(line(1), L1State::S).is_none());
-        assert_eq!(c.probe(line(1)).unwrap().state, L1State::S);
-        assert!(c.probe(line(2)).is_none());
+        let s = c.probe_slot(line(1)).unwrap();
+        assert_eq!(c.state(s), L1State::S);
+        assert!(c.probe_slot(line(2)).is_none());
     }
 
     #[test]
@@ -656,7 +845,10 @@ mod tests {
         c.fill(line(0), L1State::S);
         let ev = c.fill(line(1), L1State::S); // 0 -> victim buffer
         assert!(ev.is_none());
-        assert!(c.probe(line(0)).is_some(), "line 0 should be in the VB");
+        assert!(
+            c.probe_slot(line(0)).is_some(),
+            "line 0 should be in the VB"
+        );
         let ev = c.fill(line(2), L1State::S); // 1 -> VB, 0 falls out
         assert!(matches!(ev, Some(Evicted::Silent(l, L1State::S, false)) if l == line(0)));
     }
@@ -673,7 +865,7 @@ mod tests {
     fn tmi_eviction_is_overflow_with_data() {
         let mut c = L1Cache::new(1, 1, 0);
         c.fill(line(0), L1State::Tmi);
-        c.peek_mut(line(0)).unwrap().data = Some(Box::new([7; WORDS_PER_LINE]));
+        attach(&mut c, line(0), 7);
         let ev = c.fill(line(1), L1State::S);
         match &ev {
             Some(Evicted::OverflowTmi(l, data)) => {
@@ -688,7 +880,7 @@ mod tests {
     fn flash_commit_promotes_tmi_and_drops_ti() {
         let mut c = cache();
         c.fill(line(1), L1State::Tmi);
-        c.peek_mut(line(1)).unwrap().data = Some(Box::new([3; WORDS_PER_LINE]));
+        attach(&mut c, line(1), 3);
         c.fill(line(2), L1State::Ti);
         c.fill(line(3), L1State::S);
         let committed = c.flash_commit();
@@ -703,7 +895,7 @@ mod tests {
     fn flash_abort_drops_both_speculative_states() {
         let mut c = cache();
         c.fill(line(1), L1State::Tmi);
-        c.peek_mut(line(1)).unwrap().data = Some(Box::new([0; WORDS_PER_LINE]));
+        attach(&mut c, line(1), 0);
         c.fill(line(2), L1State::Ti);
         c.fill(line(3), L1State::M);
         assert_eq!(c.flash_abort(), 2);
@@ -716,9 +908,9 @@ mod tests {
     fn drain_tmi_takes_cache_and_victim_copies() {
         let mut c = L1Cache::new(1, 1, 2);
         c.fill(line(0), L1State::Tmi);
-        c.peek_mut(line(0)).unwrap().data = Some(Box::new([1; WORDS_PER_LINE]));
+        attach(&mut c, line(0), 1);
         c.fill(line(1), L1State::Tmi); // pushes 0 into VB
-        c.peek_mut(line(1)).unwrap().data = Some(Box::new([2; WORDS_PER_LINE]));
+        attach(&mut c, line(1), 2);
         let drained = c.drain_tmi();
         assert_eq!(drained.len(), 2);
         assert_eq!(c.count_state(L1State::Tmi), 0);
@@ -739,49 +931,71 @@ mod tests {
         let mut evictions = 0;
         for i in 0..100 {
             evictions += usize::from(c.fill(line(i), L1State::Tmi).is_some());
-            c.peek_mut(line(i)).unwrap().data = Some(Box::new([0; WORDS_PER_LINE]));
+            attach(&mut c, line(i), 0);
         }
         assert_eq!(evictions, 0);
         assert_eq!(c.count_state(L1State::Tmi), 100);
     }
 
     #[test]
-    fn slot_handles_reach_the_same_entry_as_probe() {
+    fn slot_handles_reach_the_same_entry_in_both_locations() {
         let mut c = L1Cache::new(1, 1, 2);
         c.fill(line(0), L1State::S);
         c.fill(line(1), L1State::S); // 0 -> victim buffer
         let main = c.probe_slot(line(1)).expect("main-array hit");
-        assert_eq!(c.slot(main).state, L1State::S);
-        c.slot_mut(main).state = L1State::M;
+        assert_eq!(c.state(main), L1State::S);
+        c.set_state(main, L1State::M);
         assert_eq!(c.peek(line(1)).unwrap().state, L1State::M);
         let vb = c.probe_slot(line(0)).expect("victim-buffer hit");
-        c.slot_mut(vb).a_bit = true;
+        c.set_a_bit(vb, true);
         assert!(c.peek(line(0)).unwrap().a_bit);
+        assert!(c.a_bit(vb));
         assert!(c.probe_slot(line(9)).is_none());
     }
 
     #[test]
-    fn probe_slot_and_probe_tick_identically() {
-        // Two caches driven by the same call sequence through the two
-        // APIs must end with identical LRU ordering (and thus identical
-        // eviction choices).
+    fn set_state_preserves_a_bit() {
+        let mut c = cache();
+        c.fill(line(1), L1State::E);
+        let s = c.peek_slot(line(1)).unwrap();
+        c.set_a_bit(s, true);
+        c.set_state(s, L1State::M);
+        let v = c.peek(line(1)).unwrap();
+        assert_eq!(v.state, L1State::M);
+        assert!(v.a_bit, "in-place transition must not clear the A bit");
+    }
+
+    #[test]
+    fn probe_slot_bumps_lru_but_peek_slot_does_not() {
+        // probe_slot refreshes replacement order (line 0 becomes MRU,
+        // so line 1 is evicted) …
         let mut a = L1Cache::new(1, 2, 0);
+        a.fill(line(0), L1State::S);
+        a.fill(line(1), L1State::S);
+        let _ = a.probe_slot(line(0));
+        let ev = a.fill(line(2), L1State::S);
+        assert!(matches!(ev, Some(Evicted::Silent(l, _, _)) if l == line(1)));
+        // … while peek_slot leaves it untouched (line 0 stays LRU).
         let mut b = L1Cache::new(1, 2, 0);
-        for l in [0u64, 1, 0, 2] {
-            let _ = a.probe(line(l));
-            let _ = b.probe_slot(line(l));
-            if a.peek(line(l)).is_none() {
-                a.fill(line(l), L1State::S);
-                b.fill_slot(line(l), L1State::S);
-            }
-        }
-        // fill(2) already displaced line 1 (the LRU at that point), so
-        // both sets now hold {0, 2} with line 0 older; the next fill
-        // must evict line 0 from both.
-        let ev_a = a.fill(line(7), L1State::S);
-        let (_, ev_b) = b.fill_slot(line(8), L1State::S);
-        assert!(matches!(ev_a, Some(Evicted::Silent(l, _, _)) if l == line(0)));
-        assert!(matches!(ev_b, Some(Evicted::Silent(l, _, _)) if l == line(0)));
+        b.fill(line(0), L1State::S);
+        b.fill(line(1), L1State::S);
+        let _ = b.peek_slot(line(0));
+        let ev = b.fill(line(2), L1State::S);
+        assert!(matches!(ev, Some(Evicted::Silent(l, _, _)) if l == line(0)));
+    }
+
+    #[test]
+    fn peek_data_reads_both_planes() {
+        let mut c = L1Cache::new(1, 1, 2);
+        c.fill(line(0), L1State::Tmi);
+        attach(&mut c, line(0), 11);
+        c.fill(line(1), L1State::Tmi); // pushes 0 into VB
+        attach(&mut c, line(1), 22);
+        assert_eq!(c.peek_data(line(0)).unwrap()[0], 11, "victim-buffer data");
+        assert_eq!(c.peek_data(line(1)).unwrap()[0], 22, "main-array data");
+        assert!(c.peek_data(line(7)).is_none());
+        c.fill(line(2), L1State::S);
+        assert!(c.peek_data(line(2)).is_none(), "S lines carry no buffer");
     }
 
     #[test]
@@ -794,7 +1008,8 @@ mod tests {
         assert_eq!(d2[0], 77, "expected the recycled buffer back");
         // Ti invalidation on flash_commit feeds the pool too.
         c.fill(line(2), L1State::Ti);
-        c.peek_mut(line(2)).unwrap().data = Some(d2);
+        let s = c.peek_slot(line(2)).unwrap();
+        c.put_data(s, d2);
         c.flash_commit();
         assert_eq!(c.alloc_data()[0], 77);
     }

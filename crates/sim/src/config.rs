@@ -19,6 +19,17 @@ pub enum ConfigError {
     },
     /// A machine needs at least one core.
     NoCores,
+    /// A cache's set count is not a power of two. Both set-index
+    /// computations mask with `index & (nsets - 1)`, so a
+    /// non-power-of-two count would silently alias distinct sets
+    /// instead of erroring.
+    SetsNotPowerOfTwo {
+        /// Which cache geometry is at fault (`"l1_bytes/l1_ways"` or
+        /// `"l2_bytes/l2_ways"`).
+        field: &'static str,
+        /// The offending set count.
+        sets: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -33,6 +44,12 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NoCores => {
                 write!(f, "machine configuration requests zero cores")
             }
+            ConfigError::SetsNotPowerOfTwo { field, sets } => write!(
+                f,
+                "cache geometry {field} yields {sets} sets, which is not a \
+                 power of two; the set index is computed with a mask and \
+                 would silently alias sets"
+            ),
         }
     }
 }
@@ -184,6 +201,29 @@ impl MachineConfig {
                 max: MAX_CORES,
             });
         }
+        // Set counts must be powers of two: both caches index sets with
+        // `index & (nsets - 1)`. Geometry that does not divide at all is
+        // left to the loud asserts in `l1_sets`/`l2_sets`.
+        let l1_lines = self.l1_bytes / flextm_sig::LINE_BYTES as usize;
+        if self.l1_ways > 0 && l1_lines.is_multiple_of(self.l1_ways) {
+            let sets = l1_lines / self.l1_ways;
+            if !sets.is_power_of_two() {
+                return Err(ConfigError::SetsNotPowerOfTwo {
+                    field: "l1_bytes/l1_ways",
+                    sets,
+                });
+            }
+        }
+        let l2_lines = self.l2_bytes / flextm_sig::LINE_BYTES as usize;
+        if self.l2_ways > 0 && l2_lines.is_multiple_of(self.l2_ways) {
+            let sets = l2_lines / self.l2_ways;
+            if !sets.is_power_of_two() {
+                return Err(ConfigError::SetsNotPowerOfTwo {
+                    field: "l2_bytes/l2_ways",
+                    sets,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -269,6 +309,44 @@ mod tests {
         let mut c = MachineConfig::paper_default();
         c.l1_ways = 3;
         let _ = c.l1_sets();
+    }
+
+    #[test]
+    fn validate_rejects_non_power_of_two_sets() {
+        // 96 KB / 64 B / 2 ways = 768 sets: divides cleanly, so the
+        // geometry asserts stay quiet, but the `& (nsets - 1)` set mask
+        // would alias. This used to slip through validate().
+        let mut c = MachineConfig::paper_default();
+        c.l1_bytes = 96 * 1024;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::SetsNotPowerOfTwo {
+                field: "l1_bytes/l1_ways",
+                sets: 768
+            })
+        );
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(
+            msg.contains("l1_bytes"),
+            "message must name the field: {msg}"
+        );
+        assert!(msg.contains("768"), "message must name the count: {msg}");
+
+        let mut c = MachineConfig::paper_default();
+        c.l2_bytes = 6 * 1024 * 1024; // 12288 sets at 8 ways
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::SetsNotPowerOfTwo {
+                field: "l2_bytes/l2_ways",
+                sets: 12288
+            })
+        );
+
+        // Non-dividing geometry is not validate()'s business: it still
+        // panics loudly at l1_sets()/l2_sets() (see bad_geometry_panics).
+        let mut c = MachineConfig::paper_default();
+        c.l1_ways = 3;
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

@@ -234,7 +234,8 @@ mod tests {
         c.wsig.insert(LineAddr(2));
         c.csts.set(crate::cst::CstKind::WW, 3);
         c.l1.fill(LineAddr(2), L1State::Tmi);
-        c.l1.peek_mut(LineAddr(2)).unwrap().data = Some(Box::new([0; crate::mem::WORDS_PER_LINE]));
+        let s = c.l1.peek_slot(LineAddr(2)).unwrap();
+        c.l1.put_data(s, Box::new([0; crate::mem::WORDS_PER_LINE]));
         let dropped = c.hardware_abort();
         assert_eq!(dropped, 1);
         assert!(c.rsig.is_empty());

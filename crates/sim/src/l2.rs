@@ -14,10 +14,8 @@
 //! list by querying all L1 signatures — the analogue of LogTM's sticky
 //! bits (§4.1).
 
-use crate::mem::PageHasher;
+use crate::bankdir::BankedDir;
 use flextm_sig::{LineAddr, ProcSet, SigKey, SignatureConfig, SummarySignature};
-use std::collections::HashMap;
-use std::hash::BuildHasherDefault;
 
 /// Directory state for one line.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,7 +48,9 @@ pub struct L2 {
     nsets: usize,
     ways: usize,
     tick: u64,
-    dir: HashMap<LineAddr, DirEntry, BuildHasherDefault<PageHasher>>,
+    /// Directory map, bank-partitioned and cache-line-packed (see
+    /// [`crate::bankdir`]); same presence semantics as a `HashMap`.
+    dir: BankedDir,
     /// Summary of descheduled transactions' read sets, keyed by
     /// software thread id.
     pub read_summary: SummarySignature,
@@ -85,7 +85,7 @@ impl L2 {
             nsets: sets,
             ways,
             tick: 0,
-            dir: HashMap::default(),
+            dir: BankedDir::new(),
             read_summary: SummarySignature::new(sig_config.clone()),
             write_summary: SummarySignature::new(sig_config),
             cores_summary: ProcSet::empty(),
@@ -121,7 +121,7 @@ impl L2 {
                 let (victim, _) = set[pos].take().expect("chosen victim");
                 // Processor sharer information is lost on L2 eviction
                 // (paper §4.1); it will be recreated from signatures.
-                self.dir.remove(&victim);
+                self.dir.remove(victim);
                 pos
             }
         };
@@ -131,18 +131,18 @@ impl L2 {
 
     /// The directory entry for `line`, creating an idle one on demand.
     pub fn dir_mut(&mut self, line: LineAddr) -> &mut DirEntry {
-        self.dir.entry(line).or_default()
+        self.dir.entry_or_default(line)
     }
 
     /// Read-only directory view (idle default if absent).
     pub fn dir(&self, line: LineAddr) -> DirEntry {
-        self.dir.get(&line).copied().unwrap_or_default()
+        self.dir.get(line).copied().unwrap_or_default()
     }
 
     /// True if the directory currently has (possibly stale) info for
     /// `line` — i.e. no signature-based recreation is needed.
     pub fn has_dir_info(&self, line: LineAddr) -> bool {
-        self.dir.contains_key(&line)
+        self.dir.contains(line)
     }
 
     /// Installs a recreated directory entry (after querying L1
@@ -162,7 +162,7 @@ impl L2 {
         if retained {
             return;
         }
-        if let Some(e) = self.dir.get_mut(&line) {
+        if let Some(e) = self.dir.get_mut(line) {
             e.sharers.remove(proc);
         }
     }
@@ -174,7 +174,7 @@ impl L2 {
         if retained {
             return;
         }
-        if let Some(e) = self.dir.get_mut(&key.line()) {
+        if let Some(e) = self.dir.get_mut(key.line()) {
             e.sharers.remove(proc);
         }
     }
@@ -186,7 +186,7 @@ impl L2 {
         if retained {
             return;
         }
-        if let Some(e) = self.dir.get_mut(&line) {
+        if let Some(e) = self.dir.get_mut(line) {
             e.owners.remove(proc);
         }
     }
@@ -198,7 +198,7 @@ impl L2 {
         if retained {
             return;
         }
-        if let Some(e) = self.dir.get_mut(&key.line()) {
+        if let Some(e) = self.dir.get_mut(key.line()) {
             e.owners.remove(proc);
         }
     }
@@ -213,31 +213,25 @@ impl L2 {
     /// Tests an L1 miss against the summary signatures; returns the
     /// descheduled thread ids whose saved read or write signature hits
     /// (the requesting processor traps to software when non-empty).
-    pub fn summary_check(&self, line: LineAddr, is_write: bool) -> Vec<usize> {
-        let mut hits = self.write_summary.hit_contributors(line);
+    /// Returned as a [`ProcSet`] — the miss path runs this on every
+    /// request while anything is descheduled, so it must not allocate;
+    /// set union gives the old sort+dedup for free (`ProcSet` iteration
+    /// is ascending).
+    pub fn summary_check(&self, line: LineAddr, is_write: bool) -> ProcSet {
+        let mut hits = self.write_summary.hit_set(line);
         if is_write {
             // A write conflicts with suspended readers too.
-            for t in self.read_summary.hit_contributors(line) {
-                if !hits.contains(&t) {
-                    hits.push(t);
-                }
-            }
+            hits |= self.read_summary.hit_set(line);
         }
-        hits.sort_unstable();
         hits
     }
 
     /// [`L2::summary_check`] with a pre-hashed key.
-    pub fn summary_check_key(&self, key: SigKey, is_write: bool) -> Vec<usize> {
-        let mut hits = self.write_summary.hit_contributors_key(key);
+    pub fn summary_check_key(&self, key: SigKey, is_write: bool) -> ProcSet {
+        let mut hits = self.write_summary.hit_set_key(key);
         if is_write {
-            for t in self.read_summary.hit_contributors_key(key) {
-                if !hits.contains(&t) {
-                    hits.push(t);
-                }
-            }
+            hits |= self.read_summary.hit_set_key(key);
         }
-        hits.sort_unstable();
         hits
     }
 }
@@ -299,11 +293,11 @@ mod tests {
         c.write_summary.install(2, wsig);
 
         // Read miss: conflicts only with suspended writers.
-        assert_eq!(c.summary_check(LineAddr(5), false), Vec::<usize>::new());
-        assert_eq!(c.summary_check(LineAddr(6), false), vec![2]);
+        assert_eq!(c.summary_check(LineAddr(5), false), ProcSet::empty());
+        assert_eq!(c.summary_check(LineAddr(6), false), ProcSet::bit(2));
         // Write miss: conflicts with readers and writers.
-        assert_eq!(c.summary_check(LineAddr(5), true), vec![1]);
-        assert_eq!(c.summary_check(LineAddr(6), true), vec![2]);
+        assert_eq!(c.summary_check(LineAddr(5), true), ProcSet::bit(1));
+        assert_eq!(c.summary_check(LineAddr(6), true), ProcSet::bit(2));
     }
 
     #[test]

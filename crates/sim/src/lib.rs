@@ -50,6 +50,7 @@
 #![deny(unsafe_code)]
 
 pub mod api;
+mod bankdir;
 mod cache;
 mod config;
 mod core_state;
@@ -65,7 +66,8 @@ mod proto;
 mod stats;
 mod vm;
 
-pub use cache::{Evicted, L1Cache, L1Slot, L1State, LineEntry};
+pub use bankdir::{BankedDir, DIR_BANKS};
+pub use cache::{Evicted, L1Cache, L1Slot, L1State, LineEntry, LineView};
 pub use config::{ConfigError, MachineConfig};
 pub use core_state::{AlertCause, CoreState};
 pub use cst::{procs_in_mask, CstKind, CstSet};
@@ -74,7 +76,7 @@ pub use machine::{Machine, SimState};
 pub use mem::{Addr, Arena, Heap, Memory, WORDS_PER_LINE};
 pub use ot::{OtEntry, OverflowTable};
 pub use proc::{ProcHandle, SigKind};
-pub use proto::{AccessKind, AccessResult, CasCommitOutcome, Conflict, ConflictKind};
+pub use proto::{AccessKind, AccessResult, CasCommitOutcome, Conflict, ConflictKind, ConflictList};
 pub use stats::{
     AbortBreakdown, AbortCause, CmEvent, CoreStats, Event, EventLog, MachineReport, SchedStats,
 };

@@ -743,8 +743,17 @@ unsafe impl Sync for Shared {}
 /// captured every posted key). Skips [`NOT_POSTED`] slots; the only
 /// one possible mid-grant is the grantee's own, just consumed.
 fn refill(shared: &Shared, sched: &mut Sched) {
-    let epoch = if shared.strict { 1 } else { shared.epoch };
+    // `shared.epoch` is clamped to >= 1 at construction (`try_new`);
+    // the clamp is re-applied here so the `scratch.last().unwrap()`
+    // below can never see an empty capped buffer even if a future
+    // construction path forgets it.
+    let epoch = if shared.strict {
+        1
+    } else {
+        shared.epoch.max(1)
+    };
     let cap = epoch + 1;
+    debug_assert!(cap >= 2, "grant-buffer capacity must be at least 2");
     sched.scratch.clear();
     for i in sched.live.iter() {
         let clock = sched.posted[i];
@@ -1280,6 +1289,9 @@ impl Machine {
         let cores = config.cores;
         let strict = config.strict_lockstep;
         let use_fibers = cfg!(target_arch = "x86_64") && !config.os_threads;
+        // Widths 0 and 1 both mean "rescan every grant"; clamping here
+        // keeps `refill`'s `cap = epoch + 1 >= 2` invariant explicit so
+        // a zero-width config cannot reach the scheduler.
         let epoch = config.epoch_width.max(1);
         let state = SimState::new(config);
         let lanes = state.lanes.clone();
@@ -1781,6 +1793,33 @@ mod tests {
             sched.epoch_ops > 0,
             "no op took the relaxed epoch path: {sched:?}"
         );
+    }
+
+    #[test]
+    fn zero_epoch_width_runs_like_width_one() {
+        // epoch_width 0 must not panic deep in the grant buffer (the
+        // refill's `cap >= 1` reliance) and must behave exactly like
+        // the strict width-1 engine.
+        let run = |width: usize| {
+            let mut cfg = MachineConfig::small_test();
+            cfg.epoch_width = width;
+            let m = Machine::new(cfg);
+            m.run(3, |p| {
+                let a = crate::mem::Addr::new(0x200);
+                for i in 0..16u64 {
+                    p.store(a.offset(i % 4), i);
+                    p.work(1 + p.core() as u64);
+                }
+            });
+            let r = m.report();
+            (r.core_cycles.clone(), r.cores.clone(), r.sched.epoch_ops)
+        };
+        let (w0_clocks, w0_cores, w0_epoch_ops) = run(0);
+        let (w1_clocks, w1_cores, w1_epoch_ops) = run(1);
+        assert_eq!(w0_clocks, w1_clocks);
+        assert_eq!(w0_cores, w1_cores);
+        assert_eq!(w0_epoch_ops, 0, "width 0 must stay strict");
+        assert_eq!(w1_epoch_ops, 0);
     }
 
     #[test]

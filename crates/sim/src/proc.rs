@@ -79,6 +79,21 @@ impl ProcHandle {
         stall_op(&self.shared, self.core, cycles);
     }
 
+    /// [`ProcHandle::stall`] fused with one alert poll: the waiting
+    /// core burns `cycles` of backoff, then checks its alert line once
+    /// per scheduling grant instead of taking a separate rendezvous per
+    /// spin iteration. The stall is charged first, so an alert that
+    /// arrives mid-backoff is observed exactly where the split
+    /// `stall(); take_alert()` sequence would have seen it.
+    pub fn stall_poll(&self, cycles: u64) -> Option<AlertCause> {
+        if cycles > 0 {
+            stall_op(&self.shared, self.core, cycles);
+        }
+        sync_pure_op(&self.shared, self.core, |st| {
+            st.cores[self.core].alert_pending.take()
+        })
+    }
+
     /// Marks the start of a transaction attempt for cycle accounting:
     /// work/mem cycles accrued from here are reclassified into
     /// `wasted_cycles` if the attempt aborts. Zero simulated cost.

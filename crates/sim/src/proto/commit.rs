@@ -152,8 +152,8 @@ impl SimState {
 
     fn clear_aou(&mut self, me: usize) {
         if let Some(line) = self.cores[me].aloaded.take() {
-            if let Some(e) = self.cores[me].l1.peek_mut(line) {
-                e.a_bit = false;
+            if let Some(s) = self.cores[me].l1.peek_slot(line) {
+                self.cores[me].l1.set_a_bit(s, false);
             }
         }
     }
@@ -176,9 +176,8 @@ impl SimState {
             }
         };
         if let Some(s) = slot {
-            let e = self.cores[me].l1.slot_mut(s);
-            let value = e.data.as_deref().map(|d| d[addr.word_in_line()]);
-            e.a_bit = true;
+            let value = self.cores[me].l1.data(s).map(|d| d[addr.word_in_line()]);
+            self.cores[me].l1.set_a_bit(s, true);
             self.cores[me].aloaded = Some(line);
             value.unwrap_or_else(|| self.mem.read(addr))
         } else {

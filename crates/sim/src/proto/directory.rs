@@ -98,7 +98,7 @@ impl SimState {
 
         for o in procs_in_mask(dir.owners.without(me)) {
             let slot = self.cores[o].l1.peek_slot(line);
-            let l1_state = slot.map(|s| self.cores[o].l1.slot(s).state);
+            let l1_state = slot.map(|s| self.cores[o].l1.state(s));
             if l1_state == Some(L1State::M) || l1_state == Some(L1State::E) {
                 // Exclusive owner downgrades to S (M additionally
                 // flushes); both end up sharers.
@@ -106,7 +106,9 @@ impl SimState {
                 if l1_state == Some(L1State::M) {
                     self.cores[o].stats.writebacks += 1;
                 }
-                self.cores[o].l1.slot_mut(slot.expect("peeked")).state = L1State::S;
+                self.cores[o]
+                    .l1
+                    .set_state(slot.expect("peeked"), L1State::S);
                 let d = self.l2.dir_mut(line);
                 d.owners.remove(o);
                 d.sharers.insert(o);
@@ -258,10 +260,10 @@ impl SimState {
 
         // Acquire M locally (upgrade in place if we held S/E/TI),
         // recycling any snapshot buffer the upgraded entry carried.
-        let prev_data = match self.cores[me].l1.peek_mut(line) {
-            Some(e) => {
-                e.state = L1State::M;
-                e.data.take()
+        let prev_data = match self.cores[me].l1.peek_slot(line) {
+            Some(s) => {
+                self.cores[me].l1.set_state(s, L1State::M);
+                self.cores[me].l1.take_data(s)
             }
             None => {
                 latency += self.fill_line(me, line, L1State::M, None).1;
@@ -438,10 +440,10 @@ impl SimState {
         let mut data = self.cores[me].l1.alloc_data();
         *data = self.mem.read_line(line);
         data[addr.word_in_line()] = store_val;
-        match self.cores[me].l1.peek_mut(line) {
-            Some(e) => {
-                e.state = L1State::Tmi;
-                let old = e.data.replace(data);
+        match self.cores[me].l1.peek_slot(line) {
+            Some(s) => {
+                self.cores[me].l1.set_state(s, L1State::Tmi);
+                let old = self.cores[me].l1.put_data(s, data);
                 if let Some(old) = old {
                     self.cores[me].l1.retire_data(old);
                 }

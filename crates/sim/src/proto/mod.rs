@@ -35,7 +35,7 @@ mod msg;
 mod request;
 mod respond;
 
-pub use msg::{AccessKind, AccessResult, CasCommitOutcome, Conflict, ConflictKind};
+pub use msg::{AccessKind, AccessResult, CasCommitOutcome, Conflict, ConflictKind, ConflictList};
 
 #[cfg(test)]
 mod tests {
@@ -116,7 +116,7 @@ mod tests {
         let r = st.access(1, addr(0x2000), AccessKind::TLoad, 0);
         assert_eq!(r.value, 1);
         assert_eq!(r.conflicts.len(), 1);
-        assert_eq!(r.conflicts[0].kind, ConflictKind::Threatened);
+        assert_eq!(r.conflicts.get(0).unwrap().kind, ConflictKind::Threatened);
         assert_eq!(
             st.cores[1].l1.peek(addr(0x2000).line()).unwrap().state,
             L1State::Ti

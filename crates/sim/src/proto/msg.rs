@@ -48,16 +48,115 @@ pub struct Conflict {
     pub kind: ConflictKind,
 }
 
+/// An order-preserving list of conflict edges, stored two packed bytes
+/// per entry with the first [`ConflictList::INLINE`] entries inline —
+/// the common case (a handful of enemies) never touches the heap, so
+/// conflicting accesses stay allocation-free on the hot path. Iteration
+/// yields [`Conflict`]s in exact push order: eager conflict resolution
+/// replays the edges in order, making the order part of the simulated
+/// schedule.
+#[derive(Clone, Default)]
+pub struct ConflictList {
+    len: usize,
+    inline: [u16; Self::INLINE],
+    spill: Vec<u16>,
+}
+
+impl ConflictList {
+    /// Entries held without heap allocation. Covers every possible
+    /// conflict set at 16 cores; wider machines spill past it.
+    pub const INLINE: usize = 16;
+
+    fn pack(c: Conflict) -> u16 {
+        debug_assert!(
+            c.with < flextm_sig::MAX_CORES,
+            "conflict names processor {} beyond the machine width",
+            c.with
+        );
+        let kind = match c.kind {
+            ConflictKind::Threatened => 0u16,
+            ConflictKind::ExposedRead => 1,
+        };
+        c.with as u16 | (kind << 8)
+    }
+
+    fn unpack(raw: u16) -> Conflict {
+        Conflict {
+            with: (raw & 0xff) as usize,
+            kind: if raw >> 8 == 0 {
+                ConflictKind::Threatened
+            } else {
+                ConflictKind::ExposedRead
+            },
+        }
+    }
+
+    /// Appends a conflict edge, preserving order.
+    pub fn push(&mut self, c: Conflict) {
+        let raw = Self::pack(c);
+        if self.len < Self::INLINE {
+            self.inline[self.len] = raw;
+        } else {
+            self.spill.push(raw);
+        }
+        self.len += 1;
+    }
+
+    /// Number of recorded edges.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no conflicts were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th edge in push order, by value.
+    pub fn get(&self, i: usize) -> Option<Conflict> {
+        if i >= self.len {
+            None
+        } else if i < Self::INLINE {
+            Some(Self::unpack(self.inline[i]))
+        } else {
+            Some(Self::unpack(self.spill[i - Self::INLINE]))
+        }
+    }
+
+    /// Iterates the edges in push order.
+    pub fn iter(&self) -> impl Iterator<Item = Conflict> + '_ {
+        (0..self.len).map(|i| self.get(i).expect("index in range"))
+    }
+}
+
+impl std::fmt::Debug for ConflictList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Conflict> for ConflictList {
+    fn from_iter<I: IntoIterator<Item = Conflict>>(iter: I) -> Self {
+        let mut list = ConflictList::default();
+        for c in iter {
+            list.push(c);
+        }
+        list
+    }
+}
+
 /// Result of a memory access.
 #[derive(Debug, Clone, Default)]
 pub struct AccessResult {
     /// The value read (loads) or the value just written (stores).
     pub value: u64,
     /// Conflicts reported by responders, in processor order.
-    pub conflicts: Vec<Conflict>,
+    pub conflicts: ConflictList,
     /// Descheduled thread ids whose summary signature hit — the
-    /// requester must trap to the software handler (§5).
-    pub summary_hits: Vec<usize>,
+    /// requester must trap to the software handler (§5). A `ProcSet`
+    /// (thread ids are bounded by `MAX_CORES`) so the per-miss summary
+    /// probe never allocates.
+    pub summary_hits: ProcSet,
     /// The request was NACKed at least once against a committing OT.
     pub nacked: bool,
 }

@@ -27,7 +27,8 @@ impl SimState {
         let mut extra = 0;
         let (slot, evicted) = self.cores[me].l1.fill_slot(line, state);
         if let Some(d) = data {
-            self.cores[me].l1.slot_mut(slot).data = Some(d);
+            let displaced = self.cores[me].l1.put_data(slot, d);
+            debug_assert!(displaced.is_none(), "fresh fill already carried data");
         }
         if let Some(ev) = evicted {
             match ev {
@@ -175,7 +176,7 @@ impl SimState {
         }
 
         let slot = self.cores[me].l1.probe_slot(line);
-        let state = slot.map(|s| self.cores[me].l1.slot(s).state);
+        let state = slot.map(|s| self.cores[me].l1.state(s));
         let served_locally = match (kind, state) {
             // ------- local hits -------
             (AccessKind::Load, Some(s)) if s.readable() => true,
@@ -187,7 +188,9 @@ impl SimState {
             }
             (AccessKind::Store, Some(L1State::E)) => {
                 // Silent E→M upgrade.
-                self.cores[me].l1.slot_mut(slot.expect("probed")).state = L1State::M;
+                self.cores[me]
+                    .l1
+                    .set_state(slot.expect("probed"), L1State::M);
                 self.mem.write(addr, store_val);
                 true
             }
@@ -203,8 +206,10 @@ impl SimState {
                 true
             }
             (AccessKind::TStore, Some(L1State::Tmi)) => {
-                let e = self.cores[me].l1.slot_mut(slot.expect("probed"));
-                e.data.as_mut().expect("TMI carries data")[addr.word_in_line()] = store_val;
+                self.cores[me]
+                    .l1
+                    .data_mut(slot.expect("probed"))
+                    .expect("TMI carries data")[addr.word_in_line()] = store_val;
                 true
             }
             (AccessKind::TStore, Some(L1State::M)) => {
@@ -216,9 +221,10 @@ impl SimState {
                 let mut d = self.cores[me].l1.alloc_data();
                 *d = self.mem.read_line(line);
                 d[addr.word_in_line()] = store_val;
-                let e = self.cores[me].l1.slot_mut(slot.expect("probed"));
-                e.state = L1State::Tmi;
-                e.data = Some(d);
+                let s = slot.expect("probed");
+                self.cores[me].l1.set_state(s, L1State::Tmi);
+                let old = self.cores[me].l1.put_data(s, d);
+                debug_assert!(old.is_none(), "M line carried no data");
                 self.cores[me].l1.note_speculative(line);
                 true
             }
@@ -228,9 +234,10 @@ impl SimState {
                 let mut d = self.cores[me].l1.alloc_data();
                 *d = self.mem.read_line(line);
                 d[addr.word_in_line()] = store_val;
-                let e = self.cores[me].l1.slot_mut(slot.expect("probed"));
-                e.state = L1State::Tmi;
-                e.data = Some(d);
+                let s = slot.expect("probed");
+                self.cores[me].l1.set_state(s, L1State::Tmi);
+                let old = self.cores[me].l1.put_data(s, d);
+                debug_assert!(old.is_none(), "E line carried no data");
                 self.cores[me].l1.note_speculative(line);
                 true
             }
@@ -243,12 +250,7 @@ impl SimState {
                 AccessKind::Store | AccessKind::TStore => store_val,
                 // We just probed: read through the slot handle instead
                 // of a second full L1 lookup.
-                _ => match self.cores[me]
-                    .l1
-                    .slot(slot.expect("probed"))
-                    .data
-                    .as_deref()
-                {
+                _ => match self.cores[me].l1.data(slot.expect("probed")) {
                     Some(d) => d[addr.word_in_line()],
                     None => self.mem.read(addr),
                 },
@@ -288,19 +290,21 @@ impl SimState {
                 latency += self.config.ot_lookup_latency;
                 let (slot, extra) = self.fill_line(me, line, L1State::Tmi, Some(entry.data));
                 latency += extra;
-                let e = self.cores[me].l1.slot_mut(slot);
                 match kind {
                     AccessKind::TStore => {
-                        e.data.as_mut().expect("TMI data")[addr.word_in_line()] = store_val;
+                        self.cores[me].l1.data_mut(slot).expect("TMI data")[addr.word_in_line()] =
+                            store_val;
                         result.value = store_val;
                     }
                     AccessKind::Store => {
-                        e.data.as_mut().expect("TMI data")[addr.word_in_line()] = store_val;
+                        self.cores[me].l1.data_mut(slot).expect("TMI data")[addr.word_in_line()] =
+                            store_val;
                         self.mem.write(addr, store_val);
                         result.value = store_val;
                     }
                     _ => {
-                        result.value = e.data.as_ref().expect("TMI data")[addr.word_in_line()];
+                        result.value =
+                            self.cores[me].l1.data(slot).expect("TMI data")[addr.word_in_line()];
                     }
                 }
                 self.advance(me, latency);
@@ -353,13 +357,11 @@ impl SimState {
         if self.l2.any_summary() {
             let summary_hits = self.l2.summary_check_key(key, kind.is_write());
             if !summary_hits.is_empty() {
-                if self.log.enabled() {
-                    self.log.push(Event::SummaryHit {
-                        core: me,
-                        line,
-                        threads: summary_hits.clone(),
-                    });
-                }
+                self.log.push(Event::SummaryHit {
+                    core: me,
+                    line,
+                    threads: summary_hits,
+                });
                 result.summary_hits = summary_hits;
             }
         }

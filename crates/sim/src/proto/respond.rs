@@ -156,8 +156,8 @@ impl SimState {
         if forwarded {
             latency += self.config.forward_penalty();
         }
-        let e = self.cores[me].l1.peek_mut(line).expect("TMI hit");
-        e.data.as_mut().expect("TMI carries data")[addr.word_in_line()] = store_val;
+        let s = self.cores[me].l1.peek_slot(line).expect("TMI hit");
+        self.cores[me].l1.data_mut(s).expect("TMI carries data")[addr.word_in_line()] = store_val;
         self.mem.write(addr, store_val);
         latency
     }

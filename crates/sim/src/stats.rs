@@ -8,7 +8,7 @@
 //! protocol action is recorded in order.
 
 use crate::cst::CstKind;
-use flextm_sig::LineAddr;
+use flextm_sig::{LineAddr, ProcSet};
 
 /// Why a transaction abort (or failed commit) happened.
 ///
@@ -487,7 +487,7 @@ pub enum Event {
         /// The contested line.
         line: LineAddr,
         /// Descheduled thread ids implicated.
-        threads: Vec<usize>,
+        threads: ProcSet,
     },
     /// Directory info was recreated from L1 signatures after an L2 miss.
     DirRecreated {

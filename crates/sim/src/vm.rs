@@ -77,8 +77,8 @@ impl SimState {
         self.cores[me].wsig.clear();
         self.cores[me].csts.clear_all();
         if let Some(line) = self.cores[me].aloaded.take() {
-            if let Some(e) = self.cores[me].l1.peek_mut(line) {
-                e.a_bit = false;
+            if let Some(s) = self.cores[me].l1.peek_slot(line) {
+                self.cores[me].l1.set_a_bit(s, false);
             }
         }
         self.sync_core_masks(me);
@@ -199,7 +199,7 @@ mod tests {
         // A running transaction on core 1 touches the same line: the L1
         // miss must report a summary hit for thread 77.
         let r = st.access(1, a, AccessKind::TLoad, 0);
-        assert_eq!(r.summary_hits, vec![77]);
+        assert_eq!(r.summary_hits, ProcSet::bit(77));
         // After removal, no more traps.
         st.remove_summary(0, 77);
         let r = st.access(1, Addr::new(0x2008), AccessKind::TLoad, 0);
@@ -218,7 +218,7 @@ mod tests {
         assert!(r.summary_hits.is_empty());
         // Remote writer: conflicts with the suspended reader.
         let r = st.access(2, a, AccessKind::TStore, 1);
-        assert_eq!(r.summary_hits, vec![5]);
+        assert_eq!(r.summary_hits, ProcSet::bit(5));
     }
 
     #[test]

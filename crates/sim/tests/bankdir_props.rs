@@ -1,0 +1,178 @@
+//! Property suite for the bank-partitioned open-addressing directory:
+//! randomized insert/remove/probe/mutate sequences are replayed against
+//! a `HashMap<LineAddr, DirEntry>` oracle. Entries carry `ProcSet`s
+//! populated in both 64-bit words (core ids astride the word seam, up
+//! to 128), and the key streams are shaped to stress single banks,
+//! growth, and backward-shift deletion. Hand-rolled deterministic RNG,
+//! like the `ProcSet` property suite — the offline build has no
+//! `proptest`.
+
+use flextm_sim::{BankedDir, DirEntry, LineAddr, MAX_CORES};
+use std::collections::HashMap;
+
+/// xorshift64* — any deterministic stream works here.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A random entry with members on both sides of the `ProcSet` word
+/// seam — ids ≥ 65 exercise the second word the way a >64-core machine
+/// does.
+fn random_entry(rng: &mut Rng) -> DirEntry {
+    let mut e = DirEntry::default();
+    for _ in 0..rng.below(6) {
+        e.sharers.insert(rng.below(MAX_CORES));
+    }
+    for _ in 0..rng.below(4) {
+        e.owners.insert(rng.below(MAX_CORES));
+    }
+    // Force seam coverage often enough to matter.
+    if rng.below(4) == 0 {
+        e.sharers.insert(63 + rng.below(3)); // 63, 64, 65
+        e.owners.insert(64 + rng.below(64)); // high word
+    }
+    e
+}
+
+fn assert_matches_oracle(
+    dir: &BankedDir,
+    oracle: &HashMap<LineAddr, DirEntry>,
+    keys: &[LineAddr],
+    step: usize,
+) {
+    assert_eq!(dir.len(), oracle.len(), "step {step}: len diverged");
+    assert_eq!(
+        dir.is_empty(),
+        oracle.is_empty(),
+        "step {step}: is_empty diverged"
+    );
+    for &k in keys {
+        assert_eq!(
+            dir.contains(k),
+            oracle.contains_key(&k),
+            "step {step}: presence of {k:?} diverged"
+        );
+        assert_eq!(
+            dir.get(k),
+            oracle.get(&k),
+            "step {step}: entry for {k:?} diverged"
+        );
+    }
+}
+
+/// Key streams with different bank-pressure shapes: uniform across
+/// banks, pinned to one bank (maximum chain length / churn), and a
+/// strided sweep like a hash-table workload's lines.
+fn key_pool(rng: &mut Rng, shape: usize, pool: usize) -> Vec<LineAddr> {
+    (0..pool)
+        .map(|i| match shape {
+            0 => LineAddr(rng.next() >> 16),        // uniform
+            1 => LineAddr(17 + (i as u64) * 64),    // one bank
+            _ => LineAddr(0x8000 + (i as u64) * 3), // stride
+        })
+        .collect()
+}
+
+#[test]
+fn random_op_sequences_match_hashmap_oracle() {
+    for shape in 0..3 {
+        let mut rng = Rng(0xd1f ^ ((shape as u64) << 40));
+        let keys = key_pool(&mut rng, shape, 96);
+        let mut dir = BankedDir::new();
+        let mut oracle: HashMap<LineAddr, DirEntry> = HashMap::new();
+        for step in 0..4000 {
+            let k = keys[rng.below(keys.len())];
+            match rng.below(5) {
+                // Insert/overwrite a full entry (install_dir shape).
+                0 => {
+                    let e = random_entry(&mut rng);
+                    dir.insert(k, e);
+                    oracle.insert(k, e);
+                }
+                // Entry-or-default then mutate (dir_mut shape).
+                1 => {
+                    let p = rng.below(MAX_CORES);
+                    let e = dir.entry_or_default(k);
+                    e.sharers.insert(p);
+                    let oe = oracle.entry(k).or_default();
+                    oe.sharers.insert(p);
+                }
+                // Mutate-if-present (drop_sharer/drop_owner shape).
+                2 => {
+                    let p = rng.below(MAX_CORES);
+                    if let Some(e) = dir.get_mut(k) {
+                        e.owners.remove(p);
+                    }
+                    if let Some(oe) = oracle.get_mut(&k) {
+                        oe.owners.remove(p);
+                    }
+                }
+                // Remove (L2 eviction shape).
+                3 => {
+                    assert_eq!(
+                        dir.remove(k),
+                        oracle.remove(&k),
+                        "step {step}: removed value diverged for {k:?}"
+                    );
+                }
+                // Probe only.
+                _ => {
+                    assert_eq!(
+                        dir.get(k),
+                        oracle.get(&k),
+                        "step {step}: probe diverged for {k:?}"
+                    );
+                }
+            }
+            if step % 97 == 0 {
+                assert_matches_oracle(&dir, &oracle, &keys, step);
+            }
+        }
+        assert_matches_oracle(&dir, &oracle, &keys, usize::MAX);
+    }
+}
+
+/// Fill-then-drain: grow a single bank far past several doublings, then
+/// remove everything in a hostile (insertion-interleaved) order so
+/// backward-shift deletion crosses every chain, and verify the table
+/// ends exactly empty with all survivors intact at each stage.
+#[test]
+fn single_bank_growth_and_drain_match_oracle() {
+    let mut rng = Rng(0xbadc0de);
+    let keys: Vec<LineAddr> = (0..512).map(|i| LineAddr(23 + i * 64)).collect();
+    let mut dir = BankedDir::new();
+    let mut oracle: HashMap<LineAddr, DirEntry> = HashMap::new();
+    for &k in &keys {
+        let e = random_entry(&mut rng);
+        dir.insert(k, e);
+        oracle.insert(k, e);
+    }
+    assert_matches_oracle(&dir, &oracle, &keys, 0);
+    // Drain evens forward, odds backward — holes open at both ends of
+    // probe chains.
+    for i in (0..512).step_by(2).chain((1..512).rev().step_by(2)) {
+        let k = keys[i];
+        assert_eq!(dir.remove(k), oracle.remove(&k), "drain of {k:?} diverged");
+        if i % 31 == 0 {
+            assert_matches_oracle(&dir, &oracle, &keys, i);
+        }
+    }
+    assert!(dir.is_empty());
+    // The drained table is still a working table.
+    let e = random_entry(&mut rng);
+    dir.insert(keys[7], e);
+    assert_eq!(dir.get(keys[7]), Some(&e));
+}

@@ -7,7 +7,7 @@
 
 use flextm_sim::{
     AbortCause, AccessKind, Addr, AlertCause, ConflictKind, CstKind, L1State, MachineConfig,
-    SimState,
+    ProcSet, SimState,
 };
 
 fn st() -> SimState {
@@ -38,7 +38,7 @@ fn summary_hit_tload_records_rw_cst() {
 
     // Core 1's transactional read hits the write summary: TI fill.
     let r = s.access(1, a(0x2000), AccessKind::TLoad, 0);
-    assert_eq!(r.summary_hits, vec![77]);
+    assert_eq!(r.summary_hits, ProcSet::bit(77));
     assert_eq!(
         s.cores[1].l1.peek(a(0x2000).line()).map(|e| e.state),
         Some(L1State::Ti)
@@ -141,7 +141,7 @@ fn tmi_co_writer_survives_stale_sharer_sweep() {
     let e = s.cores[0].l1.peek(line).expect("TMI copy destroyed");
     assert_eq!(e.state, L1State::Tmi);
     assert_eq!(
-        e.data.as_deref().expect("TMI carries data")[0],
+        s.cores[0].l1.peek_data(line).expect("TMI carries data")[0],
         41,
         "speculative data lost"
     );

@@ -50,7 +50,7 @@ fn from_i_on_tload_to_ti_when_threatened() {
     s.access(1, a(0x1000), AccessKind::TStore, 9);
     let r = s.access(0, a(0x1000), AccessKind::TLoad, 0);
     assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::Ti));
-    assert_eq!(r.conflicts[0].kind, ConflictKind::Threatened);
+    assert_eq!(r.conflicts.get(0).unwrap().kind, ConflictKind::Threatened);
 }
 
 #[test]
@@ -207,7 +207,7 @@ fn from_tmi_on_remote_gets_stays_tmi_responds_threatened() {
     s.access(0, a(0x1000), AccessKind::TStore, 7);
     let r = s.access(1, a(0x1000), AccessKind::TLoad, 0);
     assert_eq!(state_of(&s, 0, a(0x1000)), Some(L1State::Tmi));
-    assert_eq!(r.conflicts[0].kind, ConflictKind::Threatened);
+    assert_eq!(r.conflicts.get(0).unwrap().kind, ConflictKind::Threatened);
 }
 
 #[test]

@@ -17,7 +17,11 @@
 #      JSONL trace render end to end
 #   8. 64- and 128-core smoke: the wide HashTable runs complete with
 #      the always-on invariant layer armed (release determinism test)
-#   9. fingerprint gate: the 16-core HashTable event/counter digests
+#   9. hot-state gates (release): the banked-directory property suite
+#      against its HashMap oracle, and the steady-state allocation gate
+#      (a 16-core HashTable run must add zero host heap allocations per
+#      transaction once warm)
+#  10. fingerprint gate: the 16-core HashTable event/counter digests
 #      must match the recorded values on the fiber engine at epoch
 #      widths 1 and 16 and on the OS-thread engine — any drift is a
 #      semantic change to the simulated machine, not a refactor
@@ -76,6 +80,12 @@ rm -f "$trace_out"
 echo "== 64/128-core smoke (wide machines, invariants + byte-identical replay) =="
 cargo test -q --release -p flextm-workloads --test determinism \
     wide_machines_replay_identically_with_invariants
+
+echo "== banked-directory property suite (vs HashMap oracle) =="
+cargo test -q --release -p flextm-sim --test bankdir_props
+
+echo "== steady-state allocation gate (zero host allocs per txn) =="
+cargo test -q --release -p flextm-workloads --test alloc_gate
 
 echo "== fingerprint gate (16-core digests, both engines, epoch widths 1 and 16) =="
 expect_event="b91bf014cd6135a9"
