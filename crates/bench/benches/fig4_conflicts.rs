@@ -10,7 +10,7 @@
 //! the paper's width.
 
 use flextm::{FlexTm, FlexTmConfig, ThreadTxStats};
-use flextm_bench::{max_threads, txns_per_thread, WorkloadKind};
+use flextm_bench::{envcfg, max_threads, txns_per_thread, WorkloadKind};
 use flextm_sim::{Machine, MachineConfig};
 use flextm_workloads::alloc::NodeAlloc;
 use flextm_workloads::harness::ThreadCtx;
@@ -44,7 +44,7 @@ fn conflict_stats(workload_kind: WorkloadKind, threads: usize) -> ThreadTxStats 
 }
 
 fn main() {
-    let wide = std::env::var("FLEXTM_CONFLICT_WIDE").as_deref() == Ok("1");
+    let wide = envcfg::or_exit(envcfg::flag("FLEXTM_CONFLICT_WIDE"));
     let (lo, hi) = if wide { (64, 128) } else { (8, 16) };
     println!("== Fig 4 side table: conflicting transactions per committed txn ==");
     println!(

@@ -19,39 +19,20 @@
 //! exact same digests, which `scripts/verify.sh` checks on every run.
 
 use flextm::{FlexTm, FlexTmConfig};
-use flextm_sim::{Machine, MachineConfig, MachineReport};
+use flextm_bench::cell::{fnv1a, FNV_OFFSET};
+use flextm_bench::{envcfg, sim_ops};
+use flextm_sim::{Machine, MachineConfig};
 use flextm_workloads::harness::{run_measured, RunConfig, Workload};
 use flextm_workloads::HashTable;
 
-fn sim_ops(r: &MachineReport) -> u64 {
-    r.total(|c| c.loads + c.stores + c.tloads + c.tstores)
-        + r.total(|c| c.commits + c.failed_commits + c.tx_aborts)
-}
-
-fn fnv1a(h: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *h ^= u64::from(b);
-        *h = h.wrapping_mul(0x100_0000_01b3);
-    }
-}
-
 fn main() {
-    let threads: usize = std::env::var("FLEXTM_FP_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(16);
-    let txns: u64 = std::env::var("FLEXTM_FP_TXNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(96);
+    let threads: usize = envcfg::or_exit(envcfg::parse("FLEXTM_FP_THREADS", 16));
+    let txns: u64 = envcfg::or_exit(envcfg::parse("FLEXTM_FP_TXNS", 96));
 
     let mut config = MachineConfig::paper_default().with_cores(threads);
     config.record_events = true;
-    config.os_threads = std::env::var("FLEXTM_FP_OS_THREADS").as_deref() == Ok("1");
-    if let Some(width) = std::env::var("FLEXTM_FP_EPOCH")
-        .ok()
-        .and_then(|v| v.parse().ok())
-    {
+    config.os_threads = envcfg::or_exit(envcfg::flag("FLEXTM_FP_OS_THREADS"));
+    if let Some(width) = envcfg::or_exit(envcfg::parse_opt("FLEXTM_FP_EPOCH")) {
         config.epoch_width = width;
     }
     let machine = Machine::new(config);
@@ -73,11 +54,11 @@ fn main() {
     let events = machine.with_state(|st| st.log.take());
     let report = machine.report();
 
-    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut digest: u64 = FNV_OFFSET;
     for ev in &events {
         fnv1a(&mut digest, format!("{ev:?}").as_bytes());
     }
-    let mut counters: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut counters: u64 = FNV_OFFSET;
     for (i, core) in report.cores.iter().enumerate() {
         fnv1a(
             &mut counters,

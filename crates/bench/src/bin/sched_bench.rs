@@ -30,33 +30,24 @@
 //! as-is: engine, epoch width, warmup and seed.
 
 use flextm::{FlexTm, FlexTmConfig};
-use flextm_sim::{Machine, MachineConfig, MachineReport};
+use flextm_bench::envcfg;
+use flextm_bench::{sim_ops, SchedRecord, SchedRunParams};
+use flextm_sim::{Machine, MachineConfig};
 use flextm_workloads::harness::{run_measured, RunConfig, Workload};
 use flextm_workloads::HashTable;
 use std::time::Instant;
 
-/// The op metric: executed simulated instructions that went through
-/// the scheduler (memory ops + commit-path instructions). Derived from
-/// machine counters so the same formula applies to any engine version.
-fn sim_ops(r: &MachineReport) -> u64 {
-    r.total(|c| c.loads + c.stores + c.tloads + c.tstores)
-        + r.total(|c| c.commits + c.failed_commits + c.tx_aborts)
-}
-
 fn main() {
-    let txns: u64 = std::env::var("FLEXTM_SCHED_TXNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(96);
-    let strict = std::env::var("FLEXTM_SCHED_STRICT").as_deref() == Ok("1");
+    let txns: u64 = envcfg::or_exit(envcfg::parse("FLEXTM_SCHED_TXNS", 96));
+    let strict = envcfg::or_exit(envcfg::flag("FLEXTM_SCHED_STRICT"));
     let protocol_mode = std::env::args().any(|a| a == "--protocol");
     let trace_mode = std::env::args().any(|a| a == "--trace");
     let json_mode = std::env::args().any(|a| a == "--json")
-        || std::env::var("FLEXTM_SCHED_JSON").as_deref() == Ok("1");
-    let threads: usize = std::env::var("FLEXTM_SCHED_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if protocol_mode { 1 } else { 16 });
+        || envcfg::or_exit(envcfg::flag("FLEXTM_SCHED_JSON"));
+    let threads: usize = envcfg::or_exit(envcfg::parse(
+        "FLEXTM_SCHED_THREADS",
+        if protocol_mode { 1 } else { 16 },
+    ));
     let bench_name = if protocol_mode {
         "protocol_1thread_hashtable".to_string()
     } else {
@@ -71,10 +62,7 @@ fn main() {
         config = config.with_cores(threads);
     }
     config.strict_lockstep = strict;
-    if let Some(width) = std::env::var("FLEXTM_SCHED_EPOCH")
-        .ok()
-        .and_then(|v| v.parse().ok())
-    {
+    if let Some(width) = envcfg::or_exit(envcfg::parse_opt("FLEXTM_SCHED_EPOCH")) {
         config.epoch_width = width;
     }
     let epoch_width = config.epoch_width;
@@ -107,54 +95,39 @@ fn main() {
     // One JSON object per line, ready to paste into BENCH_sched.json
     // or BENCH_protocol.json. `--json` appends the run parameters a
     // sampling harness needs to archive the record without consulting
-    // the invoking environment.
-    let mut line = format!(
-        concat!(
-            "{{\"bench\": \"{}\", ",
-            "\"strict_lockstep\": {}, ",
-            "\"threads\": {}, \"txns_per_thread\": {}, ",
-            "\"committed\": {}, \"attempts\": {}, ",
-            "\"sim_ops\": {}, \"sim_cycles\": {}, ",
-            "\"fast_ops\": {}, \"epoch_ops\": {}, \"slow_ops\": {}, ",
-            "\"grants\": {}, \"bank_conflict_grants\": {}, ",
-            "\"rendezvous_per_op\": {:.4}, ",
-            "\"wall_s\": {:.3}, ",
-            "\"sim_ops_per_s\": {:.0}, \"sim_cycles_per_s\": {:.0}"
-        ),
-        bench_name,
-        strict,
+    // the invoking environment. The record type (and its exact
+    // encoding) lives in the library so the sweep farm's parser can
+    // round-trip it in a test.
+    let record = SchedRecord {
+        bench: bench_name,
+        strict_lockstep: strict,
         threads,
-        txns,
-        result.committed,
-        result.attempts,
-        ops,
-        report.elapsed_cycles(),
-        report.sched.fast_ops,
-        report.sched.epoch_ops,
-        report.sched.slow_ops,
-        report.sched.grants,
-        report.sched.bank_conflict_grants,
-        report.rendezvous_per_op(),
+        txns_per_thread: txns,
+        committed: result.committed,
+        attempts: result.attempts,
+        sim_ops: ops,
+        sim_cycles: report.elapsed_cycles(),
+        fast_ops: report.sched.fast_ops,
+        epoch_ops: report.sched.epoch_ops,
+        slow_ops: report.sched.slow_ops,
+        grants: report.sched.grants,
+        bank_conflict_grants: report.sched.bank_conflict_grants,
+        rendezvous_per_op: report.rendezvous_per_op(),
         wall_s,
-        ops_per_s,
-        cycles_per_s,
-    );
-    if json_mode {
-        line.push_str(&format!(
-            concat!(
-                ", \"engine\": \"{}\", \"epoch_width\": {}, ",
-                "\"warmup_per_thread\": 8, \"seed\": \"0xF1E7\""
-            ),
-            if cfg!(target_arch = "x86_64") {
+        sim_ops_per_s: ops_per_s,
+        sim_cycles_per_s: cycles_per_s,
+        params: json_mode.then(|| SchedRunParams {
+            engine: if cfg!(target_arch = "x86_64") {
                 "fiber"
             } else {
                 "os_threads"
             },
             epoch_width,
-        ));
-    }
-    line.push('}');
-    println!("{line}");
+            warmup_per_thread: 8,
+            seed: "0xF1E7".to_string(),
+        }),
+    };
+    println!("{}", record.to_json());
 
     if trace_mode {
         eprint!("{}", result.abort_table());

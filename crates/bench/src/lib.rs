@@ -21,11 +21,19 @@
 
 #![forbid(unsafe_code)]
 
-use flextm::{CmKind, FlexTm, FlexTmConfig};
+pub mod cell;
+pub mod envcfg;
+
+pub use cell::{
+    cm_from_label, cm_label, run_cell, run_cell_timed, sim_ops, CellResult, CellSpec, SchedRecord,
+    SchedRunParams,
+};
+
+use flextm::{CmKind, FlexTm, FlexTmConfig, Mode};
 use flextm_sim::api::TmRuntime;
-use flextm_sim::{Machine, MachineConfig};
+use flextm_sim::Machine;
 use flextm_stm::{Cgl, Rstm, RtmF, Tl2};
-use flextm_workloads::harness::{run_measured, RunConfig, RunResult, Workload};
+use flextm_workloads::harness::{RunResult, Workload};
 use flextm_workloads::{Contention, Delaunay, HashTable, LfuCache, RandomGraph, RbTree, Vacation};
 
 /// The runtimes of the evaluation.
@@ -58,16 +66,46 @@ impl RuntimeKind {
         }
     }
 
-    /// Instantiates the runtime on `machine` for `threads` threads.
+    /// Inverse of [`RuntimeKind::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        [
+            RuntimeKind::Cgl,
+            RuntimeKind::FlexTmEager,
+            RuntimeKind::FlexTmLazy,
+            RuntimeKind::RtmF,
+            RuntimeKind::Rstm,
+            RuntimeKind::Tl2,
+        ]
+        .into_iter()
+        .find(|k| k.label() == s)
+    }
+
+    /// Instantiates the runtime on `machine` for `threads` threads
+    /// with the paper-default Polka contention manager.
     pub fn build(self, machine: &Machine, threads: usize) -> Box<dyn TmRuntime + '_> {
+        self.build_with_cm(machine, threads, CmKind::Polka)
+    }
+
+    /// Instantiates the runtime with an explicit CM policy. CGL and
+    /// TL2 have no contention manager and ignore `cm`.
+    pub fn build_with_cm(
+        self,
+        machine: &Machine,
+        threads: usize,
+        cm: CmKind,
+    ) -> Box<dyn TmRuntime + '_> {
+        let flex = |mode| FlexTmConfig {
+            mode,
+            cm,
+            threads,
+            serialized_commits: false,
+        };
         match self {
             RuntimeKind::Cgl => Box::new(Cgl::new(machine)),
-            RuntimeKind::FlexTmEager => {
-                Box::new(FlexTm::new(machine, FlexTmConfig::eager(threads)))
-            }
-            RuntimeKind::FlexTmLazy => Box::new(FlexTm::new(machine, FlexTmConfig::lazy(threads))),
-            RuntimeKind::RtmF => Box::new(RtmF::new(machine, threads, CmKind::Polka)),
-            RuntimeKind::Rstm => Box::new(Rstm::new(machine, threads, CmKind::Polka)),
+            RuntimeKind::FlexTmEager => Box::new(FlexTm::new(machine, flex(Mode::Eager))),
+            RuntimeKind::FlexTmLazy => Box::new(FlexTm::new(machine, flex(Mode::Lazy))),
+            RuntimeKind::RtmF => Box::new(RtmF::new(machine, threads, cm)),
+            RuntimeKind::Rstm => Box::new(Rstm::new(machine, threads, cm)),
             RuntimeKind::Tl2 => Box::new(Tl2::with_defaults(machine)),
         }
     }
@@ -106,6 +144,11 @@ impl WorkloadKind {
         }
     }
 
+    /// Inverse of [`WorkloadKind::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        ALL_WORKLOADS.into_iter().find(|k| k.label() == s)
+    }
+
     /// Builds a fresh (un-setup) workload instance.
     pub fn build(self, max_threads: usize) -> Box<dyn Workload> {
         match self {
@@ -132,21 +175,27 @@ impl WorkloadKind {
     }
 }
 
+/// Every workload of the evaluation, in the paper's Table 3(b) order.
+pub const ALL_WORKLOADS: [WorkloadKind; 7] = [
+    WorkloadKind::HashTable,
+    WorkloadKind::RbTree,
+    WorkloadKind::LfuCache,
+    WorkloadKind::RandomGraph,
+    WorkloadKind::Delaunay,
+    WorkloadKind::VacationLow,
+    WorkloadKind::VacationHigh,
+];
+
 /// Timed transactions per thread (env `FLEXTM_TXNS`, default 96).
+/// Exits loudly on an unparsable value.
 pub fn txns_per_thread() -> u64 {
-    std::env::var("FLEXTM_TXNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(96)
+    envcfg::or_exit(envcfg::parse("FLEXTM_TXNS", 96))
 }
 
 /// Largest thread count in sweeps (env `FLEXTM_MAX_THREADS`, default
-/// 16).
+/// 16). Exits loudly on an unparsable value.
 pub fn max_threads() -> usize {
-    std::env::var("FLEXTM_MAX_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(16)
+    envcfg::or_exit(envcfg::parse("FLEXTM_MAX_THREADS", 16))
 }
 
 /// The paper's thread axis, capped at [`max_threads`].
@@ -157,6 +206,35 @@ pub fn thread_axis() -> Vec<usize> {
         .collect()
 }
 
+/// The [`CellSpec`] the serial bench path runs for `workload ×
+/// runtime × threads`: paper machine and signature, Polka, seed
+/// 0xF1E7, `FLEXTM_TXNS` sizing with the workload's [`txn_scale`]
+/// applied. The sweep farm expands the same specs, so both paths
+/// describe — and therefore simulate — identical cells.
+///
+/// [`txn_scale`]: WorkloadKind::txn_scale
+pub fn point_spec(
+    workload_kind: WorkloadKind,
+    runtime_kind: RuntimeKind,
+    threads: usize,
+    base_txns: u64,
+) -> CellSpec {
+    let txns = (base_txns as f64 * workload_kind.txn_scale()).max(8.0) as u64;
+    CellSpec {
+        workload: workload_kind,
+        runtime: runtime_kind,
+        cm: CmKind::Polka,
+        threads,
+        sig_bits: 2048,
+        seed: 0xF1E7,
+        txns_per_thread: txns,
+        // The harness also functionally warms the L2; these warm-up
+        // transactions additionally steady-state the data structures
+        // and per-thread caches.
+        warmup_per_thread: (txns / 4).max(8),
+    }
+}
+
 /// Runs `workload` on `runtime_kind` at `threads` on a fresh paper
 /// machine; one measured run per machine.
 pub fn run_point(
@@ -164,27 +242,12 @@ pub fn run_point(
     runtime_kind: RuntimeKind,
     threads: usize,
 ) -> RunResult {
-    // Fixed 16-way CMP regardless of thread count, like the paper's
-    // testbed (idle cores cost nothing in the simulator).
-    let machine = Machine::new(MachineConfig::paper_default().with_cores(threads.max(16)));
-    let mut workload = workload_kind.build(threads);
-    workload.setup(&machine);
-    let runtime = runtime_kind.build(&machine, threads);
-    let txns = (txns_per_thread() as f64 * workload_kind.txn_scale()).max(8.0) as u64;
-    run_measured(
-        &machine,
-        runtime.as_ref(),
-        workload.as_ref(),
-        RunConfig {
-            threads,
-            txns_per_thread: txns,
-            // The harness also functionally warms the L2; these
-            // warm-up transactions additionally steady-state the data
-            // structures and per-thread caches.
-            warmup_per_thread: (txns / 4).max(8),
-            seed: 0xF1E7,
-        },
-    )
+    run_cell(&point_spec(
+        workload_kind,
+        runtime_kind,
+        threads,
+        txns_per_thread(),
+    ))
 }
 
 /// Prints one normalized series in a gnuplot-friendly layout.
@@ -199,6 +262,8 @@ pub fn print_series(plot: &str, runtime: RuntimeKind, points: &[(usize, f64)]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flextm_sim::MachineConfig;
+    use flextm_workloads::harness::{run_measured, RunConfig};
 
     #[test]
     fn every_runtime_builds_and_runs_hashtable() {

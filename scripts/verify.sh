@@ -25,6 +25,12 @@
 #      must match the recorded values on the fiber engine at epoch
 #      widths 1 and 16 and on the OS-thread engine — any drift is a
 #      semantic change to the simulated machine, not a refactor
+#  11. bench-crate tests (flextm-bench is not a workspace
+#      default-member, so tier-1 `cargo test` skips it): env parsing,
+#      cell records, entry points
+#  12. sweep farm smoke: the 2x2 smoke matrix runs twice against a
+#      fresh store; the second run must execute zero cells (pure cache)
+#      and emit byte-identical tables/JSON
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -109,5 +115,30 @@ check_fp "fiber, default epoch" FLEXTM_FP_DUMMY=0
 check_fp "fiber, epoch width 1" FLEXTM_FP_EPOCH=1
 check_fp "fiber, epoch width 16" FLEXTM_FP_EPOCH=16
 check_fp "os threads, default epoch" FLEXTM_FP_OS_THREADS=1
+
+echo "== bench-crate tests (not a default-member; env parsing, cell records) =="
+cargo test -q -p flextm-bench
+
+echo "== sweep farm smoke (2x2 matrix; warm re-run must be pure cache) =="
+sweep_tmp="$(mktemp -d)"
+cargo run -q --release -p flextm-sweep --bin sweep -- \
+    --spec smoke2x2 --store "$sweep_tmp/store" --emit "$sweep_tmp/cold" --quiet
+warm_json="$(cargo run -q --release -p flextm-sweep --bin sweep -- \
+    --spec smoke2x2 --store "$sweep_tmp/store" --emit "$sweep_tmp/warm" --quiet)"
+echo "$warm_json"
+case "$warm_json" in
+*'"executed": 0, "cached": 4'*) ;;
+*)
+    echo "warm sweep re-executed cells instead of serving from cache"
+    rm -rf "$sweep_tmp"
+    exit 1
+    ;;
+esac
+if ! diff -r "$sweep_tmp/cold" "$sweep_tmp/warm"; then
+    echo "cached sweep emitted different bytes than the cold run"
+    rm -rf "$sweep_tmp"
+    exit 1
+fi
+rm -rf "$sweep_tmp"
 
 echo "verify: all checks passed"
