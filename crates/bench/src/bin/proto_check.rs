@@ -5,20 +5,27 @@
 //! # exhaustive, to fixpoint (default 2 cores x 1 line, full alphabet)
 //! cargo run --release -p flextm-bench --bin proto_check
 //!
-//! # bounded-depth exhaustive at 3x1
+//! # parallel bounded-depth exhaustive at 3x1
 //! cargo run --release -p flextm-bench --bin proto_check -- \
-//!     --cores 3 --lines 1 --depth 7
+//!     --cores 3 --lines 1 --depth 7 --jobs 4
 //!
 //! # random walk at 8x8
 //! cargo run --release -p flextm-bench --bin proto_check -- \
 //!     --cores 8 --lines 8 --walk --steps 200000 --seed 42
+//!
+//! # liveness: fair abort/grant cycle search over the CM-extended graph
+//! cargo run --release -p flextm-bench --bin proto_check -- \
+//!     --cores 2 --lines 2 --liveness
 //! ```
 //!
-//! Exits 0 on a clean run, 1 on an invariant violation (the shrunk
-//! schedule is printed, ready to paste into a regression test), 2 on
-//! bad usage.
+//! Exits 0 on a clean run, 1 on an invariant violation or livelock (the
+//! shrunk schedule / abort-cycle witness is printed), 2 on bad usage.
+//!
+//! Every JSON result echoes the run parameters (`cores`, `lines`,
+//! `wide`, `alphabet`, and the mode-specific knobs) so downstream
+//! tooling can regroup mixed result streams without re-parsing argv.
 
-use flextm_check::{explore, random_walk, Alphabet, CheckConfig, Progress};
+use flextm_check::{check_liveness, explore_jobs, random_walk, Alphabet, CheckConfig, Progress};
 use flextm_workloads::rng::WlRng;
 use std::time::Instant;
 
@@ -31,12 +38,16 @@ struct Args {
     steps: u64,
     seed: u64,
     wide: bool,
+    jobs: usize,
+    liveness: bool,
+    revert_tie_break: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: proto_check [--cores N] [--lines N] [--depth N] \
-         [--alphabet full|tx|noevict] [--walk] [--steps N] [--seed S] [--wide]"
+         [--alphabet full|tx|noevict] [--jobs N] [--walk] [--steps N] [--seed S] \
+         [--wide] [--liveness] [--revert-tie-break]"
     );
     std::process::exit(2);
 }
@@ -51,6 +62,9 @@ fn parse_args() -> Args {
         steps: 100_000,
         seed: 0x5EED,
         wide: false,
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        liveness: false,
+        revert_tie_break: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,14 +81,29 @@ fn parse_args() -> Args {
             "--alphabet" => {
                 args.alphabet = Alphabet::parse(&val("--alphabet")).unwrap_or_else(|| usage())
             }
+            "--jobs" => args.jobs = val("--jobs").parse().unwrap_or_else(|_| usage()),
             "--walk" => args.walk = true,
             "--wide" => args.wide = true,
             "--steps" => args.steps = val("--steps").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--liveness" => args.liveness = true,
+            "--revert-tie-break" => args.revert_tie_break = true,
             _ => usage(),
         }
     }
+    if args.jobs == 0 {
+        eprintln!("--jobs must be >= 1");
+        usage();
+    }
     args
+}
+
+fn alphabet_name(a: Alphabet) -> &'static str {
+    match a {
+        Alphabet::Full => "full",
+        Alphabet::TxOnly => "tx",
+        Alphabet::NoEvict => "noevict",
+    }
 }
 
 fn main() {
@@ -89,11 +118,49 @@ fn main() {
     };
     let cfg = CheckConfig {
         alphabet: a.alphabet,
+        cm_tie_break: !a.revert_tie_break,
         ..base
     };
+    // Common parameter echo, spliced into every JSON result line.
+    let params = format!(
+        "\"cores\": {}, \"lines\": {}, \"wide\": {}, \"alphabet\": \"{}\"",
+        a.cores,
+        a.lines,
+        a.wide,
+        alphabet_name(a.alphabet)
+    );
     let t0 = Instant::now();
 
-    if a.walk {
+    if a.liveness {
+        eprintln!(
+            "proto_check: liveness, {} cores x {} lines{}, tie-break {}",
+            a.cores,
+            a.lines,
+            if a.wide { " (wide machine)" } else { "" },
+            if a.revert_tie_break {
+                "reverted (pre-fix)"
+            } else {
+                "shipped"
+            },
+        );
+        let out = check_liveness(&cfg);
+        let wall = t0.elapsed().as_secs_f64();
+        if let Some(lv) = &out.livelock {
+            eprintln!("{}", lv.render());
+            eprintln!(
+                "after {} states / {} edges in {wall:.2}s",
+                out.states, out.edges
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "{{\"bench\": \"proto_check_liveness\", {params}, \
+             \"tie_break\": {}, \"states\": {}, \"edges\": {}, \
+             \"aborts\": {}, \"grants\": {}, \"livelock\": false, \
+             \"wall_s\": {wall:.3}}}",
+            cfg.cm_tie_break, out.states, out.edges, out.aborts, out.grants
+        );
+    } else if a.walk {
         eprintln!(
             "proto_check: random walk, {} cores x {} lines{}, {} steps, seed {:#x}",
             a.cores,
@@ -118,19 +185,21 @@ fn main() {
             }
             None => {
                 println!(
-                    "{{\"bench\": \"proto_check_walk\", \"cores\": {}, \"lines\": {}, \
-                     \"steps\": {}, \"seed\": {}, \"wall_s\": {:.3}, \"violations\": 0}}",
-                    a.cores, a.lines, out.steps, a.seed, wall
+                    "{{\"bench\": \"proto_check_walk\", {params}, \
+                     \"steps\": {}, \"seed\": {}, \"wall_s\": {wall:.3}, \
+                     \"violations\": 0}}",
+                    out.steps, a.seed
                 );
             }
         }
     } else {
         eprintln!(
-            "proto_check: exhaustive, {} cores x {} lines{}, depth {}",
+            "proto_check: exhaustive, {} cores x {} lines{}, depth {}, {} jobs",
             a.cores,
             a.lines,
             if a.wide { " (wide machine)" } else { "" },
             a.depth.map_or("unbounded".to_string(), |d| d.to_string()),
+            a.jobs,
         );
         let mut progress = |p: &Progress| {
             let s = t0.elapsed().as_secs_f64();
@@ -143,7 +212,7 @@ fn main() {
                 p.states as f64 / s.max(1e-9)
             );
         };
-        let out = explore(&cfg, a.depth, Some(&mut progress));
+        let out = explore_jobs(&cfg, a.depth, a.jobs, Some(&mut progress));
         let wall = t0.elapsed().as_secs_f64();
         match out.violation {
             Some(v) => {
@@ -156,21 +225,17 @@ fn main() {
             }
             None => {
                 println!(
-                    "{{\"bench\": \"proto_check\", \"wide\": {}, \
-                     \"cores\": {}, \"lines\": {}, \
-                     \"depth\": {}, \"states\": {}, \"transitions\": {}, \
-                     \"max_depth\": {}, \"truncated\": {}, \"wall_s\": {:.3}, \
+                    "{{\"bench\": \"proto_check\", {params}, \
+                     \"depth\": {}, \"jobs\": {}, \"states\": {}, \"transitions\": {}, \
+                     \"max_depth\": {}, \"truncated\": {}, \"wall_s\": {wall:.3}, \
                      \"violations\": 0}}",
-                    a.wide,
-                    a.cores,
-                    a.lines,
                     a.depth.map_or(-1i64, |d| d as i64),
+                    a.jobs,
                     out.states,
                     out.transitions,
                     out.max_depth,
                     out.depth_truncated,
-                    wall
-                );
+                )
             }
         }
     }

@@ -40,6 +40,19 @@ impl Alphabet {
     }
 }
 
+/// Test-only fault injection: makes [`crate::Driver::commit`] panic
+/// when the given core commits with at least `min_writes` distinct
+/// lines in its write set. Exists so the violation-reporting and
+/// shrinking paths can be exercised (and regression-tested) without a
+/// real protocol bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Checker core whose commit fires the fault.
+    pub core: usize,
+    /// Minimum distinct lines written for the fault to fire.
+    pub min_writes: usize,
+}
+
 /// A checker instance: `cores × lines` with a fixed op alphabet.
 #[derive(Debug, Clone)]
 pub struct CheckConfig {
@@ -55,6 +68,18 @@ pub struct CheckConfig {
     /// in the second 64-bit word — the machine is wide, the explored
     /// state space is not.
     pub core_ids: Vec<usize>,
+    /// Liveness-pass arbitration hook: when `true` (the shipped
+    /// policy) the contention-manager model breaks equal-priority ties
+    /// deterministically — the lower id kills, the higher id stalls.
+    /// Setting it `false` reverts to the pre-PR-3 `>=` arbitration in
+    /// which both sides of an equal-priority conflict choose
+    /// `AbortEnemy`; the liveness pass must then rediscover the Polka
+    /// mutual-abort livelock. Test-only: nothing but the liveness
+    /// model reads it.
+    pub cm_tie_break: bool,
+    /// Test-only commit fault (see [`InjectedFault`]). `None` in every
+    /// real run.
+    pub injected_fault: Option<InjectedFault>,
 }
 
 impl CheckConfig {
@@ -67,6 +92,8 @@ impl CheckConfig {
             lines,
             alphabet: Alphabet::Full,
             core_ids: (0..cores).collect(),
+            cm_tie_break: true,
+            injected_fault: None,
         }
     }
 

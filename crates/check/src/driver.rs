@@ -167,15 +167,21 @@ impl Driver {
             return;
         }
         match op {
-            Op::TRead(c, l) => self.tx_read(c, l),
-            Op::TWrite(c, l) => self.tx_write(c, l),
+            Op::TRead(c, l) => {
+                self.tx_read(c, l);
+            }
+            Op::TWrite(c, l) => {
+                self.tx_write(c, l);
+            }
             Op::Read(c, l) => self.plain_read(c, l),
             Op::Write(c, l) => self.plain_write(c, l),
             Op::Evict(c, l) => {
                 self.st
                     .evict_line(self.cfg.machine_core(c), self.cfg.data_line(l));
             }
-            Op::Commit(c) => self.commit(c),
+            Op::Commit(c) => {
+                self.commit(c);
+            }
             Op::Abort(c) => self.abort(c),
         }
         self.post_op_checks();
@@ -183,7 +189,7 @@ impl Driver {
 
     /// The user-mode alert handler (runtime `Alert` upcall): ack the
     /// alert, figure out who died, and clean up.
-    fn service_alert(&mut self, c: usize) {
+    pub(crate) fn service_alert(&mut self, c: usize) {
         let mc = self.cfg.machine_core(c);
         let cause = self.st.cores[mc]
             .alert_pending
@@ -282,7 +288,11 @@ impl Driver {
         }
     }
 
-    fn tx_read(&mut self, c: usize, l: usize) {
+    /// Transactional load. Returns the machine cores the hardware
+    /// reported as conflicting on this access (the liveness pass feeds
+    /// them to its contention-manager model; safety exploration
+    /// ignores them).
+    pub(crate) fn tx_read(&mut self, c: usize, l: usize) -> ProcSet {
         if !self.shadow[c].active {
             self.begin(c);
         }
@@ -313,9 +323,16 @@ impl Driver {
             );
         }
         self.shadow[c].reads.entry(l).or_insert(r.value);
+        let mut enemies = ProcSet::empty();
+        for conflict in r.conflicts.iter() {
+            enemies.insert(conflict.with);
+        }
+        enemies
     }
 
-    fn tx_write(&mut self, c: usize, l: usize) {
+    /// Transactional store. Returns reported conflict cores, as
+    /// [`Driver::tx_read`] does.
+    pub(crate) fn tx_write(&mut self, c: usize, l: usize) -> ProcSet {
         if !self.shadow[c].active {
             self.begin(c);
         }
@@ -329,6 +346,11 @@ impl Driver {
         assert!(r.summary_hits.is_empty(), "no descheduling in checker");
         self.fold_conflicts(c, AccessKind::TStore, &r);
         self.shadow[c].writes.insert(l, v);
+        let mut enemies = ProcSet::empty();
+        for conflict in r.conflicts.iter() {
+            enemies.insert(conflict.with);
+        }
+        enemies
     }
 
     fn plain_read(&mut self, c: usize, l: usize) {
@@ -365,9 +387,21 @@ impl Driver {
 
     /// The software commit protocol of `flextm::runtime` (lazy mode):
     /// copy-and-clear W-R/W-W, CAS every enemy's TSW, CAS-Commit.
-    fn commit(&mut self, c: usize) {
+    /// Returns `true` when the transaction committed (`false` on a
+    /// lost TSW or a disabled-op replay).
+    pub(crate) fn commit(&mut self, c: usize) -> bool {
         if !self.shadow[c].active {
-            return; // disabled op replayed while shrinking
+            return false; // disabled op replayed while shrinking
+        }
+        if let Some(fault) = self.cfg.injected_fault {
+            // Test-only fault: fires before the CAS sequence so the
+            // shrunk schedule ends exactly at the Commit op.
+            if fault.core == c && self.shadow[c].writes.len() >= fault.min_writes {
+                panic!(
+                    "injected fault: core {c} committing {} writes",
+                    self.shadow[c].writes.len()
+                );
+            }
         }
         let mc = self.cfg.machine_core(c);
         let wr = self.st.cores[mc].csts.copy_and_clear(CstKind::WR);
@@ -388,6 +422,7 @@ impl Driver {
         let outcome = self
             .st
             .cas_commit(mc, self.cfg.tsw_addr(c), TSW_ACTIVE, TSW_COMMITTED);
+        let committed = matches!(outcome, CasCommitOutcome::Committed(_));
         match outcome {
             CasCommitOutcome::Committed(_) => {
                 // Commit progress/locality: CAS-Commit can only succeed
@@ -421,6 +456,41 @@ impl Driver {
                  in a sequential schedule"
             ),
         }
+        committed
+    }
+
+    /// The eager CMPC handler's `AbortEnemy` arm: CAS the enemy's TSW
+    /// from ACTIVE to ABORTED (the AOU invalidation dooms them). A
+    /// no-op when the enemy is no longer active. Used only by the
+    /// liveness pass; the lazy commit path has its own inline CAS.
+    pub(crate) fn kill_enemy(&mut self, c: usize, enemy: usize) {
+        if self.shadow[enemy].tsw != TSW_ACTIVE {
+            return;
+        }
+        let mc = self.cfg.machine_core(c);
+        let (old, _) = self
+            .st
+            .cas(mc, self.cfg.tsw_addr(enemy), TSW_ACTIVE, TSW_ABORTED);
+        assert_eq!(old, TSW_ACTIVE, "core {c}: enemy {enemy} TSW raced the CAS");
+        self.shadow[enemy].tsw = TSW_ABORTED;
+        self.shadow[enemy].doomed = true;
+    }
+
+    /// The eager CMPC handler's conflict retirement
+    /// (`runtime::clear_enemy_bits`): once a conflict with `enemy` is
+    /// settled — they died, committed, or we killed them — our CST
+    /// bits for them are cleared so a later CAS-Commit is not blocked
+    /// by the stale conflict. Clears hardware and shadow in lockstep
+    /// (the CST-exactness sweep compares them after every step).
+    pub(crate) fn resolve_enemy(&mut self, c: usize, enemy: usize) {
+        let mc = self.cfg.machine_core(c);
+        let me = self.cfg.machine_core(enemy);
+        for kind in [CstKind::RW, CstKind::WR, CstKind::WW] {
+            self.st.cores[mc].csts.clear_bit(kind, me);
+        }
+        self.shadow[c].rw.remove(me);
+        self.shadow[c].wr.remove(me);
+        self.shadow[c].ww.remove(me);
     }
 
     /// The software abort protocol: retire the TSW, then the abort
@@ -443,7 +513,7 @@ impl Driver {
     }
 
     /// The cross-validation sweep run after every op.
-    fn post_op_checks(&mut self) {
+    pub(crate) fn post_op_checks(&mut self) {
         // 1. Reconcile strong-isolation kills: the hardware aborts
         //    transactional victims of plain writes asynchronously; the
         //    shadow learns of it from the emptied signatures.

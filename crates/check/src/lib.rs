@@ -33,9 +33,16 @@
 //!   transaction yields a clean machine with memory untouched.
 //!
 //! [`explore::explore`] runs breadth-first over canonical state hashes
-//! ([`canon`]) to a fixpoint or depth bound; [`explore::random_walk`]
-//! drives long random schedules on larger configurations. Violations
-//! come back as shrunk op paths ready to paste into a regression test.
+//! ([`canon`]) to a fixpoint or depth bound — a single-worker front
+//! end over [`parallel::explore_jobs`], the level-synchronized
+//! parallel engine whose counts are bit-identical for every worker
+//! count; [`explore::random_walk`] drives long random schedules on
+//! larger configurations. Violations come back as shrunk op paths
+//! ready to paste into a regression test. [`liveness::check_liveness`]
+//! covers what safety exploration cannot: it closes the system with
+//! looping per-core programs under a Polka contention-manager model
+//! and searches the reachable graph for fair abort/retry cycles —
+//! schedules where transactions abort forever while nothing commits.
 //!
 //! # Soundness of the canonical projection
 //!
@@ -59,9 +66,13 @@ pub mod canon;
 pub mod config;
 pub mod driver;
 pub mod explore;
+pub mod liveness;
 pub mod op;
+pub mod parallel;
 
-pub use config::{Alphabet, CheckConfig};
+pub use config::{Alphabet, CheckConfig, InjectedFault};
 pub use driver::Driver;
 pub use explore::{explore, random_walk, ExploreOutcome, Progress, Violation, WalkOutcome};
+pub use liveness::{check_liveness, Livelock, LivenessOutcome};
 pub use op::Op;
+pub use parallel::explore_jobs;

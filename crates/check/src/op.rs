@@ -11,7 +11,10 @@ use std::fmt;
 /// instruction. `Commit` runs with alerts masked (as the runtime's
 /// commit critical section does) so CAS-Commit itself can discover a
 /// lost TSW.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// `Ord` exists so the parallel explorer can report a deterministic
+/// (lexicographically least) violation path no matter which worker
+/// found it first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Op {
     /// Transactional load of data line `.1` on core `.0`.
     TRead(usize, usize),

@@ -1,0 +1,367 @@
+//! Level-synchronized parallel BFS over canonical state hashes.
+//!
+//! # Why level-synchronized
+//!
+//! The serial explorer's counts are definitionally simple: `states` is
+//! the number of distinct canonical hashes ever inserted, `transitions`
+//! is the sum of `|enabled_ops|` over every expanded state, and both
+//! are independent of the order states happen to be expanded in —
+//! *provided* each state is expanded exactly once and depth truncation
+//! cuts at the same frontier. A free-running work-stealing BFS breaks
+//! the last property: a worker racing ahead can expand a state at depth
+//! d+1 before another worker has generated its depth-d duplicate,
+//! changing which node "owns" the state and, under a depth bound, how
+//! many nodes get truncated. Expanding one full depth level at a time
+//! (a barrier between levels) restores it: the set of states first
+//! reached at each depth is a deterministic function of the graph, so
+//! `states`/`transitions`/`max_depth`/`depth_truncated` are bit-equal
+//! for every worker count — the property the verify gate pins.
+//!
+//! # Visited-set sharding
+//!
+//! The only cross-worker contention is the visited set. It is split
+//! into [`SHARDS`] shards selected by the top bits of the canonical
+//! hash (the hash is a two-lane FNV mix, so its high bits are already
+//! uniform); each shard is an independent `Mutex<HashSet<u128>>` held
+//! for a single insert. Membership *is* ownership: the worker whose
+//! insert returns `true` enqueues the child, so a state first reached
+//! along two same-depth paths is expanded exactly once no matter how
+//! the race resolves.
+//!
+//! # Snapshots instead of replay
+//!
+//! The serial explorer rebuilt every node by replaying its full op path
+//! from the initial state, so expansion cost grew linearly with depth —
+//! O(depth²) work overall, and the reason 3-core runs were impractical.
+//! Here every frontier node carries an `Arc` to a fully materialized
+//! [`Driver`] *snapshot* at the nearest ancestor whose depth is a
+//! multiple of [`SNAPSHOT_STRIDE`], plus the (< stride) op suffix from
+//! that ancestor. Rebuilding a node is one fork plus at most
+//! `SNAPSHOT_STRIDE - 1` op applications, independent of depth.
+//! Soundness is inherited from replay determinism — the suffix ops were
+//! applied successfully (under `catch_unwind`) when the node was first
+//! generated, and `Driver::apply` is deterministic, so re-applying them
+//! to a fork of the same snapshot reproduces the same state; a panic
+//! can therefore only surface at child-generation time, exactly as in
+//! the serial engine. Snapshots are dropped with their level, so at any
+//! moment only the current and next frontier pin memory.
+
+use crate::canon::canon;
+use crate::config::CheckConfig;
+use crate::driver::Driver;
+use crate::explore::{panic_message, shrink, ExploreOutcome, Progress, QuietPanics, Violation};
+use crate::op::Op;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Visited-set shard count. 64 keeps insert contention negligible for
+/// any plausible worker count while costing only 64 mutexes + sets.
+const SHARDS: usize = 64;
+
+/// A full [`Driver`] snapshot is kept every this-many levels; nodes in
+/// between carry an op suffix from their snapshot ancestor. 4 balances
+/// rebuild cost (≤ 3 applies) against frontier memory (~¼ of frontier
+/// nodes own a materialized machine state).
+const SNAPSHOT_STRIDE: usize = 4;
+
+/// The visited set: canonical hashes sharded by their top bits.
+struct Visited {
+    shards: Vec<Mutex<HashSet<u128>>>,
+}
+
+impl Visited {
+    fn new() -> Self {
+        Visited {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+        }
+    }
+
+    /// Inserts `h`, returning `true` if it was new. The returning-true
+    /// caller owns the state (enqueues it for expansion).
+    fn insert(&self, h: u128) -> bool {
+        let shard = (h >> (128 - SHARDS.trailing_zeros())) as usize;
+        self.shards[shard].lock().unwrap().insert(h)
+    }
+
+    fn len(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().len() as u64)
+            .sum()
+    }
+}
+
+/// One frontier node: a snapshot ancestor, the ops from it to this
+/// state, and the full path for violation reporting.
+struct Node {
+    /// Materialized state at the nearest stride-aligned ancestor
+    /// (possibly this node itself, with an empty suffix).
+    snap: Arc<Driver>,
+    /// Ops from `snap` to this node; length < [`SNAPSHOT_STRIDE`].
+    suffix: Vec<Op>,
+    /// Full op path from the initial state.
+    path: Vec<Op>,
+}
+
+/// What one worker accumulated over one level: merged single-threaded
+/// after the level barrier.
+#[derive(Default)]
+struct WorkerOut {
+    next: Vec<Node>,
+    transitions: u64,
+    violations: Vec<(Vec<Op>, String)>,
+}
+
+/// Expands one node: rebuilds its driver from the snapshot, applies
+/// every enabled op to a fork, and claims unvisited children.
+fn expand(cfg_depth: usize, node: &Node, visited: &Visited, out: &mut WorkerOut) {
+    // Rebuild. The suffix replay cannot panic (see module docs); a
+    // fork is avoided entirely when the node is its own snapshot.
+    let rebuilt;
+    let base: &Driver = if node.suffix.is_empty() {
+        &node.snap
+    } else {
+        let mut d = node.snap.fork();
+        for &op in &node.suffix {
+            d.apply(op);
+        }
+        rebuilt = d;
+        &rebuilt
+    };
+
+    for op in base.enabled_ops() {
+        out.transitions += 1;
+        let mut child = base.fork();
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            child.apply(op);
+            child.check_quiescence();
+            canon(&child)
+        }));
+        match res {
+            Ok(c) => {
+                if visited.insert(c) {
+                    let mut path = node.path.clone();
+                    path.push(op);
+                    let node = if (cfg_depth + 1).is_multiple_of(SNAPSHOT_STRIDE) {
+                        Node {
+                            snap: Arc::new(child),
+                            suffix: Vec::new(),
+                            path,
+                        }
+                    } else {
+                        let mut suffix = node.suffix.clone();
+                        suffix.push(op);
+                        Node {
+                            snap: Arc::clone(&node.snap),
+                            suffix,
+                            path,
+                        }
+                    };
+                    out.next.push(node);
+                }
+            }
+            Err(e) => {
+                let mut path = node.path.clone();
+                path.push(op);
+                out.violations.push((path, panic_message(e)));
+            }
+        }
+    }
+}
+
+/// Parallel breadth-first exploration to a fixpoint or `depth` bound,
+/// expanding each level across `jobs` scoped worker threads.
+///
+/// Reports bit-identical `states` / `transitions` / `max_depth` /
+/// `depth_truncated` for every `jobs` value (see module docs). On a
+/// violation the level is still completed, the lexicographically least
+/// violating path is chosen (so even the failure report is stable
+/// across worker counts up to same-level path aliasing), shrunk, and
+/// returned. `progress` fires once per completed level.
+pub fn explore_jobs(
+    cfg: &CheckConfig,
+    depth: Option<usize>,
+    jobs: usize,
+    mut progress: Option<&mut dyn FnMut(&Progress)>,
+) -> ExploreOutcome {
+    let jobs = jobs.max(1);
+    let _quiet = QuietPanics::install();
+
+    let visited = Visited::new();
+    let root = Driver::new(cfg.clone());
+    visited.insert(canon(&root));
+    let mut level: Vec<Node> = vec![Node {
+        snap: Arc::new(root),
+        suffix: Vec::new(),
+        path: Vec::new(),
+    }];
+    let mut level_depth = 0usize;
+
+    let mut transitions = 0u64;
+    let mut max_depth = 0usize;
+
+    while !level.is_empty() {
+        if depth.is_some_and(|d| level_depth >= d) {
+            // Every remaining node sits exactly at the bound (BFS), so
+            // the whole level is truncated unexpanded — the same cut
+            // the serial engine made node by node.
+            return ExploreOutcome {
+                states: visited.len(),
+                transitions,
+                max_depth,
+                depth_truncated: level.len() as u64,
+                violation: None,
+            };
+        }
+        max_depth = max_depth.max(level_depth);
+
+        let cursor = AtomicUsize::new(0);
+        let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = WorkerOut::default();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(node) = level.get(i) else { break };
+                            expand(level_depth, node, &visited, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .expect("checker worker panicked outside catch_unwind")
+                })
+                .collect()
+        });
+
+        let mut next = Vec::new();
+        let mut violations: Vec<(Vec<Op>, String)> = Vec::new();
+        for mut out in outs {
+            transitions += out.transitions;
+            next.append(&mut out.next);
+            violations.append(&mut out.violations);
+        }
+
+        if let Some((path, message)) = violations.into_iter().min() {
+            let path = shrink(cfg, path);
+            return ExploreOutcome {
+                states: visited.len(),
+                transitions,
+                max_depth,
+                depth_truncated: 0,
+                violation: Some(Violation { path, message }),
+            };
+        }
+
+        level = next;
+        level_depth += 1;
+        if let Some(cb) = progress.as_deref_mut() {
+            cb(&Progress {
+                states: visited.len(),
+                transitions,
+                frontier: level.len(),
+                depth: level_depth,
+            });
+        }
+    }
+
+    ExploreOutcome {
+        states: visited.len(),
+        transitions,
+        max_depth,
+        depth_truncated: 0,
+        violation: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Alphabet, InjectedFault};
+
+    /// The determinism contract, on the full 2×1 fixpoint: a parallel
+    /// run reports the numbers the serial engine reports. One worker
+    /// count here keeps the debug suite affordable; verify.sh repeats
+    /// the same equality in release, and
+    /// `truncated_bounded_runs_match_across_jobs` covers jobs=4.
+    #[test]
+    fn jobs_report_bit_identical_counts() {
+        let cfg = CheckConfig::new(2, 1);
+        let serial = explore_jobs(&cfg, None, 1, None);
+        assert!(serial.violation.is_none());
+        let par = explore_jobs(&cfg, None, 3, None);
+        assert!(par.violation.is_none());
+        assert_eq!(
+            (
+                par.states,
+                par.transitions,
+                par.max_depth,
+                par.depth_truncated
+            ),
+            (
+                serial.states,
+                serial.transitions,
+                serial.max_depth,
+                serial.depth_truncated
+            ),
+            "jobs=3 diverged from serial"
+        );
+    }
+
+    /// Depth truncation must also be jobs-invariant (the subtle case —
+    /// it depends on which node first owns each state).
+    #[test]
+    fn truncated_bounded_runs_match_across_jobs() {
+        let cfg = CheckConfig {
+            alphabet: Alphabet::TxOnly,
+            ..CheckConfig::new(2, 1)
+        };
+        let serial = explore_jobs(&cfg, Some(5), 1, None);
+        assert!(serial.depth_truncated > 0, "bound must actually truncate");
+        let par = explore_jobs(&cfg, Some(5), 4, None);
+        assert_eq!(
+            (
+                par.states,
+                par.transitions,
+                par.max_depth,
+                par.depth_truncated
+            ),
+            (
+                serial.states,
+                serial.transitions,
+                serial.max_depth,
+                serial.depth_truncated
+            ),
+        );
+    }
+
+    /// An injected violation is found, reported with the fault's
+    /// message, and shrunk to a locally minimal path — in parallel.
+    #[test]
+    fn parallel_violation_is_found_and_shrunk() {
+        let cfg = CheckConfig {
+            alphabet: Alphabet::TxOnly,
+            injected_fault: Some(InjectedFault {
+                core: 0,
+                min_writes: 1,
+            }),
+            ..CheckConfig::new(2, 1)
+        };
+        let out = explore_jobs(&cfg, None, 2, None);
+        let v = out.violation.expect("injected fault must be found");
+        assert!(
+            v.message.contains("injected fault"),
+            "shrinking lost the message: {}",
+            v.message
+        );
+        // Minimal reproducer: one write then the faulting commit.
+        assert_eq!(v.path, vec![Op::TWrite(0, 0), Op::Commit(0)]);
+    }
+}

@@ -232,6 +232,33 @@ impl L1Cache {
         }
     }
 
+    /// Deep copy for the model checker's state forking
+    /// ([`crate::SimState::clone_for_check`]). Identical semantic
+    /// state, but the buffer free list starts empty: its contents are
+    /// unspecified recycled buffers that every consumer overwrites,
+    /// and retained frontier snapshots would otherwise pin up to
+    /// `DATA_POOL_CAP` line buffers per core each — measured as a net
+    /// loss (page-fault churn) on large explorations, despite the
+    /// extra zeroing allocation it costs each forked child's first
+    /// few speculative fills.
+    #[cfg(any(test, feature = "check"))]
+    pub fn clone_for_check(&self) -> Self {
+        L1Cache {
+            tags: self.tags.clone(),
+            meta: self.meta.clone(),
+            lru: self.lru.clone(),
+            data: self.data.clone(),
+            nsets: self.nsets,
+            ways: self.ways,
+            victim: self.victim.clone(),
+            victim_cap: self.victim_cap,
+            unbounded_tmi: self.unbounded_tmi,
+            tick: self.tick,
+            spec_touched: self.spec_touched.clone(),
+            data_pool: Vec::new(),
+        }
+    }
+
     /// Hands out a line data buffer from the free list (or the
     /// allocator when it is dry). Contents are **unspecified** — every
     /// caller fully overwrites the line before it becomes visible.

@@ -83,6 +83,25 @@ impl CoreState {
         }
     }
 
+    /// Deep copy for the model checker's state forking: `clone`, minus
+    /// the L1's line-buffer free list (see [`L1Cache::clone_for_check`]).
+    #[cfg(any(test, feature = "check"))]
+    pub fn clone_for_check(&self) -> Self {
+        CoreState {
+            l1: self.l1.clone_for_check(),
+            rsig: self.rsig.clone(),
+            wsig: self.wsig.clone(),
+            csts: self.csts,
+            aloaded: self.aloaded,
+            alert_pending: self.alert_pending,
+            ot: self.ot.clone(),
+            watch_reads: self.watch_reads,
+            watch_writes: self.watch_writes,
+            attempt_mark: self.attempt_mark,
+            stats: self.stats,
+        }
+    }
+
     /// Posts an alert unless one is already pending (the hardware has a
     /// single alert line; the first cause wins, which is fine because
     /// every cause ends in a software abort/retry).

@@ -516,7 +516,7 @@ impl SimState {
         SimState {
             config: self.config.clone(),
             mem: self.mem.clone(),
-            cores: self.cores.clone(),
+            cores: self.cores.iter().map(CoreState::clone_for_check).collect(),
             l2: self.l2.clone(),
             log: self.log.clone(),
             lanes,

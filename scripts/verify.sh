@@ -6,11 +6,16 @@
 #   2. cargo clippy --workspace -- -D warnings
 #   3. cargo fmt --check
 #   4. cargo bench --workspace --no-run (benches must keep compiling)
-#   5. proto_check smoke: the model checker exhaustively explores the
-#      2-core x 1-line config to a fixpoint with zero invariant
-#      violations (seconds), then the same config on a 65-core wide
-#      machine (checker cores 0 and 64, multi-word ProcSets) — the two
-#      runs must produce identical state/transition counts
+#   5. proto_check gates: the model checker exhaustively explores the
+#      2-core x 1-line config to its pinned fixpoint (19137 states /
+#      147700 transitions) serially, then again with --jobs 2 (the
+#      parallel engine must report bit-identical counts), then on a
+#      65-core wide machine (checker cores 0 and 64, multi-word
+#      ProcSets — identical graph again); a 3-core tx-alphabet run to
+#      its pinned fixpoint (~2 min); a wide 3-core bounded-depth
+#      equality check; and the liveness pass — no fair abort/grant
+#      cycle under the shipped tie-break, and the Polka mutual-abort
+#      livelock rediscovered when the tie-break is reverted
 #   6. trace-enabled determinism pass (release): the attempt-trace
 #      JSONL must be byte-identical across seeded runs
 #   7. sched_bench --trace smoke: the abort-attribution table and
@@ -51,17 +56,36 @@ cargo fmt --all --check
 echo "== benches compile (no run) =="
 cargo bench --workspace --no-run
 
-echo "== proto_check smoke (exhaustive 2 cores x 1 line) =="
-narrow_json="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 2 --lines 1)"
+echo "== proto_check smoke (exhaustive 2 cores x 1 line, serial) =="
+narrow_json="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 2 --lines 1 --jobs 1)"
 echo "$narrow_json"
-
-echo "== proto_check wide smoke (same alphabet, cores 0 and 64 of a 65-core machine) =="
-wide_json="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 2 --lines 1 --wide)"
-echo "$wide_json"
+case "$narrow_json" in
+*'"states": 19137, "transitions": 147700'*) ;;
+*)
+    echo "2x1 state graph drifted from the pinned 19137 states / 147700 transitions"
+    exit 1
+    ;;
+esac
 graph_of() {
-    # Graph shape only: states/transitions/depth/violations, not wall time.
+    # Graph shape only: states/transitions/depth/violations — the
+    # leading strip drops the parameter echo (cores/lines/wide/
+    # alphabet/jobs all precede "states"), the second drops wall time.
     echo "$1" | sed 's/.*"states"/"states"/; s/ "wall_s": [0-9.]*,//'
 }
+
+echo "== proto_check parallel equality (same config, --jobs 2) =="
+par_json="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 2 --lines 1 --jobs 2)"
+echo "$par_json"
+if [ "$(graph_of "$narrow_json")" != "$(graph_of "$par_json")" ]; then
+    echo "parallel exploration diverged from serial:"
+    echo "  jobs 1: $(graph_of "$narrow_json")"
+    echo "  jobs 2: $(graph_of "$par_json")"
+    exit 1
+fi
+
+echo "== proto_check wide smoke (same alphabet, cores 0 and 64 of a 65-core machine) =="
+wide_json="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 2 --lines 1 --wide --jobs 2)"
+echo "$wide_json"
 narrow_graph="$(graph_of "$narrow_json")"
 wide_graph="$(graph_of "$wide_json")"
 if [ "$narrow_graph" != "$wide_graph" ]; then
@@ -70,6 +94,55 @@ if [ "$narrow_graph" != "$wide_graph" ]; then
     echo "  wide:   $wide_graph"
     exit 1
 fi
+
+echo "== proto_check 3-core fixpoint (tx alphabet; the deep-coverage gate, ~2 min) =="
+deep_json="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 3 --lines 1 --alphabet tx --jobs 2 2>/dev/null)"
+echo "$deep_json"
+case "$deep_json" in
+*'"states": 396632, "transitions": 3037872'*'"truncated": 0'*) ;;
+*)
+    echo "3x1 tx exploration drifted from the pinned 396632 states / 3037872 transitions fixpoint"
+    exit 1
+    ;;
+esac
+
+echo "== proto_check wide 3-core bounded equality (66-core machine, depth 7) =="
+n3_json="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 3 --lines 1 --alphabet tx --depth 7 --jobs 2 2>/dev/null)"
+w3_json="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 3 --lines 1 --alphabet tx --depth 7 --wide --jobs 2 2>/dev/null)"
+echo "$w3_json"
+n3_graph="$(graph_of "$n3_json")"
+w3_graph="$(graph_of "$w3_json")"
+if [ "$n3_graph" != "$w3_graph" ]; then
+    echo "wide 3-core machine changed the explored state graph:"
+    echo "  narrow: $n3_graph"
+    echo "  wide:   $w3_graph"
+    exit 1
+fi
+
+echo "== liveness: shipped tie-break must admit no fair abort cycle =="
+live_json="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 2 --lines 2 --liveness)"
+echo "$live_json"
+case "$live_json" in
+*'"livelock": false'*) ;;
+*)
+    echo "liveness pass reported a fair abort/grant cycle on the shipped policy"
+    exit 1
+    ;;
+esac
+
+echo "== liveness: reverted tie-break must rediscover the Polka mutual-abort livelock =="
+if revert_out="$(cargo run -q --release -p flextm-bench --bin proto_check -- --cores 2 --lines 2 --liveness --revert-tie-break 2>&1)"; then
+    echo "reverted tie-break was reported live — the livelock detector is blind"
+    exit 1
+fi
+case "$revert_out" in
+*livelock*) echo "$revert_out" | head -4 ;;
+*)
+    echo "reverted tie-break failed without a livelock witness:"
+    echo "$revert_out"
+    exit 1
+    ;;
+esac
 
 echo "== trace determinism (release) =="
 cargo test -q --release -p flextm-workloads --test determinism \
